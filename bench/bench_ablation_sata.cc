@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces the §4 applicability observation: for slow SATA drives
+ * (AHCI: a single 32-slot queue completed in arbitrary order),
+ * Bonnie++-style sequential I/O performs indistinguishably with
+ * strict IOMMU protection and with the IOMMU disabled — the device,
+ * not the core, is the bottleneck, so rIOMMU support for AHCI's
+ * out-of-order mode "seems unneeded".
+ */
+#include "bench_common.h"
+
+#include "ahci/ahci.h"
+#include "dma/dma_context.h"
+
+using namespace rio;
+
+namespace {
+
+double
+runSequentialIo(dma::ProtectionMode mode, bool hdd)
+{
+    des::Simulator sim;
+    dma::DmaContext ctx;
+    des::Core core(sim, ctx.cost());
+    auto handle = ctx.makeHandle(mode, iommu::Bdf{0, 5, 0}, &core.acct(),
+                                 {ahci::AhciDevice::kSlots + 1});
+    ahci::AhciProfile profile;
+    if (!hdd) {
+        profile.seek_ns = 60000; // SATA SSD: no mechanical seek
+        profile.sequential_ns = 30000;
+        profile.bandwidth_gbps = 4.0; // ~500 MB/s
+    }
+    ahci::AhciDevice disk(sim, core, ctx.memory(), *handle, profile);
+
+    const u64 total_ios = bench::scaled(4000);
+    const PhysAddr buf = ctx.memory().allocContiguous(64 * kPageSize);
+    u64 issued = 0;
+    u64 done = 0;
+    u64 next_lba = 0;
+
+    std::function<void()> fill = [&] {
+        while (issued < total_ios && disk.freeSlots() > 0) {
+            // Bonnie++ sequential read: 16 sectors per request.
+            auto r = disk.issue(false, next_lba, 16,
+                                buf + (issued % 4) * 16 * kPageSize);
+            RIO_ASSERT(r.isOk(), "issue failed: ", r.status().toString());
+            next_lba += 16;
+            ++issued;
+        }
+    };
+    disk.setCompletionCallback([&](u32, Status s) {
+        RIO_ASSERT(s.isOk(), "I/O failed");
+        ++done;
+        fill();
+    });
+    core.post(fill);
+    sim.run();
+    RIO_ASSERT(done == total_ios, "lost I/Os");
+    const double seconds = static_cast<double>(sim.now()) * 1e-9;
+    return static_cast<double>(disk.bytesMoved()) / seconds / 1e6; // MB/s
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("SATA/AHCI: strict vs none on sequential I/O "
+                       "(Bonnie++-style)");
+    Table t({"drive", "strict (MB/s)", "none (MB/s)", "ratio"});
+    for (bool hdd : {true, false}) {
+        const double strict =
+            runSequentialIo(dma::ProtectionMode::kStrict, hdd);
+        const double none =
+            runSequentialIo(dma::ProtectionMode::kNone, hdd);
+        t.addRow(hdd ? "SATA HDD" : "SATA SSD",
+                 {strict, none, strict / none}, 2);
+    }
+    std::printf("%s\n", t.toString().c_str());
+    std::printf("paper: \"indistinguishable performance results ... "
+                "regardless of whether we use a SATA HDD or a SATA "
+                "SSD\" (Sec. 4)\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the reproduction bench binaries: mode sweeps,
+ * formatting, and the paper's reference numbers for side-by-side
+ * printing.
+ */
+#ifndef RIO_BENCH_BENCH_COMMON_H
+#define RIO_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "base/table.h"
+#include "dma/protection_mode.h"
+#include "nic/profile.h"
+#include "workloads/netperf_rr.h"
+#include "workloads/request_load.h"
+#include "workloads/result.h"
+#include "workloads/stream.h"
+
+namespace rio::bench {
+
+/** Scale factor for run lengths: RIO_BENCH_QUICK=1 shrinks runs for
+ * smoke testing; default is full length. */
+inline double
+runScale()
+{
+    const char *quick = std::getenv("RIO_BENCH_QUICK");
+    return (quick && quick[0] == '1') ? 0.15 : 1.0;
+}
+
+inline u64
+scaled(u64 n)
+{
+    const u64 s = static_cast<u64>(static_cast<double>(n) * runScale());
+    return s < 100 ? 100 : s;
+}
+
+/** The seven evaluated modes in the paper's display order. */
+inline const std::vector<dma::ProtectionMode> &
+evaluatedModes()
+{
+    static const std::vector<dma::ProtectionMode> modes(
+        dma::kEvaluatedModes.begin(), dma::kEvaluatedModes.end());
+    return modes;
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace rio::bench
+
+#endif // RIO_BENCH_BENCH_COMMON_H

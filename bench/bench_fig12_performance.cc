@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproduces Figure 12 of the paper: throughput and CPU consumption
+ * of all seven IOMMU modes on both setups (mlx 40 Gbps top, brcm
+ * 10 GbE bottom) across the five benchmarks: Netperf TCP stream,
+ * Netperf UDP RR, Apache 1 MB, Apache 1 KB, and Memcached.
+ *
+ * Expected shape (paper §5.2):
+ *  - mlx/stream: CPU-bound everywhere; throughput ordered
+ *    strict < strict+ < defer < defer+ < riommu- < riommu < none.
+ *  - brcm/stream: every mode except strict saturates the 10 GbE
+ *    line; CPU consumption becomes the differentiator.
+ *  - RR: small differences (CPU is not the bottleneck).
+ *  - Apache 1MB behaves like stream; Apache 1KB is dominated by HTTP
+ *    processing; Memcached is ~10x Apache-1KB's request rate with
+ *    more pronounced mode differences.
+ */
+#include "bench_common.h"
+
+using namespace rio;
+
+namespace {
+
+struct Cell
+{
+    double metric = 0; // Gbps or K-requests/s
+    double cpu = 0;
+};
+
+Cell
+runCell(const std::string &bench, dma::ProtectionMode mode,
+        const nic::NicProfile &profile)
+{
+    Cell c;
+    if (bench == "stream") {
+        workloads::StreamParams p = workloads::streamParamsFor(profile);
+        p.measure_packets = bench::scaled(40000);
+        p.warmup_packets = bench::scaled(10000);
+        auto r = workloads::runStream(mode, profile, p);
+        c.metric = r.throughput_gbps;
+        c.cpu = r.cpu;
+    } else if (bench == "rr") {
+        workloads::RrParams p = workloads::rrParamsFor(profile);
+        p.measure_transactions = bench::scaled(4000);
+        p.warmup_transactions = bench::scaled(500);
+        auto r = workloads::runNetperfRr(mode, profile, p);
+        c.metric = r.transactions_per_sec / 1e3; // K transactions/s
+        c.cpu = r.cpu;
+    } else if (bench == "apache 1M") {
+        workloads::RequestLoadParams p =
+            workloads::apacheParams(u64{1} << 20);
+        p.measure_requests = bench::scaled(600);
+        p.warmup_requests = bench::scaled(100);
+        auto r = workloads::runRequestLoad(mode, profile, p);
+        c.metric = r.throughput_gbps;
+        c.cpu = r.cpu;
+    } else if (bench == "apache 1K") {
+        workloads::RequestLoadParams p = workloads::apacheParams(1024);
+        p.measure_requests = bench::scaled(3000);
+        p.warmup_requests = bench::scaled(300);
+        auto r = workloads::runRequestLoad(mode, profile, p);
+        c.metric = r.transactions_per_sec / 1e3; // K requests/s
+        c.cpu = r.cpu;
+    } else { // memcached
+        workloads::RequestLoadParams p = workloads::memcachedParams();
+        p.measure_requests = bench::scaled(20000);
+        p.warmup_requests = bench::scaled(2000);
+        auto r = workloads::runRequestLoad(mode, profile, p);
+        c.metric = r.transactions_per_sec / 1e3; // K requests/s
+        c.cpu = r.cpu;
+    }
+    return c;
+}
+
+const char *
+metricName(const std::string &bench)
+{
+    if (bench == "stream" || bench == "apache 1M")
+        return "Gbps";
+    return "K/s";
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> benches = {"stream", "rr", "apache 1M",
+                                              "apache 1K", "memcached"};
+    for (const nic::NicProfile *profile :
+         {&nic::mlxProfile(), &nic::brcmProfile()}) {
+        for (const std::string &bench : benches) {
+            bench::printHeader("Figure 12 [" + std::string(profile->name) +
+                               " / " + bench + "]");
+            Table t({"mode", std::string("throughput (") +
+                                 metricName(bench) + ")",
+                     "cpu (%)"});
+            for (dma::ProtectionMode mode : bench::evaluatedModes()) {
+                const Cell c = runCell(bench, mode, *profile);
+                t.addRow(dma::modeName(mode),
+                         {c.metric, c.cpu * 100.0}, 2);
+            }
+            std::printf("%s", t.toString().c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 8 of the paper: Netperf stream throughput as a
+ * function of the average cycles C spent processing one packet.
+ * Three series are printed, which should coincide:
+ *
+ *  1. the analytic model Gbps(C) = payload_bits * S / C,
+ *  2. the none mode with C artificially lengthened by a controlled
+ *     busy-wait per packet (the paper's thin line), and
+ *  3. the seven IOMMU modes as measured (the paper's cross points).
+ */
+#include "bench_common.h"
+
+using namespace rio;
+
+int
+main()
+{
+    bench::printHeader("Figure 8: throughput vs. cycles per packet "
+                       "(model validation)");
+
+    const double ghz = cycles::defaultCostModel().core_ghz;
+    const double payload_bits = static_cast<double>(net::kMss) * 8;
+
+    // Series 2: none + busy-wait sweep.
+    Table sweep({"busy-wait", "C (measured)", "Gbps (measured)",
+                 "Gbps (model)", "model/measured"});
+    for (Cycles extra : {0ULL, 1000ULL, 2000ULL, 4000ULL, 8000ULL,
+                         12000ULL, 16000ULL}) {
+        workloads::StreamParams p =
+            workloads::streamParamsFor(nic::mlxProfile());
+        p.measure_packets = bench::scaled(30000);
+        p.warmup_packets = bench::scaled(8000);
+        p.per_packet_cycles += extra; // controlled busy-wait loop
+        const auto r = workloads::runStream(dma::ProtectionMode::kNone,
+                                            nic::mlxProfile(), p);
+        const double model_gbps =
+            payload_bits * ghz / r.cycles_per_packet;
+        sweep.addRow(Table::num(static_cast<double>(extra), 0),
+                     {r.cycles_per_packet, r.throughput_gbps, model_gbps,
+                      model_gbps / r.throughput_gbps},
+                     2);
+    }
+    std::printf("%s\n", sweep.toString().c_str());
+
+    // Series 3: the modes as measured, against the same model.
+    Table modes({"mode", "C (measured)", "Gbps (measured)",
+                 "Gbps (model)", "model/measured"});
+    for (dma::ProtectionMode mode : bench::evaluatedModes()) {
+        workloads::StreamParams p =
+            workloads::streamParamsFor(nic::mlxProfile());
+        p.measure_packets = bench::scaled(30000);
+        p.warmup_packets = bench::scaled(8000);
+        const auto r = workloads::runStream(mode, nic::mlxProfile(), p);
+        const double model_gbps =
+            payload_bits * ghz / r.cycles_per_packet;
+        modes.addRow(dma::modeName(mode),
+                     {r.cycles_per_packet, r.throughput_gbps, model_gbps,
+                      model_gbps / r.throughput_gbps},
+                     2);
+    }
+    std::printf("%s\n", modes.toString().c_str());
+    std::printf("the model column should track the measured column "
+                "within a few percent (paper: the thick line, thin "
+                "line and crosses coincide)\n");
+    return 0;
+}

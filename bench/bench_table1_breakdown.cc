@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: the average cycles breakdown of
+ * the IOMMU driver's map and unmap functions under the four baseline
+ * protection modes (strict, strict+, defer, defer+), measured while
+ * running Netperf TCP stream on the mlx setup. The component costs
+ * emerge from executing the real allocator / page-table / IOTLB
+ * algorithms under the NIC's (un)map churn.
+ *
+ * Paper reference (Table 1, cycles):
+ *                    strict  strict+  defer  defer+
+ *   map/iova alloc     3986       92   1674     108
+ *   map/page table      588      590    533     577
+ *   map/other            44       45     44      42
+ *   map/sum            4618      727   2251     727
+ *   unmap/iova find     249      418    263     454
+ *   unmap/iova free     159       62    189      57
+ *   unmap/page table    438      427    471     504
+ *   unmap/iotlb inv    2127     2135      9       9
+ *   unmap/other          26       25    205     216
+ *   unmap/sum          2999     3067   1137    1240
+ */
+#include "bench_common.h"
+
+#include "cycles/cycle_account.h"
+
+using namespace rio;
+using cycles::Cat;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 1: average cycles of the (un)map functions, "
+        "Netperf stream on mlx");
+
+    const std::vector<dma::ProtectionMode> modes = {
+        dma::ProtectionMode::kStrict, dma::ProtectionMode::kStrictPlus,
+        dma::ProtectionMode::kDefer, dma::ProtectionMode::kDeferPlus};
+
+    std::vector<workloads::RunResult> results;
+    for (dma::ProtectionMode mode : modes) {
+        workloads::StreamParams params =
+            workloads::streamParamsFor(nic::mlxProfile());
+        params.measure_packets = bench::scaled(40000);
+        params.warmup_packets = bench::scaled(10000);
+        results.push_back(
+            workloads::runStream(mode, nic::mlxProfile(), params));
+    }
+
+    Table t({"function", "component", "strict", "strict+", "defer",
+             "defer+", "paper(strict)"});
+    const struct
+    {
+        const char *function;
+        const char *component;
+        Cat cat;
+        double paper_strict;
+    } rows[] = {
+        {"map", "iova alloc", Cat::kMapIovaAlloc, 3986},
+        {"map", "page table", Cat::kMapPageTable, 588},
+        {"map", "other", Cat::kMapOther, 44},
+        {"unmap", "iova find", Cat::kUnmapIovaFind, 249},
+        {"unmap", "iova free", Cat::kUnmapIovaFree, 159},
+        {"unmap", "page table", Cat::kUnmapPageTable, 438},
+        {"unmap", "iotlb inv", Cat::kUnmapIotlbInv, 2127},
+        {"unmap", "other", Cat::kUnmapOther, 26},
+    };
+    for (const auto &row : rows) {
+        std::vector<std::string> cells = {row.function, row.component};
+        for (const auto &r : results)
+            cells.push_back(Table::num(r.acct.avg(row.cat), 0));
+        cells.push_back(Table::num(row.paper_strict, 0));
+        t.addRow(cells);
+    }
+    t.addSeparator();
+    {
+        std::vector<std::string> cells = {"map", "sum"};
+        for (const auto &r : results) {
+            cells.push_back(Table::num(
+                r.acct.avg(Cat::kMapIovaAlloc) +
+                    r.acct.avg(Cat::kMapPageTable) +
+                    r.acct.avg(Cat::kMapOther),
+                0));
+        }
+        cells.push_back(Table::num(4618, 0));
+        t.addRow(cells);
+    }
+    {
+        std::vector<std::string> cells = {"unmap", "sum"};
+        for (const auto &r : results) {
+            cells.push_back(Table::num(
+                r.acct.avg(Cat::kUnmapIovaFind) +
+                    r.acct.avg(Cat::kUnmapIovaFree) +
+                    r.acct.avg(Cat::kUnmapPageTable) +
+                    r.acct.avg(Cat::kUnmapIotlbInv) +
+                    r.acct.avg(Cat::kUnmapOther),
+                0));
+        }
+        cells.push_back(Table::num(2999, 0));
+        t.addRow(cells);
+    }
+    std::printf("%s\n", t.toString().c_str());
+
+    std::printf("map ops / unmap ops per mode:\n");
+    for (size_t i = 0; i < modes.size(); ++i) {
+        std::printf("  %-8s maps=%llu unmaps=%llu avg-burst=%.0f "
+                    "tput=%.2f Gbps\n",
+                    dma::modeName(modes[i]),
+                    static_cast<unsigned long long>(
+                        results[i].acct.ops(Cat::kMapIovaAlloc)),
+                    static_cast<unsigned long long>(
+                        results[i].acct.ops(Cat::kUnmapIovaFree)),
+                    results[i].avg_unmap_burst,
+                    results[i].throughput_gbps);
+    }
+    return 0;
+}

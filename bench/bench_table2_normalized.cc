@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces Table 2 of the paper: throughput and CPU consumption of
+ * the two rIOMMU variants normalized to the other five modes, for
+ * both NICs and all five benchmarks.
+ *
+ * Paper highlights: mlx/stream riommu = 7.56x strict and 0.77x none
+ * throughput; brcm/stream all modes but strict reach line rate, so
+ * the CPU column carries the signal (riommu = 0.36x strict's CPU).
+ */
+#include <map>
+
+#include "bench_common.h"
+
+using namespace rio;
+
+namespace {
+
+struct Cell
+{
+    double tput = 0;
+    double cpu = 0;
+};
+
+Cell
+runCell(const std::string &bench, dma::ProtectionMode mode,
+        const nic::NicProfile &profile)
+{
+    Cell c;
+    if (bench == "stream") {
+        workloads::StreamParams p = workloads::streamParamsFor(profile);
+        p.measure_packets = bench::scaled(40000);
+        p.warmup_packets = bench::scaled(10000);
+        auto r = workloads::runStream(mode, profile, p);
+        c = {r.throughput_gbps, r.cpu};
+    } else if (bench == "rr") {
+        workloads::RrParams p = workloads::rrParamsFor(profile);
+        p.measure_transactions = bench::scaled(4000);
+        p.warmup_transactions = bench::scaled(500);
+        auto r = workloads::runNetperfRr(mode, profile, p);
+        c = {r.transactions_per_sec, r.cpu};
+    } else if (bench == "apache 1M") {
+        workloads::RequestLoadParams p =
+            workloads::apacheParams(u64{1} << 20);
+        p.measure_requests = bench::scaled(600);
+        p.warmup_requests = bench::scaled(100);
+        auto r = workloads::runRequestLoad(mode, profile, p);
+        c = {r.throughput_gbps, r.cpu};
+    } else if (bench == "apache 1K") {
+        workloads::RequestLoadParams p = workloads::apacheParams(1024);
+        p.measure_requests = bench::scaled(3000);
+        p.warmup_requests = bench::scaled(300);
+        auto r = workloads::runRequestLoad(mode, profile, p);
+        c = {r.transactions_per_sec, r.cpu};
+    } else {
+        workloads::RequestLoadParams p = workloads::memcachedParams();
+        p.measure_requests = bench::scaled(20000);
+        p.warmup_requests = bench::scaled(2000);
+        auto r = workloads::runRequestLoad(mode, profile, p);
+        c = {r.transactions_per_sec, r.cpu};
+    }
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Table 2: riommu-/riommu divided by the other "
+                       "modes (throughput and CPU)");
+
+    const std::vector<std::string> benches = {"stream", "rr", "apache 1M",
+                                              "apache 1K", "memcached"};
+    const std::vector<dma::ProtectionMode> denom = {
+        dma::ProtectionMode::kStrict, dma::ProtectionMode::kStrictPlus,
+        dma::ProtectionMode::kDefer, dma::ProtectionMode::kDeferPlus,
+        dma::ProtectionMode::kNone};
+
+    for (const nic::NicProfile *profile :
+         {&nic::mlxProfile(), &nic::brcmProfile()}) {
+        std::printf("\n-- %s --\n", profile->name);
+        Table t({"benchmark", "variant",
+                 "tput/strict", "tput/strict+", "tput/defer",
+                 "tput/defer+", "tput/none", "cpu/strict",
+                 "cpu/strict+", "cpu/defer", "cpu/defer+", "cpu/none"});
+        for (const std::string &bench : benches) {
+            std::map<dma::ProtectionMode, Cell> cells;
+            for (dma::ProtectionMode mode : bench::evaluatedModes())
+                cells[mode] = runCell(bench, mode, *profile);
+            for (dma::ProtectionMode variant :
+                 {dma::ProtectionMode::kRiommuNc,
+                  dma::ProtectionMode::kRiommu}) {
+                std::vector<double> vals;
+                for (dma::ProtectionMode d : denom)
+                    vals.push_back(cells[variant].tput / cells[d].tput);
+                for (dma::ProtectionMode d : denom)
+                    vals.push_back(cells[variant].cpu / cells[d].cpu);
+                std::vector<std::string> row = {bench,
+                                                dma::modeName(variant)};
+                for (double v : vals)
+                    row.push_back(Table::num(v, 2));
+                t.addRow(row);
+            }
+        }
+        std::printf("%s", t.toString().c_str());
+    }
+    std::printf("\npaper anchors (mlx/stream): riommu- 5.12x strict / "
+                "0.52x none; riommu 7.56x strict / 0.77x none.\n"
+                "paper anchors (brcm/stream CPU): riommu- 0.40x strict, "
+                "riommu 0.36x strict, 1.09-1.21x none.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Table 3 of the paper: Netperf RR round-trip time in
+ * microseconds for the seven modes on both NICs. RTT is the inverse
+ * of the transaction rate.
+ *
+ * Paper reference (us):
+ *   NIC   strict strict+ defer defer+ riommu- riommu none
+ *   mlx    17.3   15.1   14.9   14.4   14.1    13.9  13.4
+ *   brcm   41.9   36.7   36.6   35.8   35.1    34.7  34.6
+ */
+#include "bench_common.h"
+
+using namespace rio;
+
+int
+main()
+{
+    bench::printHeader("Table 3: Netperf RR round-trip time (microseconds)");
+
+    const double paper_mlx[] = {17.3, 15.1, 14.9, 14.4, 14.1, 13.9, 13.4};
+    const double paper_brcm[] = {41.9, 36.7, 36.6, 35.8, 35.1, 34.7, 34.6};
+
+    for (const nic::NicProfile *profile :
+         {&nic::mlxProfile(), &nic::brcmProfile()}) {
+        const double *paper =
+            std::string_view(profile->name) == "mlx" ? paper_mlx
+                                                     : paper_brcm;
+        Table t({"mode", "rtt (us)", "paper (us)", "cpu (%)"});
+        size_t i = 0;
+        for (dma::ProtectionMode mode : bench::evaluatedModes()) {
+            workloads::RrParams p = workloads::rrParamsFor(*profile);
+            p.measure_transactions = bench::scaled(4000);
+            p.warmup_transactions = bench::scaled(500);
+            const auto r = workloads::runNetperfRr(mode, *profile, p);
+            const double rtt_us = 1e6 / r.transactions_per_sec;
+            t.addRow(dma::modeName(mode),
+                     {rtt_us, paper[i], r.cpu * 100.0}, 1);
+            ++i;
+        }
+        std::printf("-- %s --\n%s\n", profile->name,
+                    t.toString().c_str());
+    }
+    return 0;
+}

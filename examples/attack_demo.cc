@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Attack demo: three DMA attack scenarios from the paper's threat
+ * model (§1, §2.1, §4), each attempted against every protection mode.
+ *
+ *  1. Errant DMA — a rogue/buggy device touches memory the OS never
+ *     mapped for it (the classic firewire-style attack).
+ *  2. Use-after-unmap — the device touches a buffer after the driver
+ *     released it (the deferred modes' stale-IOTLB window).
+ *  3. Sub-page overreach — the device reaches a neighbouring buffer
+ *     on the same page through a still-valid mapping (closed only by
+ *     the rIOMMU's byte-granular rPTEs).
+ *
+ * Usage: ./build/examples/attack_demo
+ */
+#include <cstdio>
+#include <vector>
+
+#include "cycles/cycle_account.h"
+#include "dma/dma_context.h"
+
+using namespace rio;
+
+namespace {
+
+const char *
+verdict(bool blocked)
+{
+    return blocked ? "BLOCKED" : "succeeded";
+}
+
+struct Row
+{
+    dma::ProtectionMode mode;
+    bool errant_blocked;
+    bool stale_blocked;
+    bool subpage_blocked;
+};
+
+Row
+attack(dma::ProtectionMode mode)
+{
+    dma::DmaContext ctx;
+    cycles::CycleAccount acct;
+    auto handle =
+        ctx.makeHandle(mode, iommu::Bdf{0, 3, 0}, &acct, {64});
+
+    Row row{mode, false, false, false};
+    u64 loot = 0;
+
+    // 1. Errant DMA to a never-mapped secret.
+    const PhysAddr secret = ctx.memory().allocFrame();
+    ctx.memory().write64(secret, 0x5ec2e7);
+    row.errant_blocked = !handle->deviceRead(secret, &loot, 8).isOk();
+
+    // 2. Use-after-unmap. Touch the buffer first so the translation
+    //    is cached, then unmap and try again.
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto m = handle->map(0, buf, 512, iommu::DmaDir::kBidir).value();
+    (void)handle->deviceRead(m.device_addr, &loot, 8);
+    (void)handle->unmap(m, /*end_of_burst=*/true);
+    row.stale_blocked = !handle->deviceRead(m.device_addr, &loot, 8).isOk();
+
+    // 3. Sub-page overreach: two 1 KB buffers share a page; the first
+    //    is unmapped; reach its bytes through the second's mapping.
+    const PhysAddr page = ctx.memory().allocFrame();
+    auto victim = handle->map(0, page, 1024, iommu::DmaDir::kBidir).value();
+    auto neighbour =
+        handle->map(0, page + 1024, 1024, iommu::DmaDir::kBidir).value();
+    (void)handle->unmap(victim, true);
+    // Craft an address that points at the victim's bytes but is
+    // derived from the neighbour's still-valid mapping.
+    bool reached;
+    if (dma::modeUsesRiommu(mode)) {
+        // rIOVA offsets are bounded by rPTE.size; overreach = offset
+        // beyond the neighbour's 1024 bytes.
+        reached = handle->deviceRead(neighbour.device_addr, &loot, 1025)
+                      .isOk();
+    } else {
+        // Page-granular modes: back up from the neighbour's IOVA to
+        // the victim's bytes on the same IOVA page.
+        const u64 addr = (neighbour.device_addr & ~kPageMask);
+        reached = handle->deviceRead(addr, &loot, 8).isOk();
+    }
+    row.subpage_blocked = !reached;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("DMA attack matrix (paper threat model):\n\n");
+    std::printf("%-9s %-12s %-16s %-12s\n", "mode", "errant DMA",
+                "use-after-unmap", "sub-page");
+    std::printf("%.60s\n",
+                "------------------------------------------------------------");
+    for (dma::ProtectionMode mode :
+         {dma::ProtectionMode::kNone, dma::ProtectionMode::kDefer,
+          dma::ProtectionMode::kStrict, dma::ProtectionMode::kRiommu}) {
+        const Row r = attack(mode);
+        std::printf("%-9s %-12s %-16s %-12s\n", dma::modeName(r.mode),
+                    verdict(r.errant_blocked), verdict(r.stale_blocked),
+                    verdict(r.subpage_blocked));
+    }
+    std::printf(
+        "\nexpected: none blocks nothing; defer leaves the stale "
+        "window; strict still leaks sub-page neighbours;\n"
+        "only the rIOMMU blocks all three (byte-granular rPTEs, §4).\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * NVMe storage under rIOMMU protection: the paper (§4) argues PCIe
+ * SSDs are natural rIOMMU clients because NVMe mandates ring-shaped
+ * queues with strict (un)mapping order. This example writes a data
+ * set through the simulated NVMe device, reads it back, verifies
+ * integrity, and compares the driver-side DMA-management cycles of
+ * strict vs. rIOMMU protection for the same I/O stream.
+ *
+ * Usage: ./build/examples/nvme_storage [num_blocks]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+
+#include "cycles/cycle_account.h"
+#include "dma/dma_context.h"
+#include "nvme/nvme.h"
+
+using namespace rio;
+
+namespace {
+
+struct IoStats
+{
+    Cycles dma_cycles = 0;
+    double wall_ms = 0;
+    bool ok = true;
+};
+
+IoStats
+runWorkload(dma::ProtectionMode mode, u64 blocks)
+{
+    des::Simulator sim;
+    dma::DmaContext ctx;
+    des::Core core(sim, ctx.cost());
+    auto handle = ctx.makeHandle(mode, iommu::Bdf{0, 6, 0}, &core.acct(),
+                                 nvme::NvmeDevice::riommuRingSizes());
+    nvme::NvmeDevice ssd(sim, core, ctx.memory(), *handle);
+    ssd.bringUp();
+
+    // Staging buffers in "host memory".
+    const u32 block = 4096;
+    const PhysAddr staging = ctx.memory().allocContiguous(8 * block);
+
+    u64 submitted = 0;
+    u64 completed = 0;
+    bool ok = true;
+    bool reading = false;
+
+    // Write all blocks (pattern = block index), then read them back.
+    std::function<void()> pump = [&] {
+        // Keep at most 8 I/Os in flight: each owns a staging buffer.
+        while (submitted < blocks && ssd.submitSpace() > 0 &&
+               submitted - completed < 8) {
+            const PhysAddr buf = staging + (submitted % 8) * block;
+            if (!reading) {
+                std::vector<u8> pattern(block,
+                                        static_cast<u8>(submitted * 13));
+                ctx.memory().write(buf, pattern.data(), pattern.size());
+            }
+            auto cid = ssd.submit(reading ? nvme::Opcode::kRead
+                                          : nvme::Opcode::kWrite,
+                                  submitted, 1, buf);
+            if (!cid.isOk()) {
+                ok = false;
+                return;
+            }
+            ++submitted;
+        }
+    };
+    ssd.setCompletionCallback([&](u32, Status s) {
+        if (!s)
+            ok = false;
+        ++completed;
+        if (!reading && completed == blocks) {
+            reading = true;
+            submitted = 0;
+            completed = 0;
+        }
+        pump();
+    });
+    core.post(pump);
+    sim.run();
+
+    // Verify the flash contents directly.
+    for (u64 b = 0; b < blocks && ok; ++b) {
+        auto data = ssd.flashRead(b, 1);
+        if (data[0] != static_cast<u8>(b * 13))
+            ok = false;
+    }
+    ssd.shutDown();
+
+    IoStats st;
+    st.dma_cycles = core.acct().dmaTotal();
+    st.wall_ms = static_cast<double>(sim.now()) * 1e-6;
+    st.ok = ok && completed == blocks;
+    return st;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    u64 blocks = 2000;
+    if (argc > 1)
+        blocks = std::strtoull(argv[1], nullptr, 10);
+
+    std::printf("NVMe: writing + reading back %llu 4K blocks...\n\n",
+                static_cast<unsigned long long>(blocks));
+    for (dma::ProtectionMode mode :
+         {dma::ProtectionMode::kStrict, dma::ProtectionMode::kRiommu,
+          dma::ProtectionMode::kNone}) {
+        const IoStats st = runWorkload(mode, blocks);
+        std::printf("%-8s integrity=%s  simulated time %.1f ms  "
+                    "driver DMA-management cycles %llu (%.0f / IO)\n",
+                    dma::modeName(mode), st.ok ? "OK " : "BAD",
+                    st.wall_ms,
+                    static_cast<unsigned long long>(st.dma_cycles),
+                    static_cast<double>(st.dma_cycles) /
+                        static_cast<double>(2 * blocks));
+        if (!st.ok)
+            return 1;
+    }
+    std::printf("\nNVMe queues are rings: the rIOMMU manages the same "
+                "I/O for a fraction of strict's cycles.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The §4 extension in action: an AHCI/NCQ-style disk that completes
+ * commands in arbitrary order, running fully protected behind the
+ * rIOMMU through a *free-list* rRING (the work mode the paper said
+ * would be "easy to extend" to). Also demonstrates the
+ * scatter-gather mapping API on the baseline IOMMU for contrast.
+ *
+ * Usage: ./build/examples/out_of_order_disk [ios]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "ahci/ahci.h"
+#include "base/rng.h"
+#include "cycles/cycle_account.h"
+#include "dma/baseline_handle.h"
+#include "dma/dma_context.h"
+
+using namespace rio;
+
+int
+main(int argc, char **argv)
+{
+    u64 total_ios = 500;
+    if (argc > 1)
+        total_ios = std::strtoull(argv[1], nullptr, 10);
+
+    // --- part 1: out-of-order disk behind a free-list rRING -------------
+    des::Simulator sim;
+    dma::DmaContext ctx;
+    des::Core core(sim, ctx.cost());
+    auto handle = ctx.makeHandleWithSpecs(
+        dma::ProtectionMode::kRiommu, iommu::Bdf{0, 5, 0}, &core.acct(),
+        {riommu::RingSpec{ahci::AhciDevice::kSlots,
+                          riommu::RingMode::kFreeList}});
+    ahci::AhciDevice disk(sim, core, ctx.memory(), *handle);
+
+    const PhysAddr buf = ctx.memory().allocContiguous(64 * kPageSize);
+    Rng rng(11);
+    u64 issued = 0, done = 0, reordered = 0;
+    u32 last_slot = 0;
+    std::function<void()> fill = [&] {
+        while (issued < total_ios && disk.freeSlots() > 0) {
+            auto r = disk.issue(rng.chance(0.3), rng.below(1000000) * 8,
+                                4, buf);
+            if (!r.isOk())
+                break;
+            ++issued;
+        }
+    };
+    disk.setCompletionCallback([&](u32 slot, Status s) {
+        if (!s.isOk()) {
+            std::fprintf(stderr, "I/O failed: %s\n", s.toString().c_str());
+            std::exit(1);
+        }
+        if (done > 0 && slot != (last_slot + 1) % ahci::AhciDevice::kSlots)
+            ++reordered;
+        last_slot = slot;
+        ++done;
+        fill();
+    });
+    core.post(fill);
+    sim.run();
+
+    std::printf("out-of-order disk under rIOMMU (free-list rRING):\n");
+    std::printf("  %llu random 16K I/Os, %llu completed out of slot "
+                "order, 0 faults: %s\n",
+                static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(reordered),
+                ctx.riommu().faults().empty() ? "OK" : "FAULTS!");
+    std::printf("  driver DMA cycles/IO: %.0f (every unmap invalidates "
+                "- no burst to amortize over)\n\n",
+                static_cast<double>(core.acct().dmaTotal()) /
+                    static_cast<double>(done));
+
+    // --- part 2: scatter-gather on the baseline IOMMU --------------------
+    cycles::CycleAccount sg_acct;
+    auto base = ctx.makeHandle(dma::ProtectionMode::kStrict,
+                               iommu::Bdf{0, 7, 0}, &sg_acct);
+    std::vector<dma::SgEntry> sg;
+    for (int i = 0; i < 8; ++i)
+        sg.push_back(dma::SgEntry{ctx.memory().allocFrame(), 4096});
+    auto mapped = base->mapSg(0, sg, iommu::DmaDir::kBidir);
+    if (!mapped.isOk()) {
+        std::fprintf(stderr, "mapSg failed\n");
+        return 1;
+    }
+    std::printf("scatter-gather on the baseline IOMMU:\n");
+    std::printf("  8 x 4K elements -> one IOVA range, %llu allocator "
+                "call(s); element device addresses:\n   ",
+                static_cast<unsigned long long>(
+                    sg_acct.ops(cycles::Cat::kMapIovaAlloc)));
+    for (const auto &m : mapped.value())
+        std::printf(" %#llx", static_cast<unsigned long long>(m.device_addr));
+    std::printf("\n");
+    (void)base->unmapSg(mapped.value(), true);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: the core library in ~60 lines.
+ *
+ * Creates a simulated machine (memory + IOMMUs), attaches a device
+ * under the rIOMMU protection mode, maps a buffer, lets the "device"
+ * DMA into it, unmaps, and shows that the device can no longer touch
+ * the buffer — the end-to-end protection story of the paper.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "cycles/cycle_account.h"
+#include "dma/dma_context.h"
+
+using namespace rio;
+
+int
+main()
+{
+    // One machine's memory + baseline IOMMU + rIOMMU.
+    dma::DmaContext ctx;
+    cycles::CycleAccount acct; // driver-side cycles accumulate here
+
+    // A device handle under the rIOMMU mode. The rIOMMU needs the
+    // rRING geometry up front: one ring of 256 flat-table entries.
+    iommu::Bdf device{0, 3, 0};
+    auto handle = ctx.makeHandle(dma::ProtectionMode::kRiommu, device,
+                                 &acct, /*ring_sizes=*/{256});
+
+    // The OS allocates a target buffer and maps it for the device.
+    const PhysAddr buffer = ctx.memory().allocFrame();
+    auto mapping = handle->map(/*rid=*/0, buffer, /*size=*/1500,
+                               iommu::DmaDir::kBidir);
+    if (!mapping.isOk()) {
+        std::fprintf(stderr, "map failed: %s\n",
+                     mapping.status().toString().c_str());
+        return 1;
+    }
+    std::printf("mapped pa=%#llx -> device address %#llx (rIOVA)\n",
+                static_cast<unsigned long long>(buffer),
+                static_cast<unsigned long long>(
+                    mapping.value().device_addr));
+
+    // The device DMAs a payload in through the rIOMMU translation.
+    const char payload[] = "hello from the device";
+    Status wr = handle->deviceWrite(mapping.value().device_addr, payload,
+                                    sizeof(payload));
+    std::printf("device write while mapped: %s\n", wr.toString().c_str());
+
+    char check[sizeof(payload)] = {};
+    ctx.memory().read(buffer, check, sizeof(check));
+    std::printf("memory now holds: \"%s\"\n", check);
+
+    // Unmap (end of burst -> the ring's rIOTLB entry is dropped).
+    Status um = handle->unmap(mapping.value(), /*end_of_burst=*/true);
+    std::printf("unmap: %s\n", um.toString().c_str());
+
+    // The very same DMA now faults: intra-OS protection at work.
+    Status attack = handle->deviceWrite(mapping.value().device_addr,
+                                        payload, sizeof(payload));
+    std::printf("device write after unmap: %s\n",
+                attack.toString().c_str());
+    std::printf("faults recorded by the rIOMMU: %zu\n",
+                ctx.riommu().faults().size());
+
+    // What did DMA management cost the core? (Figure 11's point:
+    // almost nothing — two integer bumps, one rPTE write, a barrier.)
+    std::printf("driver-side cycles: map=%llu unmap=%llu\n",
+                static_cast<unsigned long long>(acct.mapTotal()),
+                static_cast<unsigned long long>(acct.unmapTotal()));
+    return attack.isOk() ? 1 : 0; // the attack must have failed
+}

@@ -1,0 +1,50 @@
+#include "base/logging.h"
+
+#include <atomic>
+
+namespace rio {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(EXIT_FAILURE);
+}
+
+void
+logImpl(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (level <= logLevel())
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace rio

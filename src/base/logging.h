@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the spirit of gem5's
+ * logging.hh: panic() for internal invariant violations, fatal() for
+ * unrecoverable user/configuration errors, warn()/inform() for
+ * diagnostics.
+ */
+#ifndef RIO_BASE_LOGGING_H
+#define RIO_BASE_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rio {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { kQuiet = 0, kWarn = 1, kInform = 2, kDebug = 3 };
+
+/** Process-wide log verbosity; benches lower it, tests raise it. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void logImpl(LogLevel level, const char *tag, const std::string &msg);
+
+/** Build a message from stream-able parts. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace rio
+
+/** Internal invariant violated: a simulator bug. Aborts. */
+#define RIO_PANIC(...) \
+    ::rio::detail::panicImpl(__FILE__, __LINE__, ::rio::detail::cat(__VA_ARGS__))
+
+/** Unrecoverable configuration/user error. Exits with failure. */
+#define RIO_FATAL(...) \
+    ::rio::detail::fatalImpl(__FILE__, __LINE__, ::rio::detail::cat(__VA_ARGS__))
+
+#define RIO_WARN(...) \
+    ::rio::detail::logImpl(::rio::LogLevel::kWarn, "warn", \
+                           ::rio::detail::cat(__VA_ARGS__))
+
+#define RIO_INFORM(...) \
+    ::rio::detail::logImpl(::rio::LogLevel::kInform, "info", \
+                           ::rio::detail::cat(__VA_ARGS__))
+
+/** Assert that is always on (simulation correctness beats speed). */
+#define RIO_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            RIO_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // RIO_BASE_LOGGING_H

@@ -1,0 +1,92 @@
+#include "base/rng.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace rio {
+
+u64
+Rng::splitmix64(u64 &state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(u64 seed)
+{
+    // Seed the four state words via splitmix64 as recommended by the
+    // xoshiro authors; guards against the all-zero state.
+    u64 sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
+        s_[0] = 1;
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::below(u64 bound)
+{
+    RIO_ASSERT(bound > 0, "Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = -bound % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+u64
+Rng::range(u64 lo, u64 hi)
+{
+    RIO_ASSERT(lo <= hi, "Rng::range lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Clamp away from 0 so log() stays finite.
+    if (u < 1e-300)
+        u = 1e-300;
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace rio

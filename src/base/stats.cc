@@ -1,0 +1,85 @@
+#include "base/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rio {
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::add(u64 x)
+{
+    const unsigned bucket = x == 0 ? 0 : std::bit_width(x) - 1;
+    if (buckets_.size() <= bucket)
+        buckets_.resize(bucket + 1, 0);
+    ++buckets_[bucket];
+    ++total_;
+}
+
+void
+Histogram::reset()
+{
+    buckets_.clear();
+    total_ = 0;
+}
+
+u64
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const u64 target = static_cast<u64>(q * static_cast<double>(total_ - 1));
+    u64 seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return u64{1} << i;
+    }
+    return u64{1} << (buckets_.size() - 1);
+}
+
+u64
+CounterSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+} // namespace rio

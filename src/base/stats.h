@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small statistics toolkit: running mean/stddev accumulator, named
+ * counters, and a log-scale latency histogram. Used by device models
+ * and the experiment runner to report the quantities the paper
+ * reports (average cycles, throughput, CPU%, round-trip latency).
+ */
+#ifndef RIO_BASE_STATS_H
+#define RIO_BASE_STATS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rio {
+
+/**
+ * Welford running mean / variance accumulator. Numerically stable and
+ * O(1) per sample, so hot paths can use it freely.
+ */
+class Accumulator
+{
+  public:
+    void add(double x);
+    void reset();
+
+    u64 count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    u64 n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Power-of-two bucketed histogram for latencies/sizes. Bucket i holds
+ * samples in [2^i, 2^(i+1)).
+ */
+class Histogram
+{
+  public:
+    void add(u64 x);
+    void reset();
+
+    u64 count() const { return total_; }
+    /** Value at quantile @p q in [0,1], approximated by bucket lower bound. */
+    u64 quantile(double q) const;
+    const std::vector<u64> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<u64> buckets_;
+    u64 total_ = 0;
+};
+
+/**
+ * A named bag of monotonically increasing counters; cheap string
+ * lookup is acceptable because increments are batched per event, not
+ * per simulated instruction.
+ */
+class CounterSet
+{
+  public:
+    void inc(const std::string &name, u64 by = 1) { counters_[name] += by; }
+    u64 get(const std::string &name) const;
+    void reset() { counters_.clear(); }
+    const std::map<std::string, u64> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, u64> counters_;
+};
+
+} // namespace rio
+
+#endif // RIO_BASE_STATS_H

@@ -1,0 +1,22 @@
+#include "base/status.h"
+
+namespace rio {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk: return "OK";
+      case ErrorCode::kIoPageFault: return "IO_PAGE_FAULT";
+      case ErrorCode::kPermission: return "PERMISSION";
+      case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+      case ErrorCode::kOverflow: return "OVERFLOW";
+      case ErrorCode::kExists: return "EXISTS";
+      case ErrorCode::kNotFound: return "NOT_FOUND";
+      case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    }
+    return "UNKNOWN";
+}
+
+} // namespace rio

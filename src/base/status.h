@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight Status/Result error propagation for recoverable errors
+ * (I/O page faults, ring overflow, ...). Unrecoverable internal errors
+ * use RIO_PANIC instead.
+ */
+#ifndef RIO_BASE_STATUS_H
+#define RIO_BASE_STATUS_H
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/logging.h"
+
+namespace rio {
+
+/** Machine-readable error categories used across the simulator. */
+enum class ErrorCode {
+    kOk = 0,
+    kIoPageFault,      //!< translation fault (missing/invalid mapping)
+    kPermission,       //!< DMA direction / R/W permission violation
+    kOutOfRange,       //!< offset beyond mapped size, bad index
+    kOverflow,         //!< ring / table has no free entry
+    kExists,           //!< mapping already present
+    kNotFound,         //!< lookup failed
+    kInvalidArgument,  //!< caller error
+    kResourceExhausted //!< out of simulated memory, ids, ...
+};
+
+/** Human-readable name of @p code. */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Result of an operation that can fail in an expected way. Cheap to
+ * copy; carries a code and an optional message.
+ */
+class Status
+{
+  public:
+    Status() : code_(ErrorCode::kOk) {}
+    Status(ErrorCode code, std::string msg)
+        : code_(code), msg_(std::move(msg))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return code_ == ErrorCode::kOk; }
+    explicit operator bool() const { return isOk(); }
+
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return msg_; }
+
+    /** Render "code: message" for logs and test failures. */
+    std::string
+    toString() const
+    {
+        std::string s = errorCodeName(code_);
+        if (!msg_.empty()) {
+            s += ": ";
+            s += msg_;
+        }
+        return s;
+    }
+
+  private:
+    ErrorCode code_;
+    std::string msg_;
+};
+
+/** A value or a Status error. */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : storage_(std::move(value)) {}
+    Result(Status status) : storage_(std::move(status))
+    {
+        RIO_ASSERT(!std::get<Status>(storage_).isOk(),
+                   "Result constructed from OK status without a value");
+    }
+
+    bool isOk() const { return std::holds_alternative<T>(storage_); }
+    explicit operator bool() const { return isOk(); }
+
+    /** The contained value; panics if this holds an error. */
+    const T &
+    value() const
+    {
+        RIO_ASSERT(isOk(), "value() on error Result: ", status().toString());
+        return std::get<T>(storage_);
+    }
+
+    T &
+    value()
+    {
+        RIO_ASSERT(isOk(), "value() on error Result: ", status().toString());
+        return std::get<T>(storage_);
+    }
+
+    /** The error; Status::ok() if this holds a value. */
+    Status
+    status() const
+    {
+        if (isOk())
+            return Status::ok();
+        return std::get<Status>(storage_);
+    }
+
+  private:
+    std::variant<T, Status> storage_;
+};
+
+} // namespace rio
+
+#endif // RIO_BASE_STATUS_H

@@ -1,0 +1,68 @@
+#include "base/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace rio {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+std::string
+formatBitRate(double bits_per_sec)
+{
+    if (bits_per_sec >= 1e9)
+        return strprintf("%.2f Gbps", bits_per_sec / 1e9);
+    if (bits_per_sec >= 1e6)
+        return strprintf("%.2f Mbps", bits_per_sec / 1e6);
+    if (bits_per_sec >= 1e3)
+        return strprintf("%.2f Kbps", bits_per_sec / 1e3);
+    return strprintf("%.0f bps", bits_per_sec);
+}
+
+std::string
+formatCount(double count)
+{
+    if (count >= 1e9)
+        return strprintf("%.2fG", count / 1e9);
+    if (count >= 1e6)
+        return strprintf("%.2fM", count / 1e6);
+    if (count >= 1e3)
+        return strprintf("%.2fK", count / 1e3);
+    return strprintf("%.0f", count);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            if (start < s.size())
+                out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+} // namespace rio

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small string helpers shared by benches, examples and tests.
+ */
+#ifndef RIO_BASE_STRINGS_H
+#define RIO_BASE_STRINGS_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rio {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** "1.23 Gbps", "456.7 Mbps" style human bit-rate. */
+std::string formatBitRate(double bits_per_sec);
+
+/** "12.3K", "4.56M" style human count. */
+std::string formatCount(double count);
+
+/** Split @p s on @p sep (no empty trailing element). */
+std::vector<std::string> split(const std::string &s, char sep);
+
+} // namespace rio
+
+#endif // RIO_BASE_STRINGS_H

@@ -1,0 +1,102 @@
+#include "base/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace rio {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    RIO_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    RIO_ASSERT(cells.size() == header_.size(),
+               "row arity ", cells.size(), " != header ", header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &values,
+              int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(num(v, precision));
+    addRow(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back(); // empty row marks a separator
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row,
+                         std::ostringstream &oss) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                oss << "  ";
+            if (c == 0) {
+                oss << row[c]
+                    << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                oss << std::string(widths[c] - row[c].size(), ' ')
+                    << row[c];
+            }
+        }
+        oss << "\n";
+    };
+
+    auto renderSep = [&](std::ostringstream &oss) {
+        size_t total = 0;
+        for (size_t c = 0; c < widths.size(); ++c)
+            total += widths[c] + (c > 0 ? 2 : 0);
+        oss << std::string(total, '-') << "\n";
+    };
+
+    std::ostringstream oss;
+    renderRow(header_, oss);
+    renderSep(oss);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            renderSep(oss);
+        else
+            renderRow(row, oss);
+    }
+    return oss.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Table &t)
+{
+    return os << t.toString();
+}
+
+} // namespace rio

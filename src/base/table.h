@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table formatter used by the bench binaries to print the
+ * paper's tables and figure series in an aligned, diff-friendly form.
+ */
+#ifndef RIO_BASE_TABLE_H
+#define RIO_BASE_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rio {
+
+/**
+ * A simple row/column table with left-aligned first column and
+ * right-aligned remaining columns, matching how the paper prints its
+ * breakdowns.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: first cell is a label, rest are formatted values. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 2);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render with padded columns. */
+    std::string toString() const;
+    friend std::ostream &operator<<(std::ostream &os, const Table &t);
+
+    /** Format @p v with fixed @p precision; trims to integers cleanly. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+} // namespace rio
+
+#endif // RIO_BASE_TABLE_H

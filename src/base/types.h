@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental fixed-width type aliases used across the rIOMMU
+ * simulator, mirroring the bit-level vocabulary of the paper
+ * (u16 bdf, u18 rentry, u30 offset, ...).
+ */
+#ifndef RIO_BASE_TYPES_H
+#define RIO_BASE_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace rio {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** A physical memory address in the simulated machine. */
+using PhysAddr = u64;
+
+/** An I/O virtual address as seen by a device. */
+using IovaAddr = u64;
+
+/** Simulated core clock cycles. */
+using Cycles = u64;
+
+/** Simulated wall time in nanoseconds (used by the DES kernel). */
+using Nanos = u64;
+
+/** Size of a (simulated) base page and cacheline. */
+inline constexpr u64 kPageSize = 4096;
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageMask = kPageSize - 1;
+inline constexpr u64 kCachelineSize = 64;
+
+/** Round @p x down/up to a page boundary. */
+constexpr u64 pageAlignDown(u64 x) { return x & ~kPageMask; }
+constexpr u64 pageAlignUp(u64 x) { return (x + kPageMask) & ~kPageMask; }
+constexpr bool isPageAligned(u64 x) { return (x & kPageMask) == 0; }
+
+/** Number of pages spanned by a buffer [addr, addr+size). */
+constexpr u64
+pagesSpanned(u64 addr, u64 size)
+{
+    if (size == 0)
+        return 0;
+    return (pageAlignUp(addr + size) - pageAlignDown(addr)) >> kPageShift;
+}
+
+} // namespace rio
+
+#endif // RIO_BASE_TYPES_H

@@ -1,0 +1,12 @@
+#include "cycles/cost_model.h"
+
+namespace rio::cycles {
+
+const CostModel &
+defaultCostModel()
+{
+    static const CostModel model{};
+    return model;
+}
+
+} // namespace rio::cycles

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A simulated CPU core: a serial execution resource whose busy time
+ * is derived from the cycles charged to its CycleAccount. This is the
+ * heart of the paper's methodology (§3.3): end-to-end performance is
+ * determined by how many cycles the *core* spends per packet, so the
+ * simulation advances core time by exactly the charged cycles.
+ */
+#ifndef RIO_DES_CORE_H
+#define RIO_DES_CORE_H
+
+#include <deque>
+#include <functional>
+
+#include "base/types.h"
+#include "cycles/cost_model.h"
+#include "cycles/cycle_account.h"
+#include "des/simulator.h"
+
+namespace rio::des {
+
+/**
+ * Serial core. Work items are closures; a closure's duration is the
+ * delta of the core's CycleAccount across its execution, converted at
+ * the configured clock. Items queue FIFO when the core is busy
+ * (interrupt handlers behind application work, etc.).
+ */
+class Core
+{
+  public:
+    Core(Simulator &sim, const cycles::CostModel &cost)
+        : sim_(sim), cost_(cost)
+    {
+    }
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    cycles::CycleAccount &acct() { return acct_; }
+    const cycles::CycleAccount &acct() const { return acct_; }
+    const cycles::CostModel &cost() const { return cost_; }
+
+    /**
+     * Enqueue @p fn to run on the core as soon as it is free. The
+     * cycles @p fn charges extend the core's busy time.
+     */
+    void post(std::function<void()> fn);
+
+    /** Total cycles the core has been busy. */
+    Cycles busyCycles() const { return busy_cycles_; }
+
+    /**
+     * The moment "now" from the executing work item's perspective:
+     * its start time plus the cycles it has charged so far. Actions a
+     * handler triggers mid-execution (a doorbell write, say) should
+     * be timestamped with this, so that expensive driver work really
+     * delays the device — essential for the latency results.
+     */
+    Nanos
+    virtualNow() const
+    {
+        if (!in_item_)
+            return sim_.now();
+        const Cycles charged = acct_.total() - item_start_cycles_;
+        return item_start_time_ +
+               static_cast<Nanos>(static_cast<double>(charged) /
+                                  cost_.core_ghz);
+    }
+
+    /** Earliest time the core is free again. */
+    Nanos freeAt() const { return free_at_; }
+
+    /** Work items executed. */
+    u64 itemsRun() const { return items_run_; }
+
+    /** Utilization over [t0, t1], given busy cycles at t0. */
+    double
+    utilization(Nanos t0, Nanos t1, Cycles busy_at_t0) const
+    {
+        if (t1 <= t0)
+            return 0.0;
+        const double busy_ns =
+            static_cast<double>(busy_cycles_ - busy_at_t0) / cost_.core_ghz;
+        return busy_ns / static_cast<double>(t1 - t0);
+    }
+
+  private:
+    void scheduleNext();
+    void runOne();
+
+    Simulator &sim_;
+    const cycles::CostModel &cost_;
+    cycles::CycleAccount acct_;
+    std::deque<std::function<void()>> queue_;
+    bool scheduled_ = false;
+    bool in_item_ = false;
+    Nanos item_start_time_ = 0;
+    Cycles item_start_cycles_ = 0;
+    Nanos free_at_ = 0;
+    Cycles busy_cycles_ = 0;
+    u64 items_run_ = 0;
+};
+
+} // namespace rio::des
+
+#endif // RIO_DES_CORE_H

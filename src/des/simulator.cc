@@ -1,0 +1,87 @@
+#include "des/simulator.h"
+
+#include <limits>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace rio::des {
+
+EventId
+Simulator::scheduleAt(Nanos when, Callback cb)
+{
+    RIO_ASSERT(when >= now_, "scheduling into the past: when=", when,
+               " now=", now_);
+    RIO_ASSERT(cb, "scheduling a null callback");
+    const EventId id = next_id_++;
+    queue_.push(Event{when, next_seq_++, id, std::move(cb)});
+    ++live_events_;
+    return id;
+}
+
+EventId
+Simulator::scheduleAfter(Nanos delay, Callback cb)
+{
+    return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    // Lazy deletion: remember the id; skip it when popped.
+    if (cancelled_.insert(id).second && live_events_ > 0) {
+        --live_events_;
+        return true;
+    }
+    return false;
+}
+
+bool
+Simulator::popRunnable(Event &out, Nanos deadline)
+{
+    while (!queue_.empty()) {
+        const Event &top = queue_.top();
+        if (top.when > deadline)
+            return false;
+        if (cancelled_.erase(top.id)) {
+            queue_.pop();
+            continue;
+        }
+        out = top;
+        queue_.pop();
+        return true;
+    }
+    return false;
+}
+
+void
+Simulator::run()
+{
+    runUntil(std::numeric_limits<Nanos>::max());
+}
+
+void
+Simulator::runUntil(Nanos deadline)
+{
+    Event ev;
+    while (popRunnable(ev, deadline)) {
+        now_ = ev.when;
+        --live_events_;
+        ++events_run_;
+        ev.cb();
+    }
+    if (now_ < deadline && deadline != std::numeric_limits<Nanos>::max())
+        now_ = deadline;
+}
+
+void
+Simulator::reset()
+{
+    queue_ = {};
+    cancelled_.clear();
+    now_ = 0;
+    next_seq_ = 0;
+    live_events_ = 0;
+}
+
+} // namespace rio::des

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel. Time is in nanoseconds.
+ * Components (cores, NICs, wires) schedule callbacks; the kernel runs
+ * them in timestamp order with a deterministic FIFO tie-break so runs
+ * are reproducible.
+ */
+#ifndef RIO_DES_SIMULATOR_H
+#define RIO_DES_SIMULATOR_H
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rio::des {
+
+/** Handle for cancelling a scheduled event. */
+using EventId = u64;
+
+/**
+ * Event-queue simulator. Single-threaded; all state lives in the
+ * callbacks' captures.
+ */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in nanoseconds. */
+    Nanos now() const { return now_; }
+
+    /** Schedule @p cb at absolute time @p when (>= now). */
+    EventId scheduleAt(Nanos when, Callback cb);
+
+    /** Schedule @p cb @p delay nanoseconds from now. */
+    EventId scheduleAfter(Nanos delay, Callback cb);
+
+    /**
+     * Cancel a pending event. Returns true if it had not yet fired.
+     * Cancelling an already-fired or unknown id is a harmless no-op.
+     */
+    bool cancel(EventId id);
+
+    /** Events executed so far (monotone; useful for progress checks). */
+    u64 eventsRun() const { return events_run_; }
+
+    /** True if no events remain. */
+    bool idle() const { return live_events_ == 0; }
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run until simulated time reaches @p deadline or the queue
+     * drains, whichever is first. Time is left at
+     * min(deadline, last event time).
+     */
+    void runUntil(Nanos deadline);
+
+    /** Drop all pending events and reset the clock. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Nanos when;
+        u64 seq; // FIFO tie-break for equal timestamps
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool popRunnable(Event &out, Nanos deadline);
+
+    Nanos now_ = 0;
+    u64 next_seq_ = 0;
+    EventId next_id_ = 1;
+    u64 events_run_ = 0;
+    u64 live_events_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace rio::des
+
+#endif // RIO_DES_SIMULATOR_H

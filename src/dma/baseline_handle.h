@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DMA handle for the four baseline-IOMMU modes (strict, strict+,
+ * defer, defer+): a per-device 4-level page table, an IOVA allocator
+ * (stock Linux or magazine), and either synchronous per-entry IOTLB
+ * invalidation or the Linux deferred scheme that queues 250 frees and
+ * then flushes the whole IOTLB (§3.2).
+ */
+#ifndef RIO_DMA_BASELINE_HANDLE_H
+#define RIO_DMA_BASELINE_HANDLE_H
+
+#include <memory>
+#include <vector>
+
+#include "cycles/cost_model.h"
+#include "cycles/cycle_account.h"
+#include "dma/dma_handle.h"
+#include "dma/protection_mode.h"
+#include "iommu/inval_queue.h"
+#include "iommu/iommu.h"
+#include "iova/iova_allocator.h"
+
+namespace rio::dma {
+
+/** strict / strict+ / defer / defer+ DMA management. */
+class BaselineDmaHandle : public DmaHandle
+{
+  public:
+    /** Frees accumulated before the deferred modes flush (Linux). */
+    static constexpr unsigned kDeferBatch = 250;
+
+    BaselineDmaHandle(ProtectionMode mode, iommu::Iommu &iommu,
+                      mem::PhysicalMemory &pm, iommu::Bdf bdf,
+                      const cycles::CostModel &cost,
+                      cycles::CycleAccount *acct);
+    ~BaselineDmaHandle() override;
+
+    Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
+                           iommu::DmaDir dir) override;
+    Status unmap(const DmaMapping &mapping, bool end_of_burst) override;
+
+    /**
+     * intel-iommu's dma_map_sg: ONE IOVA range covers the whole list
+     * (each element rounded up to pages), so the device sees the
+     * buffers at consecutive page-aligned offsets of a single range
+     * and the driver pays one allocation for the list.
+     */
+    Result<std::vector<DmaMapping>>
+    mapSg(u16 rid, const std::vector<SgEntry> &sg,
+          iommu::DmaDir dir) override;
+
+    /** Releases the shared range exactly once. */
+    Status unmapSg(const std::vector<DmaMapping> &mappings,
+                   bool end_of_burst) override;
+    Status deviceRead(u64 device_addr, void *dst, u64 len) override;
+    Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
+    u64 liveMappings() const override { return live_; }
+    iommu::Bdf bdf() const override { return bdf_; }
+
+    /**
+     * Force the deferred queue out now (device quiesce / teardown).
+     * No-op in the strict modes.
+     */
+    void flushDeferred();
+
+    /** Entries waiting in the deferred queue. */
+    u64 deferredPending() const { return defer_queue_.size(); }
+
+    iommu::IoPageTable &pageTable() { return table_; }
+    iova::IovaAllocator &allocator() { return *allocator_; }
+    iommu::InvalQueue &invalQueue() { return inval_queue_; }
+
+  private:
+    void
+    charge(cycles::Cat cat, Cycles c)
+    {
+        if (acct_)
+            acct_->charge(cat, c);
+    }
+
+    ProtectionMode mode_;
+    iommu::Iommu &iommu_;
+    iommu::Bdf bdf_;
+    const cycles::CostModel &cost_;
+    cycles::CycleAccount *acct_;
+    iommu::IoPageTable table_;
+    iommu::InvalQueue inval_queue_;
+    std::unique_ptr<iova::IovaAllocator> allocator_;
+    std::vector<u64> defer_queue_; //!< pfn_lo of ranges to free at flush
+    u64 live_ = 0;
+};
+
+} // namespace rio::dma
+
+#endif // RIO_DMA_BASELINE_HANDLE_H

@@ -1,0 +1,59 @@
+#include "dma/dma_context.h"
+
+#include "base/logging.h"
+#include "dma/baseline_handle.h"
+#include "dma/riommu_handle.h"
+#include "dma/simple_handles.h"
+
+namespace rio::dma {
+
+DmaContext::DmaContext(const cycles::CostModel &cost,
+                       iommu::IotlbConfig iotlb_config)
+    : cost_(cost), pm_(), iommu_(pm_, cost_, iotlb_config),
+      riommu_(pm_, cost_)
+{
+}
+
+std::unique_ptr<DmaHandle>
+DmaContext::makeHandle(ProtectionMode mode, iommu::Bdf bdf,
+                       cycles::CycleAccount *acct,
+                       std::vector<u32> ring_sizes)
+{
+    std::vector<riommu::RingSpec> specs;
+    specs.reserve(ring_sizes.size());
+    for (u32 size : ring_sizes)
+        specs.push_back(riommu::RingSpec{size, riommu::RingMode::kSequential});
+    return makeHandleWithSpecs(mode, bdf, acct, std::move(specs));
+}
+
+std::unique_ptr<DmaHandle>
+DmaContext::makeHandleWithSpecs(ProtectionMode mode, iommu::Bdf bdf,
+                                cycles::CycleAccount *acct,
+                                std::vector<riommu::RingSpec> ring_specs)
+{
+    switch (mode) {
+      case ProtectionMode::kStrict:
+      case ProtectionMode::kStrictPlus:
+      case ProtectionMode::kDefer:
+      case ProtectionMode::kDeferPlus:
+        return std::make_unique<BaselineDmaHandle>(mode, iommu_, pm_, bdf,
+                                                   cost_, acct);
+      case ProtectionMode::kRiommuNc:
+      case ProtectionMode::kRiommu:
+        RIO_ASSERT(!ring_specs.empty(),
+                   "rIOMMU modes need ring sizes at handle creation");
+        return std::make_unique<RiommuDmaHandle>(
+            mode, riommu_, pm_, bdf, std::move(ring_specs), cost_, acct);
+      case ProtectionMode::kNone:
+        return std::make_unique<NoneDmaHandle>(pm_, bdf);
+      case ProtectionMode::kHwPassthrough:
+        return std::make_unique<HwPassthroughDmaHandle>(pm_, bdf, cost_,
+                                                        acct);
+      case ProtectionMode::kSwPassthrough:
+        return std::make_unique<SwPassthroughDmaHandle>(iommu_, pm_, bdf,
+                                                        cost_, acct);
+    }
+    RIO_PANIC("bad protection mode");
+}
+
+} // namespace rio::dma

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DmaContext: one simulated machine's memory + IOMMU hardware bundle
+ * and a factory producing the right DmaHandle for each protection
+ * mode. This is the main entry point of the library — see
+ * examples/quickstart.cc.
+ */
+#ifndef RIO_DMA_DMA_CONTEXT_H
+#define RIO_DMA_DMA_CONTEXT_H
+
+#include <memory>
+#include <vector>
+
+#include "cycles/cost_model.h"
+#include "cycles/cycle_account.h"
+#include "dma/dma_handle.h"
+#include "dma/protection_mode.h"
+#include "iommu/iommu.h"
+#include "mem/phys_mem.h"
+#include "riommu/rdevice.h"
+#include "riommu/riommu.h"
+
+namespace rio::dma {
+
+/** Memory, baseline IOMMU and rIOMMU of one simulated machine. */
+class DmaContext
+{
+  public:
+    explicit DmaContext(
+        const cycles::CostModel &cost = cycles::defaultCostModel(),
+        iommu::IotlbConfig iotlb_config = {});
+
+    DmaContext(const DmaContext &) = delete;
+    DmaContext &operator=(const DmaContext &) = delete;
+
+    mem::PhysicalMemory &memory() { return pm_; }
+    iommu::Iommu &iommu() { return iommu_; }
+    riommu::Riommu &riommu() { return riommu_; }
+    const cycles::CostModel &cost() const { return cost_; }
+
+    /**
+     * Create the DMA handle implementing @p mode for device @p bdf.
+     * @param acct where driver-side cycles are charged (may be null
+     *        for purely functional use)
+     * @param ring_sizes rRING sizes for the rIOMMU modes; required
+     *        non-empty there, ignored elsewhere
+     */
+    std::unique_ptr<DmaHandle> makeHandle(ProtectionMode mode,
+                                          iommu::Bdf bdf,
+                                          cycles::CycleAccount *acct,
+                                          std::vector<u32> ring_sizes = {});
+
+    /**
+     * Same, with explicit per-rRING allocation policies — needed for
+     * devices that complete out of order (the 4.x AHCI extension).
+     */
+    std::unique_ptr<DmaHandle>
+    makeHandleWithSpecs(ProtectionMode mode, iommu::Bdf bdf,
+                        cycles::CycleAccount *acct,
+                        std::vector<riommu::RingSpec> ring_specs);
+
+  private:
+    const cycles::CostModel &cost_;
+    mem::PhysicalMemory pm_;
+    iommu::Iommu iommu_;
+    riommu::Riommu riommu_;
+};
+
+} // namespace rio::dma
+
+#endif // RIO_DMA_DMA_CONTEXT_H

@@ -1,0 +1,41 @@
+#include "dma/dma_handle.h"
+
+namespace rio::dma {
+
+Result<std::vector<DmaMapping>>
+DmaHandle::mapSg(u16 rid, const std::vector<SgEntry> &sg,
+                 iommu::DmaDir dir)
+{
+    if (sg.empty())
+        return Status(ErrorCode::kInvalidArgument, "empty sg list");
+    std::vector<DmaMapping> out;
+    out.reserve(sg.size());
+    for (const SgEntry &e : sg) {
+        auto m = map(rid, e.pa, e.len, dir);
+        if (!m.isOk()) {
+            // Roll back what was mapped so far (reverse ring order is
+            // irrelevant here: partial lists never reach the device).
+            for (auto it = out.rbegin(); it != out.rend(); ++it)
+                (void)unmap(*it, /*end_of_burst=*/std::next(it) ==
+                                      out.rend());
+            return m.status();
+        }
+        out.push_back(m.value());
+    }
+    return out;
+}
+
+Status
+DmaHandle::unmapSg(const std::vector<DmaMapping> &mappings,
+                   bool end_of_burst)
+{
+    for (size_t i = 0; i < mappings.size(); ++i) {
+        Status s = unmap(mappings[i],
+                         end_of_burst && i + 1 == mappings.size());
+        if (!s)
+            return s;
+    }
+    return Status::ok();
+}
+
+} // namespace rio::dma

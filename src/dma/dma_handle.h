@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The OS DMA API (paper §3.1, Figures 4 and 6) as seen by a device
+ * driver: map a physical target buffer to obtain a device-visible
+ * DMA address, let the device access it, unmap when the DMA is done.
+ * Concrete handles implement the protection modes.
+ *
+ * The same object also carries the device-side access path
+ * (deviceRead/deviceWrite), i.e. "the bus": every device access goes
+ * through whatever translation the mode imposes, so protection
+ * properties are enforced — and their violations observable — in one
+ * place.
+ */
+#ifndef RIO_DMA_DMA_HANDLE_H
+#define RIO_DMA_DMA_HANDLE_H
+
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "iommu/types.h"
+
+namespace rio::dma {
+
+/** A live mapping returned by map() and consumed by unmap(). */
+struct DmaMapping
+{
+    u64 device_addr = 0; //!< what the driver puts in the descriptor
+    PhysAddr pa = 0;
+    u32 size = 0;
+};
+
+/** One element of a scatter-gather list. */
+struct SgEntry
+{
+    PhysAddr pa = 0;
+    u32 len = 0;
+};
+
+/**
+ * Per-device DMA-management handle. Driver-side calls (map/unmap)
+ * charge the core's cycle account; device-side calls (deviceRead/
+ * deviceWrite) are free for the core, per the paper's validated
+ * model.
+ */
+class DmaHandle
+{
+  public:
+    virtual ~DmaHandle() = default;
+
+    /**
+     * Map @p size bytes at physical @p pa for DMA in direction
+     * @p dir.
+     * @param rid ring hint: selects the rRING for rIOMMU modes;
+     *        ignored by the baseline modes (one hierarchy per
+     *        device).
+     */
+    virtual Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
+                                   iommu::DmaDir dir) = 0;
+
+    /**
+     * Tear down a mapping. @p end_of_burst marks the last unmap of a
+     * completion burst: rIOMMU invalidates its single rIOTLB entry
+     * only then; other modes ignore the flag.
+     */
+    virtual Status unmap(const DmaMapping &mapping, bool end_of_burst) = 0;
+
+    /**
+     * Map a scatter-gather list (the Linux dma_map_sg path). The
+     * default maps each element independently, rolling back on
+     * failure; the baseline-IOMMU handle overrides it to allocate one
+     * contiguous IOVA range for the whole list, as intel-iommu does.
+     * Returns one DmaMapping per element, in order.
+     */
+    virtual Result<std::vector<DmaMapping>>
+    mapSg(u16 rid, const std::vector<SgEntry> &sg, iommu::DmaDir dir);
+
+    /** Tear down a list produced by mapSg (pass the full vector). */
+    virtual Status unmapSg(const std::vector<DmaMapping> &mappings,
+                           bool end_of_burst);
+
+    /** Device-side read of memory (DMA toward the device). */
+    virtual Status deviceRead(u64 device_addr, void *dst, u64 len) = 0;
+
+    /** Device-side write of memory (DMA from the device). */
+    virtual Status deviceWrite(u64 device_addr, const void *src,
+                               u64 len) = 0;
+
+    /** Mappings currently live through this handle. */
+    virtual u64 liveMappings() const = 0;
+
+    /** The device this handle manages DMA for. */
+    virtual iommu::Bdf bdf() const = 0;
+};
+
+} // namespace rio::dma
+
+#endif // RIO_DMA_DMA_HANDLE_H

@@ -1,0 +1,64 @@
+#include "dma/riommu_handle.h"
+
+#include "base/logging.h"
+
+namespace rio::dma {
+
+RiommuDmaHandle::RiommuDmaHandle(ProtectionMode mode,
+                                 riommu::Riommu &riommu,
+                                 mem::PhysicalMemory &pm, iommu::Bdf bdf,
+                                 std::vector<riommu::RingSpec> rings,
+                                 const cycles::CostModel &cost,
+                                 cycles::CycleAccount *acct)
+    : riommu_(riommu),
+      rdevice_(riommu, pm, bdf, std::move(rings),
+               /*coherent=*/mode == ProtectionMode::kRiommu, cost, acct)
+{
+    RIO_ASSERT(modeUsesRiommu(mode),
+               "RiommuDmaHandle with non-rIOMMU mode");
+}
+
+Result<DmaMapping>
+RiommuDmaHandle::map(u16 rid, PhysAddr pa, u32 size, iommu::DmaDir dir)
+{
+    auto iova = rdevice_.map(rid, pa, size, dir);
+    if (!iova.isOk())
+        return iova.status();
+    DmaMapping m;
+    m.device_addr = iova.value().raw;
+    m.pa = pa;
+    m.size = size;
+    return m;
+}
+
+Status
+RiommuDmaHandle::unmap(const DmaMapping &mapping, bool end_of_burst)
+{
+    return rdevice_.unmap(riommu::RIova{mapping.device_addr},
+                          end_of_burst);
+}
+
+Status
+RiommuDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
+{
+    return riommu_.dmaRead(rdevice_.bdf(), riommu::RIova{device_addr},
+                           dst, len);
+}
+
+Status
+RiommuDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
+{
+    return riommu_.dmaWrite(rdevice_.bdf(), riommu::RIova{device_addr},
+                            src, len);
+}
+
+u64
+RiommuDmaHandle::liveMappings() const
+{
+    u64 live = 0;
+    for (u16 rid = 0; rid < rdevice_.nrings(); ++rid)
+        live += rdevice_.nmapped(rid);
+    return live;
+}
+
+} // namespace rio::dma

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * DMA handle for the two rIOMMU modes (riommu-, riommu): a thin
+ * adapter from the generic DMA API onto the RDevice driver of
+ * Figure 11 and the rIOMMU hardware model.
+ */
+#ifndef RIO_DMA_RIOMMU_HANDLE_H
+#define RIO_DMA_RIOMMU_HANDLE_H
+
+#include <memory>
+#include <vector>
+
+#include "dma/dma_handle.h"
+#include "dma/protection_mode.h"
+#include "riommu/rdevice.h"
+
+namespace rio::dma {
+
+/** riommu- / riommu DMA management. */
+class RiommuDmaHandle : public DmaHandle
+{
+  public:
+    RiommuDmaHandle(ProtectionMode mode, riommu::Riommu &riommu,
+                    mem::PhysicalMemory &pm, iommu::Bdf bdf,
+                    std::vector<riommu::RingSpec> rings,
+                    const cycles::CostModel &cost,
+                    cycles::CycleAccount *acct);
+
+    Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
+                           iommu::DmaDir dir) override;
+    Status unmap(const DmaMapping &mapping, bool end_of_burst) override;
+    Status deviceRead(u64 device_addr, void *dst, u64 len) override;
+    Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
+    u64 liveMappings() const override;
+    iommu::Bdf bdf() const override { return rdevice_.bdf(); }
+
+    riommu::RDevice &rdevice() { return rdevice_; }
+
+  private:
+    riommu::Riommu &riommu_;
+    riommu::RDevice rdevice_;
+};
+
+} // namespace rio::dma
+
+#endif // RIO_DMA_RIOMMU_HANDLE_H

@@ -1,0 +1,141 @@
+#include "iommu/inval_queue.h"
+
+#include "base/logging.h"
+
+namespace rio::iommu {
+
+namespace {
+
+constexpr u64 kDescBytes = 16;
+
+} // namespace
+
+QiDescriptor
+QiDescriptor::entry(u16 sid, u64 iova_pfn)
+{
+    QiDescriptor d;
+    d.word0 = static_cast<u64>(Type::kIotlbEntry) |
+              (static_cast<u64>(sid) << 8);
+    d.word1 = iova_pfn;
+    return d;
+}
+
+QiDescriptor
+QiDescriptor::global()
+{
+    QiDescriptor d;
+    d.word0 = static_cast<u64>(Type::kIotlbGlobal);
+    return d;
+}
+
+QiDescriptor
+QiDescriptor::wait(PhysAddr status_addr)
+{
+    QiDescriptor d;
+    d.word0 = static_cast<u64>(Type::kWait);
+    d.word1 = status_addr;
+    return d;
+}
+
+InvalQueue::InvalQueue(mem::PhysicalMemory &pm, Iommu &iommu,
+                       const cycles::CostModel &cost, u32 entries)
+    : pm_(pm), iommu_(iommu), cost_(cost), entries_(entries)
+{
+    RIO_ASSERT(entries_ >= 4, "QI ring too small");
+    base_ = pm_.allocContiguous(static_cast<u64>(entries_) * kDescBytes);
+    status_addr_ = pm_.allocFrame();
+}
+
+InvalQueue::~InvalQueue()
+{
+    for (u64 off = 0;
+         off < pageAlignUp(static_cast<u64>(entries_) * kDescBytes);
+         off += kPageSize) {
+        pm_.freeFrame(base_ + off);
+    }
+    pm_.freeFrame(status_addr_);
+}
+
+QiDescriptor
+InvalQueue::descriptorAt(u32 idx) const
+{
+    RIO_ASSERT(idx < entries_, "QI index out of range");
+    QiDescriptor d;
+    d.word0 = pm_.read64(base_ + idx * kDescBytes);
+    d.word1 = pm_.read64(base_ + idx * kDescBytes + 8);
+    return d;
+}
+
+Cycles
+InvalQueue::submit(const QiDescriptor &desc)
+{
+    pm_.write64(base_ + tail_ * kDescBytes, desc.word0);
+    pm_.write64(base_ + tail_ * kDescBytes + 8, desc.word1);
+    tail_ = (tail_ + 1) % entries_;
+    if (tail_ == 0)
+        ++stats_.wraps;
+    ++stats_.submitted;
+    return cost_.qi_submit;
+}
+
+Cycles
+InvalQueue::hardwareDrain()
+{
+    Cycles hw = 0;
+    while (head_ != tail_) {
+        const QiDescriptor desc = descriptorAt(head_);
+        head_ = (head_ + 1) % entries_;
+        hw += cost_.qi_hw_per_descriptor;
+        switch (desc.type()) {
+          case QiDescriptor::Type::kIotlbEntry:
+            iommu_.iotlb().invalidateEntry(desc.sid(), desc.word1);
+            ++stats_.entry_invalidations;
+            break;
+          case QiDescriptor::Type::kIotlbGlobal:
+            iommu_.iotlb().flushAll();
+            ++stats_.global_flushes;
+            break;
+          case QiDescriptor::Type::kWait:
+            pm_.write64(desc.word1, ++status_cookie_);
+            ++stats_.waits;
+            break;
+        }
+    }
+    return hw;
+}
+
+void
+InvalQueue::invalidateEntrySync(Bdf bdf, u64 iova_pfn,
+                                cycles::CycleAccount *acct)
+{
+    Cycles c = submit(QiDescriptor::entry(bdf.pack(), iova_pfn));
+    c += submit(QiDescriptor::wait(status_addr_));
+    c += cost_.qi_doorbell;
+    const u64 expected = status_cookie_ + 1;
+    c += hardwareDrain();
+    // Spin on the status word the hardware writes back.
+    c += cost_.qi_wait_latency;
+    RIO_ASSERT(pm_.read64(status_addr_) == expected,
+               "QI wait did not complete");
+    c += 2 * cost_.cached_access;
+    if (acct)
+        acct->charge(cycles::Cat::kUnmapIotlbInv, c);
+}
+
+void
+InvalQueue::flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat)
+{
+    Cycles c = submit(QiDescriptor::global());
+    c += submit(QiDescriptor::wait(status_addr_));
+    c += cost_.qi_doorbell;
+    const u64 expected = status_cookie_ + 1;
+    c += hardwareDrain();
+    c += cost_.qi_wait_latency;
+    RIO_ASSERT(pm_.read64(status_addr_) == expected,
+               "QI wait did not complete");
+    c += 2 * cost_.cached_access;
+    if (acct)
+        acct->chargeCont(cat, c);
+}
+
+} // namespace rio::iommu

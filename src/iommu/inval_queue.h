@@ -1,0 +1,118 @@
+/**
+ * @file
+ * VT-d-style queued invalidation (QI): the driver does not poke the
+ * IOTLB directly — it writes 128-bit invalidation descriptors into a
+ * memory-resident ring consumed by the IOMMU, and synchronizes with a
+ * wait descriptor whose completion the hardware signals by writing a
+ * status word back to memory. The driver then spins on that word.
+ *
+ * This is where the paper's ~2,127-cycle "iotlb inv" cost comes from
+ * (§3.2, consistent with prior work): not the IOTLB lookup itself but
+ * the submit + hardware round trip + polling of the synchronous wait.
+ * Here the cost *emerges* from those steps: descriptor stores, a
+ * doorbell, the modeled hardware consumption latency, and the status
+ * poll, calibrated to land at the paper's constant.
+ */
+#ifndef RIO_IOMMU_INVAL_QUEUE_H
+#define RIO_IOMMU_INVAL_QUEUE_H
+
+#include "base/types.h"
+#include "cycles/cost_model.h"
+#include "cycles/cycle_account.h"
+#include "iommu/iommu.h"
+#include "mem/phys_mem.h"
+
+namespace rio::iommu {
+
+/** One 128-bit QI descriptor. */
+struct QiDescriptor
+{
+    enum class Type : u8 {
+        kIotlbEntry = 1, //!< invalidate one (sid, pfn) translation
+        kIotlbGlobal = 2, //!< flush everything
+        kWait = 3,        //!< write status word when reached
+    };
+
+    u64 word0 = 0; //!< type(8) | sid(16)<<8
+    u64 word1 = 0; //!< iova pfn, or status-word physical address
+
+    static QiDescriptor entry(u16 sid, u64 iova_pfn);
+    static QiDescriptor global();
+    static QiDescriptor wait(PhysAddr status_addr);
+
+    Type type() const { return static_cast<Type>(word0 & 0xff); }
+    u16 sid() const { return static_cast<u16>(word0 >> 8); }
+};
+
+/** Running counters. */
+struct QiStats
+{
+    u64 submitted = 0;
+    u64 entry_invalidations = 0;
+    u64 global_flushes = 0;
+    u64 waits = 0;
+    u64 wraps = 0;
+};
+
+/**
+ * The invalidation queue shared between the IOMMU driver and the
+ * IOMMU hardware model. Driver-side calls charge the core for the
+ * work they do; the hardware consumption latency is part of the
+ * synchronous wait the driver spins through.
+ */
+class InvalQueue
+{
+  public:
+    InvalQueue(mem::PhysicalMemory &pm, Iommu &iommu,
+               const cycles::CostModel &cost, u32 entries = 256);
+    ~InvalQueue();
+
+    InvalQueue(const InvalQueue &) = delete;
+    InvalQueue &operator=(const InvalQueue &) = delete;
+
+    /**
+     * Synchronously invalidate one translation: submit an
+     * iotlb-entry descriptor plus a wait descriptor, process, and
+     * spin until the status word flips. Charged to @p acct as
+     * unmap/"iotlb inv" — this is the strict mode's 2,150 cycles.
+     */
+    void invalidateEntrySync(Bdf bdf, u64 iova_pfn,
+                             cycles::CycleAccount *acct);
+
+    /**
+     * Synchronously flush the whole IOTLB (the deferred mode's
+     * batched flush). Charges @p cat on @p acct without bumping its
+     * op count (the cost is amortized bookkeeping of the batch).
+     */
+    void flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat);
+
+    const QiStats &stats() const { return stats_; }
+    PhysAddr base() const { return base_; }
+    u32 entries() const { return entries_; }
+    u32 tail() const { return tail_; }
+
+    /** Raw descriptor readback (tests). */
+    QiDescriptor descriptorAt(u32 idx) const;
+
+  private:
+    /** Driver writes a descriptor at the tail; returns cycle cost. */
+    Cycles submit(const QiDescriptor &desc);
+
+    /** Hardware consumes everything up to the tail. */
+    Cycles hardwareDrain();
+
+    mem::PhysicalMemory &pm_;
+    Iommu &iommu_;
+    const cycles::CostModel &cost_;
+    u32 entries_;
+    PhysAddr base_ = 0;
+    PhysAddr status_addr_ = 0;
+    u32 head_ = 0; //!< hardware's consumption point
+    u32 tail_ = 0; //!< driver's submission point
+    u64 status_cookie_ = 0;
+    QiStats stats_;
+};
+
+} // namespace rio::iommu
+
+#endif // RIO_IOMMU_INVAL_QUEUE_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Four-level radix I/O page table, VT-d second-level style, resident
+ * in simulated physical memory (paper §2.2 / Figure 2). The OS-side
+ * map/unmap operations are charged to the core's cycle account — they
+ * are the "page table" rows of Table 1 — while the hardware-side walk
+ * is uncharged (it happens in the IOMMU, off the core's critical
+ * path) but reports how many levels it touched so the IOTLB-miss cost
+ * (§5.3) can be modeled.
+ */
+#ifndef RIO_IOMMU_PAGE_TABLE_H
+#define RIO_IOMMU_PAGE_TABLE_H
+
+#include "base/status.h"
+#include "base/types.h"
+#include "cycles/cost_model.h"
+#include "cycles/cycle_account.h"
+#include "iommu/types.h"
+#include "mem/phys_mem.h"
+
+namespace rio::iommu {
+
+/**
+ * A leaf page-table entry: Intel-style bit 0 = device-read allowed,
+ * bit 1 = device-write allowed, bits 12+ = physical frame address.
+ * Non-leaf entries use the same layout and point at the next table.
+ */
+struct Pte
+{
+    u64 raw = 0;
+
+    static constexpr u64 kRead = 1u << 0;
+    static constexpr u64 kWrite = 1u << 1;
+    static constexpr u64 kAddrMask = ~u64{0xfff};
+
+    bool present() const { return (raw & (kRead | kWrite)) != 0; }
+    bool allowsRead() const { return (raw & kRead) != 0; }
+    bool allowsWrite() const { return (raw & kWrite) != 0; }
+    PhysAddr addr() const { return raw & kAddrMask; }
+
+    bool
+    permits(Access acc) const
+    {
+        return acc == Access::kRead ? allowsRead() : allowsWrite();
+    }
+
+    static Pte
+    make(PhysAddr pa, DmaDir dir)
+    {
+        u64 raw = pa & kAddrMask;
+        if (dirPermits(dir, Access::kRead))
+            raw |= kRead;
+        if (dirPermits(dir, Access::kWrite))
+            raw |= kWrite;
+        return Pte{raw};
+    }
+};
+
+/**
+ * One device's 4-level translation hierarchy. 48-bit IOVAs: 36-bit
+ * virtual page number split into four 9-bit indices, 12-bit page
+ * offset.
+ */
+class IoPageTable
+{
+  public:
+    static constexpr int kLevels = 4;
+    static constexpr unsigned kEntriesPerTable = 512;
+
+    /**
+     * @param coherent whether IOMMU walks snoop CPU caches; if not,
+     * every driver update pays a barrier + cacheline flush (§3.2).
+     */
+    IoPageTable(mem::PhysicalMemory &pm, bool coherent,
+                const cycles::CostModel &cost, cycles::CycleAccount *acct);
+    ~IoPageTable();
+
+    IoPageTable(const IoPageTable &) = delete;
+    IoPageTable &operator=(const IoPageTable &) = delete;
+
+    /** Physical address of the root (level-1) table. */
+    PhysAddr rootAddr() const { return root_; }
+
+    /**
+     * Install iova_pfn -> phys_pfn with permission @p dir. Charged as
+     * map/"page table". Fails with kExists if already mapped.
+     */
+    Status map(u64 iova_pfn, u64 phys_pfn, DmaDir dir);
+
+    /** Map @p npages consecutive pfns. */
+    Status mapRange(u64 iova_pfn, u64 phys_pfn, u64 npages, DmaDir dir);
+
+    /**
+     * Remove the translation for @p iova_pfn. Charged as
+     * unmap/"page table". Intermediate tables are retained, as Linux
+     * retains them.
+     */
+    Status unmap(u64 iova_pfn);
+
+    /** Unmap @p npages consecutive pfns. */
+    Status unmapRange(u64 iova_pfn, u64 npages);
+
+    /**
+     * Hardware page walk (uncharged to the core). @p levels_touched,
+     * when non-null, receives the number of tables read — the number
+     * of dependent memory accesses an IOTLB miss costs.
+     */
+    Result<Pte> walk(u64 iova_pfn, int *levels_touched = nullptr) const;
+
+    /** Translations currently installed. */
+    u64 mappedPages() const { return mapped_pages_; }
+
+    /** 4 KB table pages backing the hierarchy. */
+    u64 tablePages() const { return table_pages_; }
+
+  private:
+    static unsigned levelIndex(u64 iova_pfn, int level);
+
+    /** Descend to the leaf table, allocating levels if @p create. */
+    PhysAddr descend(u64 iova_pfn, bool create, int *levels);
+
+    /** Charge one driver-side table-line update (store + sync_mem). */
+    void chargeUpdate(cycles::Cat cat, int levels_walked);
+
+    mem::PhysicalMemory &pm_;
+    bool coherent_;
+    const cycles::CostModel &cost_;
+    cycles::CycleAccount *acct_;
+    PhysAddr root_;
+    u64 mapped_pages_ = 0;
+    u64 table_pages_ = 0;
+};
+
+} // namespace rio::iommu
+
+#endif // RIO_IOMMU_PAGE_TABLE_H

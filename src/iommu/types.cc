@@ -1,0 +1,25 @@
+#include "iommu/types.h"
+
+#include "base/strings.h"
+
+namespace rio::iommu {
+
+std::string
+Bdf::toString() const
+{
+    return strprintf("%02x:%02x.%x", bus, dev, fn);
+}
+
+const char *
+faultReasonName(FaultReason reason)
+{
+    switch (reason) {
+      case FaultReason::kNotPresent: return "not-present";
+      case FaultReason::kPermission: return "permission";
+      case FaultReason::kOutOfRange: return "out-of-range";
+      case FaultReason::kNoContext: return "no-context";
+    }
+    return "unknown";
+}
+
+} // namespace rio::iommu

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared IOMMU vocabulary: PCI bus-device-function identifiers, DMA
+ * directions, access types and fault records. Used by both the
+ * baseline (VT-d-style) IOMMU and the rIOMMU.
+ */
+#ifndef RIO_IOMMU_TYPES_H
+#define RIO_IOMMU_TYPES_H
+
+#include <functional>
+#include <string>
+
+#include "base/types.h"
+
+namespace rio::iommu {
+
+/**
+ * PCI requester id: 8-bit bus, 5-bit device, 3-bit function. Every
+ * DMA carries one; the IOMMU uses it to locate the device's
+ * translation structures (paper §2.2).
+ */
+struct Bdf
+{
+    u8 bus = 0;
+    u8 dev = 0; // 5 bits
+    u8 fn = 0;  // 3 bits
+
+    /** The 16-bit request identifier as it appears on the wire. */
+    u16
+    pack() const
+    {
+        return static_cast<u16>((bus << 8) | ((dev & 0x1f) << 3) |
+                                (fn & 0x7));
+    }
+
+    static Bdf
+    unpack(u16 rid)
+    {
+        return Bdf{static_cast<u8>(rid >> 8),
+                   static_cast<u8>((rid >> 3) & 0x1f),
+                   static_cast<u8>(rid & 0x7)};
+    }
+
+    bool
+    operator==(const Bdf &o) const
+    {
+        return bus == o.bus && dev == o.dev && fn == o.fn;
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * Direction of a DMA relative to memory, matching the 2-bit rPTE.dir
+ * field: a device *reads* memory to transmit (kToDevice) and *writes*
+ * memory to receive (kFromDevice).
+ */
+enum class DmaDir : u8 {
+    kNone = 0,
+    kToDevice = 1,   //!< device reads memory (transmit)
+    kFromDevice = 2, //!< device writes memory (receive)
+    kBidir = 3
+};
+
+/** A single device access, checked against the mapping's DmaDir. */
+enum class Access : u8 {
+    kRead = 1, //!< device read of memory
+    kWrite = 2 //!< device write of memory
+};
+
+/** Does mapping direction @p dir permit access @p acc? */
+constexpr bool
+dirPermits(DmaDir dir, Access acc)
+{
+    return (static_cast<u8>(dir) & static_cast<u8>(acc)) != 0;
+}
+
+/** Why a translation failed. */
+enum class FaultReason : u8 {
+    kNotPresent,    //!< no valid translation installed
+    kPermission,    //!< direction/permission bits forbid the access
+    kOutOfRange,    //!< index/offset beyond structure bounds (rIOMMU)
+    kNoContext      //!< device not attached to the IOMMU
+};
+
+const char *faultReasonName(FaultReason reason);
+
+/** Record of one I/O page fault, kept by the IOMMU models. */
+struct FaultRecord
+{
+    Bdf bdf;
+    IovaAddr iova = 0;
+    Access access = Access::kRead;
+    FaultReason reason = FaultReason::kNotPresent;
+};
+
+} // namespace rio::iommu
+
+template <>
+struct std::hash<rio::iommu::Bdf>
+{
+    size_t
+    operator()(const rio::iommu::Bdf &b) const noexcept
+    {
+        return std::hash<rio::u16>{}(b.pack());
+    }
+};
+
+#endif // RIO_IOMMU_TYPES_H

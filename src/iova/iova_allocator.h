@@ -1,0 +1,91 @@
+/**
+ * @file
+ * IOVA allocator interface. The baseline IOMMU driver needs an
+ * allocator of I/O-virtual page ranges; the paper contrasts the stock
+ * Linux allocator (whose cached-node heuristic exhibits an O(live)
+ * pathology, Table 1 "iova alloc": 3,986 cycles) with the authors'
+ * constant-time allocator (strict+/defer+: 92 cycles).
+ */
+#ifndef RIO_IOVA_IOVA_ALLOCATOR_H
+#define RIO_IOVA_IOVA_ALLOCATOR_H
+
+#include "base/status.h"
+#include "base/types.h"
+#include "cycles/cost_model.h"
+#include "cycles/cycle_account.h"
+
+namespace rio::iova {
+
+/** An allocated IOVA page range [pfn_lo, pfn_hi], inclusive. */
+struct IovaRange
+{
+    u64 pfn_lo = 0;
+    u64 pfn_hi = 0;
+
+    u64 npages() const { return pfn_hi - pfn_lo + 1; }
+    IovaAddr addr() const { return pfn_lo << kPageShift; }
+};
+
+/**
+ * Allocator of IOVA page ranges. Implementations charge cycles into
+ * the supplied CycleAccount at the point where work happens, so the
+ * Table 1 component costs emerge from the algorithms themselves.
+ *
+ * The three-call protocol mirrors the Linux unmap path: the driver
+ * first *finds* the range for an address (charged as "iova find"),
+ * then *frees* it (charged as "iova free"). alloc() is charged as
+ * "iova alloc".
+ */
+class IovaAllocator
+{
+  public:
+    IovaAllocator(cycles::CycleAccount *acct, const cycles::CostModel &cost)
+        : acct_(acct), cost_(cost)
+    {
+    }
+    virtual ~IovaAllocator() = default;
+
+    IovaAllocator(const IovaAllocator &) = delete;
+    IovaAllocator &operator=(const IovaAllocator &) = delete;
+
+    /**
+     * Allocate @p npages contiguous IOVA pages, size-aligned as the
+     * Linux allocator does. Fails with kResourceExhausted when the
+     * space is full.
+     */
+    virtual Result<IovaRange> alloc(u64 npages) = 0;
+
+    /**
+     * Look up the live range containing @p pfn (the unmap path's
+     * find_iova()). Returns kNotFound for unknown or already-freed
+     * pfns — the double-unmap case callers must handle.
+     */
+    virtual Result<IovaRange> find(u64 pfn) = 0;
+
+    /**
+     * Release the range whose low pfn is @p pfn_lo. Must have been
+     * returned by alloc() and not yet freed.
+     */
+    virtual Status free(u64 pfn_lo) = 0;
+
+    /** Ranges currently allocated-and-not-freed. */
+    virtual u64 live() const = 0;
+
+    /** Nodes resident in the search structure (>= live for strict+). */
+    virtual u64 treeSize() const = 0;
+
+  protected:
+    void
+    charge(cycles::Cat cat, Cycles c)
+    {
+        if (acct_)
+            acct_->charge(cat, c);
+    }
+
+    cycles::CycleAccount *acct_;
+    const cycles::CostModel &cost_;
+};
+
+} // namespace rio::iova
+
+#endif // RIO_IOVA_IOVA_ALLOCATOR_H

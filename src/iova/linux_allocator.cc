@@ -1,0 +1,136 @@
+#include "iova/linux_allocator.h"
+
+#include "base/logging.h"
+
+namespace rio::iova {
+
+namespace {
+
+/** Lowest allocatable pfn (Linux's IOVA_START_PFN). */
+constexpr u64 kStartPfn = 1;
+
+} // namespace
+
+LinuxIovaAllocator::LinuxIovaAllocator(u64 limit_pfn,
+                                       cycles::CycleAccount *acct,
+                                       const cycles::CostModel &cost)
+    : IovaAllocator(acct, cost), limit_pfn_(limit_pfn)
+{
+    RIO_ASSERT(limit_pfn_ > kStartPfn, "degenerate IOVA space");
+}
+
+Result<IovaRange>
+LinuxIovaAllocator::alloc(u64 npages)
+{
+    RIO_ASSERT(npages > 0, "alloc(0)");
+    u64 visits = 0;
+    u64 rebalances = 0;
+    u64 limit_pfn = limit_pfn_;
+
+    // __get_cached_rbnode: resume just below the cached node, or
+    // start from the rightmost node after a cache reset — the path
+    // that makes some allocations linear in the live-IOVA count.
+    RbTree::Node *curr;
+    if (cached_node_) {
+        limit_pfn = cached_node_->pfn_lo - 1;
+        curr = tree_.prev(cached_node_);
+        ++visits;
+    } else {
+        curr = tree_.last();
+        if (curr)
+            ++visits;
+    }
+
+    while (curr) {
+        ++visits;
+        if (limit_pfn < curr->pfn_lo) {
+            // Entirely above the remaining window; move left.
+        } else if (limit_pfn <= curr->pfn_hi) {
+            // Window top lands inside this range; skip below it.
+            limit_pfn = curr->pfn_lo - 1;
+        } else {
+            const u64 pad = padSize(npages, limit_pfn);
+            if (curr->pfn_hi + npages + pad <= limit_pfn)
+                break; // found a free, size-aligned slot
+            limit_pfn = curr->pfn_lo - 1;
+        }
+        curr = tree_.prev(curr);
+    }
+
+    const u64 pad = padSize(npages, limit_pfn);
+    if (!curr) {
+        if (kStartPfn + npages + pad > limit_pfn) {
+            charge(cycles::Cat::kMapIovaAlloc,
+                   visits * cost_.rb_node_visit + cost_.iova_op_base);
+            return Status(ErrorCode::kResourceExhausted,
+                          "IOVA space exhausted");
+        }
+    }
+
+    const u64 pfn_lo = limit_pfn - (npages + pad) + 1;
+    const u64 pfn_hi = pfn_lo + npages - 1;
+    RbTree::Node *node = tree_.insert(pfn_lo, pfn_hi, &visits, &rebalances);
+    cachedInsertUpdate(node);
+
+    ++alloc_calls_;
+    last_alloc_visits_ = visits;
+    total_alloc_visits_ += visits;
+    charge(cycles::Cat::kMapIovaAlloc,
+           visits * cost_.rb_node_visit +
+               rebalances * cost_.rb_rebalance_step + cost_.iova_op_base);
+    return IovaRange{pfn_lo, pfn_hi};
+}
+
+Result<IovaRange>
+LinuxIovaAllocator::find(u64 pfn)
+{
+    u64 visits = 0;
+    RbTree::Node *node = tree_.findContaining(pfn, &visits);
+    charge(cycles::Cat::kUnmapIovaFind,
+           visits * cost_.rb_node_visit + cost_.cached_access);
+    if (!node)
+        return Status(ErrorCode::kNotFound, "IOVA not allocated");
+    return IovaRange{node->pfn_lo, node->pfn_hi};
+}
+
+Status
+LinuxIovaAllocator::free(u64 pfn_lo)
+{
+    // The driver already located the range via find(); Linux's
+    // __free_iova() takes that pointer directly, so this lookup is
+    // mechanical and not charged.
+    RbTree::Node *node = tree_.findContaining(pfn_lo, nullptr);
+    if (!node || node->pfn_lo != pfn_lo)
+        return Status(ErrorCode::kNotFound, "free of unallocated IOVA");
+
+    u64 visits = 0;
+    u64 rebalances = 0;
+    cachedDeleteUpdate(node, &visits);
+    tree_.erase(node, &visits, &rebalances);
+    charge(cycles::Cat::kUnmapIovaFree,
+           visits * cost_.rb_node_visit +
+               rebalances * cost_.rb_rebalance_step + cost_.iova_op_base +
+               cost_.linux_free_extra);
+    return Status::ok();
+}
+
+void
+LinuxIovaAllocator::cachedDeleteUpdate(RbTree::Node *freed, u64 *visits)
+{
+    // __cached_rbnode_delete_update: freeing at or above the cached
+    // node moves the cache to the freed node's successor — or resets
+    // it entirely when the rightmost range is freed, forcing the next
+    // allocation to rescan from rb_last.
+    if (!cached_node_)
+        return;
+    if (freed->pfn_lo >= cached_node_->pfn_lo) {
+        RbTree::Node *succ = tree_.next(freed);
+        ++*visits;
+        if (succ && succ->pfn_lo < limit_pfn_)
+            cached_node_ = succ;
+        else
+            cached_node_ = nullptr;
+    }
+}
+
+} // namespace rio::iova

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Constant-time IOVA allocator modeled on the authors' design (their
+ * companion FAST'15 paper, cited as [37]): freed ranges are parked in
+ * per-size magazines and remain resident in the red-black tree, so
+ * reallocation of a same-size range is a magazine pop — O(1) — and
+ * the tree only ever grows toward the steady-state working set.
+ *
+ * Side effect the paper calls out (§3.2): because parked ranges stay
+ * in the tree, the tree is *fuller* than the stock allocator's, so
+ * the unmap-path lookup ("iova find") is deeper and costlier
+ * (Table 1: 418 vs. 249 cycles) while alloc and free become ~100 and
+ * ~60 cycles. Both effects emerge here from the same mechanism.
+ */
+#ifndef RIO_IOVA_MAGAZINE_ALLOCATOR_H
+#define RIO_IOVA_MAGAZINE_ALLOCATOR_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "iova/iova_allocator.h"
+#include "iova/rbtree.h"
+
+namespace rio::iova {
+
+/** The allocator behind the paper's strict+ and defer+ modes. */
+class MagazineIovaAllocator : public IovaAllocator
+{
+  public:
+    MagazineIovaAllocator(u64 limit_pfn, cycles::CycleAccount *acct,
+                          const cycles::CostModel &cost);
+
+    Result<IovaRange> alloc(u64 npages) override;
+    Result<IovaRange> find(u64 pfn) override;
+    Status free(u64 pfn_lo) override;
+
+    u64 live() const override { return live_; }
+    u64 treeSize() const override { return tree_.size(); }
+
+    /** Ranges currently parked in magazines. */
+    u64 parked() const { return tree_.size() - live_; }
+
+    /** Allocations served from a magazine (steady state: ~all). */
+    u64 magazineHits() const { return magazine_hits_; }
+    u64 allocCalls() const { return alloc_calls_; }
+
+    bool validate() const { return tree_.validate(); }
+
+  private:
+    u64 limit_pfn_;
+    /** Top of the never-yet-used address space (fresh carve point). */
+    u64 next_top_;
+    RbTree tree_;
+    std::unordered_map<u64, std::vector<RbTree::Node *>> magazines_;
+    u64 live_ = 0;
+    u64 magazine_hits_ = 0;
+    u64 alloc_calls_ = 0;
+};
+
+} // namespace rio::iova
+
+#endif // RIO_IOVA_MAGAZINE_ALLOCATOR_H

@@ -1,0 +1,377 @@
+#include "iova/rbtree.h"
+
+#include "base/logging.h"
+
+namespace rio::iova {
+
+RbTree::RbTree()
+{
+    nil_.red = false;
+    nil_.parent = nil_.left = nil_.right = &nil_;
+    root_ = &nil_;
+}
+
+RbTree::~RbTree()
+{
+    clear();
+}
+
+void
+RbTree::clear()
+{
+    destroySubtree(root_);
+    root_ = &nil_;
+    size_ = 0;
+}
+
+void
+RbTree::destroySubtree(Node *n)
+{
+    if (isNil(n))
+        return;
+    destroySubtree(n->left);
+    destroySubtree(n->right);
+    delete n;
+}
+
+void
+RbTree::rotateLeft(Node *x)
+{
+    Node *y = x->right;
+    x->right = y->left;
+    if (!isNil(y->left))
+        y->left->parent = x;
+    y->parent = x->parent;
+    if (isNil(x->parent))
+        root_ = y;
+    else if (x == x->parent->left)
+        x->parent->left = y;
+    else
+        x->parent->right = y;
+    y->left = x;
+    x->parent = y;
+}
+
+void
+RbTree::rotateRight(Node *x)
+{
+    Node *y = x->left;
+    x->left = y->right;
+    if (!isNil(y->right))
+        y->right->parent = x;
+    y->parent = x->parent;
+    if (isNil(x->parent))
+        root_ = y;
+    else if (x == x->parent->right)
+        x->parent->right = y;
+    else
+        x->parent->left = y;
+    y->right = x;
+    x->parent = y;
+}
+
+RbTree::Node *
+RbTree::insert(u64 pfn_lo, u64 pfn_hi, u64 *visits, u64 *rebalances)
+{
+    RIO_ASSERT(pfn_lo <= pfn_hi, "inverted range");
+    Node *z = new Node();
+    z->pfn_lo = pfn_lo;
+    z->pfn_hi = pfn_hi;
+    z->left = z->right = z->parent = &nil_;
+    z->red = true;
+
+    Node *y = &nil_;
+    Node *x = root_;
+    while (!isNil(x)) {
+        if (visits)
+            ++*visits;
+        y = x;
+        RIO_ASSERT(pfn_hi < x->pfn_lo || pfn_lo > x->pfn_hi,
+                   "inserting overlapping IOVA range [", pfn_lo, ",",
+                   pfn_hi, "] vs [", x->pfn_lo, ",", x->pfn_hi, "]");
+        x = (pfn_lo < x->pfn_lo) ? x->left : x->right;
+    }
+    z->parent = y;
+    if (isNil(y))
+        root_ = z;
+    else if (pfn_lo < y->pfn_lo)
+        y->left = z;
+    else
+        y->right = z;
+
+    insertFixup(z, rebalances);
+    ++size_;
+    return z;
+}
+
+void
+RbTree::insertFixup(Node *z, u64 *rebalances)
+{
+    while (z->parent->red) {
+        if (rebalances)
+            ++*rebalances;
+        Node *gp = z->parent->parent;
+        if (z->parent == gp->left) {
+            Node *uncle = gp->right;
+            if (uncle->red) {
+                z->parent->red = false;
+                uncle->red = false;
+                gp->red = true;
+                z = gp;
+            } else {
+                if (z == z->parent->right) {
+                    z = z->parent;
+                    rotateLeft(z);
+                }
+                z->parent->red = false;
+                gp->red = true;
+                rotateRight(gp);
+            }
+        } else {
+            Node *uncle = gp->left;
+            if (uncle->red) {
+                z->parent->red = false;
+                uncle->red = false;
+                gp->red = true;
+                z = gp;
+            } else {
+                if (z == z->parent->left) {
+                    z = z->parent;
+                    rotateRight(z);
+                }
+                z->parent->red = false;
+                gp->red = true;
+                rotateLeft(gp);
+            }
+        }
+    }
+    root_->red = false;
+}
+
+void
+RbTree::transplant(Node *u, Node *v)
+{
+    if (isNil(u->parent))
+        root_ = v;
+    else if (u == u->parent->left)
+        u->parent->left = v;
+    else
+        u->parent->right = v;
+    v->parent = u->parent;
+}
+
+RbTree::Node *
+RbTree::minimum(Node *n, u64 *visits) const
+{
+    while (!isNil(n->left)) {
+        if (visits)
+            ++*visits;
+        n = n->left;
+    }
+    return n;
+}
+
+void
+RbTree::erase(Node *z, u64 *visits, u64 *rebalances)
+{
+    RIO_ASSERT(z != nullptr && !isNil(z), "erasing null node");
+    Node *y = z;
+    Node *x;
+    bool y_was_red = y->red;
+    if (isNil(z->left)) {
+        x = z->right;
+        transplant(z, z->right);
+    } else if (isNil(z->right)) {
+        x = z->left;
+        transplant(z, z->left);
+    } else {
+        y = minimum(z->right, visits);
+        y_was_red = y->red;
+        x = y->right;
+        if (y->parent == z) {
+            x->parent = y;
+        } else {
+            transplant(y, y->right);
+            y->right = z->right;
+            y->right->parent = y;
+        }
+        transplant(z, y);
+        y->left = z->left;
+        y->left->parent = y;
+        y->red = z->red;
+    }
+    if (!y_was_red)
+        eraseFixup(x, rebalances);
+    delete z;
+    --size_;
+}
+
+void
+RbTree::eraseFixup(Node *x, u64 *rebalances)
+{
+    while (x != root_ && !x->red) {
+        if (rebalances)
+            ++*rebalances;
+        if (x == x->parent->left) {
+            Node *w = x->parent->right;
+            if (w->red) {
+                w->red = false;
+                x->parent->red = true;
+                rotateLeft(x->parent);
+                w = x->parent->right;
+            }
+            if (!w->left->red && !w->right->red) {
+                w->red = true;
+                x = x->parent;
+            } else {
+                if (!w->right->red) {
+                    w->left->red = false;
+                    w->red = true;
+                    rotateRight(w);
+                    w = x->parent->right;
+                }
+                w->red = x->parent->red;
+                x->parent->red = false;
+                w->right->red = false;
+                rotateLeft(x->parent);
+                x = root_;
+            }
+        } else {
+            Node *w = x->parent->left;
+            if (w->red) {
+                w->red = false;
+                x->parent->red = true;
+                rotateRight(x->parent);
+                w = x->parent->left;
+            }
+            if (!w->right->red && !w->left->red) {
+                w->red = true;
+                x = x->parent;
+            } else {
+                if (!w->left->red) {
+                    w->right->red = false;
+                    w->red = true;
+                    rotateLeft(w);
+                    w = x->parent->left;
+                }
+                w->red = x->parent->red;
+                x->parent->red = false;
+                w->left->red = false;
+                rotateRight(x->parent);
+                x = root_;
+            }
+        }
+    }
+    x->red = false;
+}
+
+RbTree::Node *
+RbTree::findContaining(u64 pfn, u64 *visits) const
+{
+    Node *n = root_;
+    while (!isNil(n)) {
+        if (visits)
+            ++*visits;
+        if (pfn < n->pfn_lo)
+            n = n->left;
+        else if (pfn > n->pfn_hi)
+            n = n->right;
+        else
+            return n;
+    }
+    return nullptr;
+}
+
+RbTree::Node *
+RbTree::first() const
+{
+    if (isNil(root_))
+        return nullptr;
+    Node *n = root_;
+    while (!isNil(n->left))
+        n = n->left;
+    return n;
+}
+
+RbTree::Node *
+RbTree::last() const
+{
+    if (isNil(root_))
+        return nullptr;
+    Node *n = root_;
+    while (!isNil(n->right))
+        n = n->right;
+    return n;
+}
+
+RbTree::Node *
+RbTree::next(Node *node) const
+{
+    RIO_ASSERT(node && !isNil(node), "next(null)");
+    if (!isNil(node->right)) {
+        Node *n = node->right;
+        while (!isNil(n->left))
+            n = n->left;
+        return n;
+    }
+    Node *p = node->parent;
+    while (!isNil(p) && node == p->right) {
+        node = p;
+        p = p->parent;
+    }
+    return isNil(p) ? nullptr : p;
+}
+
+RbTree::Node *
+RbTree::prev(Node *node) const
+{
+    RIO_ASSERT(node && !isNil(node), "prev(null)");
+    if (!isNil(node->left)) {
+        Node *n = node->left;
+        while (!isNil(n->right))
+            n = n->right;
+        return n;
+    }
+    Node *p = node->parent;
+    while (!isNil(p) && node == p->left) {
+        node = p;
+        p = p->parent;
+    }
+    return isNil(p) ? nullptr : p;
+}
+
+bool
+RbTree::validateNode(const Node *n, int black_depth, int &expected,
+                     u64 lo_bound, u64 hi_bound) const
+{
+    if (isNil(n)) {
+        if (expected == -1)
+            expected = black_depth;
+        return black_depth == expected;
+    }
+    if (n->pfn_lo > n->pfn_hi)
+        return false;
+    if (n->pfn_lo < lo_bound || n->pfn_hi > hi_bound)
+        return false;
+    if (n->red && (n->left->red || n->right->red))
+        return false;
+    const int depth = black_depth + (n->red ? 0 : 1);
+    const u64 left_hi = n->pfn_lo == 0 ? 0 : n->pfn_lo - 1;
+    if (!isNil(n->left) && n->pfn_lo == 0)
+        return false;
+    return validateNode(n->left, depth, expected, lo_bound, left_hi) &&
+           validateNode(n->right, depth, expected, n->pfn_hi + 1, hi_bound);
+}
+
+bool
+RbTree::validate() const
+{
+    if (isNil(root_))
+        return true;
+    if (root_->red)
+        return false;
+    int expected = -1;
+    return validateNode(root_, 0, expected, 0, ~u64{0});
+}
+
+} // namespace rio::iova

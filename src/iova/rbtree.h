@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Red-black tree of IOVA ranges, modeled on the Linux kernel's
+ * lib/rbtree.c as used by drivers/iommu/iova.c. Implemented from
+ * scratch so that the allocators can count the *actual* node visits
+ * and rebalancing steps their algorithms perform — the quantity the
+ * paper's Table 1 costs are made of.
+ */
+#ifndef RIO_IOVA_RBTREE_H
+#define RIO_IOVA_RBTREE_H
+
+#include "base/types.h"
+
+namespace rio::iova {
+
+/**
+ * A red-black tree whose nodes are disjoint [pfn_lo, pfn_hi] IOVA
+ * ranges, ordered by pfn_lo. Nodes are owned by the tree.
+ */
+class RbTree
+{
+  public:
+    struct Node
+    {
+        u64 pfn_lo = 0;
+        u64 pfn_hi = 0;
+        /**
+         * True while the range is handed out to a caller; false when
+         * it is parked in a magazine (strict+ keeps freed ranges in
+         * the tree, which is why its tree is fuller — §3.2).
+         */
+        bool live = true;
+
+      private:
+        friend class RbTree;
+        Node *parent = nullptr;
+        Node *left = nullptr;
+        Node *right = nullptr;
+        bool red = false;
+    };
+
+    RbTree();
+    ~RbTree();
+    RbTree(const RbTree &) = delete;
+    RbTree &operator=(const RbTree &) = delete;
+
+    /**
+     * Insert a new disjoint range. @p visits / @p rebalances are
+     * incremented per node examined / per fixup step, for cycle
+     * charging. Returns the owned node.
+     */
+    Node *insert(u64 pfn_lo, u64 pfn_hi, u64 *visits, u64 *rebalances);
+
+    /** Remove and destroy @p node. */
+    void erase(Node *node, u64 *visits, u64 *rebalances);
+
+    /** Find the range containing @p pfn, or nullptr. */
+    Node *findContaining(u64 pfn, u64 *visits) const;
+
+    /** Leftmost / rightmost nodes (nullptr when empty). */
+    Node *first() const;
+    Node *last() const;
+
+    /** In-order neighbors (nullptr at the ends). */
+    Node *next(Node *node) const;
+    Node *prev(Node *node) const;
+
+    u64 size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Destroy all nodes. */
+    void clear();
+
+    /**
+     * Check the red-black invariants (root black, no red-red edges,
+     * equal black heights, ordered disjoint ranges). For tests.
+     */
+    bool validate() const;
+
+  private:
+    bool isNil(const Node *n) const { return n == &nil_; }
+    Node *nil() { return &nil_; }
+
+    void rotateLeft(Node *x);
+    void rotateRight(Node *x);
+    void insertFixup(Node *z, u64 *rebalances);
+    void eraseFixup(Node *x, u64 *rebalances);
+    void transplant(Node *u, Node *v);
+    Node *minimum(Node *n, u64 *visits) const;
+    void destroySubtree(Node *n);
+    bool validateNode(const Node *n, int black_depth, int &expected,
+                      u64 lo_bound, u64 hi_bound) const;
+
+    // Sentinel nil node (CLRS-style): simplifies erase fixup.
+    mutable Node nil_;
+    Node *root_;
+    u64 size_ = 0;
+};
+
+} // namespace rio::iova
+
+#endif // RIO_IOVA_RBTREE_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal packet/segmentation vocabulary shared by the NIC model and
+ * the workloads: Ethernet MTU framing, TCP-like MSS segmentation and
+ * wire-occupancy accounting.
+ */
+#ifndef RIO_NET_PACKET_H
+#define RIO_NET_PACKET_H
+
+#include "base/types.h"
+
+namespace rio::net {
+
+/** Ethernet payload MTU and the TCP-like MSS under 40 B of headers. */
+inline constexpr u32 kMtu = 1500;
+inline constexpr u32 kMss = 1448; // 1500 - 20 (IP) - 32 (TCP w/ tstamp)
+
+/** Protocol headers per packet (Ethernet 14 + IP 20 + TCP 32). */
+inline constexpr u32 kHeaderBytes = 66;
+
+/**
+ * Extra wire occupancy per frame beyond the payload: headers, CRC
+ * (4), preamble+SFD (8) and inter-packet gap (12).
+ */
+inline constexpr u32 kWireOverhead = kHeaderBytes + 4 + 8 + 12;
+
+/** Number of MSS-sized segments a message of @p bytes occupies. */
+constexpr u64
+segmentsFor(u64 bytes)
+{
+    if (bytes == 0)
+        return 1; // a bare ACK / zero-length message still frames
+    return (bytes + kMss - 1) / kMss;
+}
+
+/** Payload bytes of segment @p i (0-based) of a message. */
+constexpr u32
+segmentPayload(u64 bytes, u64 i)
+{
+    const u64 full = bytes / kMss;
+    if (i < full)
+        return kMss;
+    return static_cast<u32>(bytes - full * kMss);
+}
+
+/** Nanoseconds a frame with @p payload bytes occupies a link. */
+constexpr double
+wireTimeNs(u32 payload_bytes, double gbps)
+{
+    return static_cast<double>((payload_bytes + kWireOverhead) * 8) / gbps;
+}
+
+/** A packet in flight on the simulated wire. */
+struct Packet
+{
+    u32 payload_bytes = 0;
+    u64 flow = 0;   //!< opaque flow/slot tag for request tracking
+    u32 kind = 0;   //!< workload-defined (data/ack/request/response)
+};
+
+} // namespace rio::net
+
+#endif // RIO_NET_PACKET_H

@@ -1,0 +1,222 @@
+#include "prefetch/prefetcher.h"
+
+#include <algorithm>
+
+namespace rio::prefetch {
+
+// ---- MarkovPrefetcher -------------------------------------------------------
+
+void
+MarkovPrefetcher::touch(u64 pfn)
+{
+    auto it = table_.find(pfn);
+    if (it != table_.end()) {
+        lru_.erase(it->second.lru_it);
+    } else {
+        evictIfNeeded();
+        table_[pfn] = Entry{};
+        it = table_.find(pfn);
+    }
+    lru_.push_front(pfn);
+    it->second.lru_it = lru_.begin();
+}
+
+void
+MarkovPrefetcher::evictIfNeeded()
+{
+    while (table_.size() >= capacity_ && !lru_.empty()) {
+        table_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+void
+MarkovPrefetcher::access(u64 pfn, std::vector<u64> *predictions)
+{
+    // Learn: last -> pfn.
+    if (has_last_) {
+        auto it = table_.find(last_pfn_);
+        if (it != table_.end()) {
+            it->second.successor = pfn;
+            it->second.has_successor = true;
+        }
+    }
+    touch(pfn);
+    last_pfn_ = pfn;
+    has_last_ = true;
+
+    // Predict pfn's remembered successor.
+    auto it = table_.find(pfn);
+    if (it != table_.end() && it->second.has_successor && predictions)
+        predictions->push_back(it->second.successor);
+}
+
+void
+MarkovPrefetcher::invalidate(u64 pfn)
+{
+    auto it = table_.find(pfn);
+    if (it != table_.end()) {
+        lru_.erase(it->second.lru_it);
+        table_.erase(it);
+    }
+    // Successor links pointing at pfn die lazily: predictions are
+    // validated against the live set by the replay harness anyway.
+    if (has_last_ && last_pfn_ == pfn)
+        has_last_ = false;
+}
+
+void
+MarkovPrefetcher::reset()
+{
+    table_.clear();
+    lru_.clear();
+    has_last_ = false;
+}
+
+// ---- RecencyPrefetcher ------------------------------------------------------
+
+void
+RecencyPrefetcher::access(u64 pfn, std::vector<u64> *predictions)
+{
+    auto it = index_.find(pfn);
+    if (it != index_.end()) {
+        // Predict the pfn's LRU-stack neighbours before moving it.
+        if (predictions) {
+            auto pos = it->second;
+            if (pos != stack_.begin())
+                predictions->push_back(*std::prev(pos));
+            auto next = std::next(pos);
+            if (next != stack_.end())
+                predictions->push_back(*next);
+        }
+        stack_.erase(it->second);
+    } else if (stack_.size() >= capacity_) {
+        index_.erase(stack_.back());
+        stack_.pop_back();
+    }
+    stack_.push_front(pfn);
+    index_[pfn] = stack_.begin();
+}
+
+void
+RecencyPrefetcher::invalidate(u64 pfn)
+{
+    auto it = index_.find(pfn);
+    if (it != index_.end()) {
+        stack_.erase(it->second);
+        index_.erase(it);
+    }
+}
+
+void
+RecencyPrefetcher::reset()
+{
+    stack_.clear();
+    index_.clear();
+}
+
+// ---- DistancePrefetcher -----------------------------------------------------
+
+void
+DistancePrefetcher::access(u64 pfn, std::vector<u64> *predictions)
+{
+    if (has_last_) {
+        const i64 dist = static_cast<i64>(pfn) -
+                         static_cast<i64>(last_pfn_);
+        if (has_dist_) {
+            // Learn: last_dist -> dist.
+            if (dist_table_.find(last_dist_) == dist_table_.end()) {
+                if (dist_lru_.size() >= capacity_) {
+                    dist_table_.erase(dist_lru_.front());
+                    dist_lru_.pop_front();
+                }
+                dist_lru_.push_back(last_dist_);
+            }
+            dist_table_[last_dist_] = dist;
+        }
+        // Predict: pfn + successor-distance of dist.
+        auto it = dist_table_.find(dist);
+        if (it != dist_table_.end() && predictions) {
+            const i64 pred =
+                static_cast<i64>(pfn) + it->second;
+            if (pred > 0)
+                predictions->push_back(static_cast<u64>(pred));
+        }
+        last_dist_ = dist;
+        has_dist_ = true;
+    }
+    last_pfn_ = pfn;
+    has_last_ = true;
+}
+
+void
+DistancePrefetcher::invalidate(u64 pfn)
+{
+    // Distances are address-relative; dropping an address resets the
+    // chain if it was the anchor.
+    if (has_last_ && last_pfn_ == pfn) {
+        has_last_ = false;
+        has_dist_ = false;
+    }
+}
+
+void
+DistancePrefetcher::reset()
+{
+    dist_table_.clear();
+    dist_lru_.clear();
+    has_last_ = false;
+    has_dist_ = false;
+}
+
+// ---- SequentialRingPrefetcher ----------------------------------------------
+
+void
+SequentialRingPrefetcher::onMap(u64 pfn)
+{
+    ring_.push_back(pfn);
+    ++epoch_[pfn];
+}
+
+void
+SequentialRingPrefetcher::access(u64 pfn, std::vector<u64> *predictions)
+{
+    // Predict the pfn mapped right after this one (the next rPTE of
+    // the flat table). A linear scan bounded by a window keeps the
+    // model honest about its two-entry footprint: it only needs the
+    // current and next entries.
+    if (!predictions)
+        return;
+    for (size_t i = 0; i < ring_.size(); ++i) {
+        if (ring_[i] == pfn) {
+            if (i + 1 < ring_.size())
+                predictions->push_back(ring_[i + 1]);
+            return;
+        }
+    }
+}
+
+void
+SequentialRingPrefetcher::invalidate(u64 pfn)
+{
+    auto it = epoch_.find(pfn);
+    if (it == epoch_.end())
+        return;
+    if (--it->second == 0)
+        epoch_.erase(it);
+    for (size_t i = 0; i < ring_.size(); ++i) {
+        if (ring_[i] == pfn) {
+            ring_.erase(ring_.begin() + static_cast<long>(i));
+            return;
+        }
+    }
+}
+
+void
+SequentialRingPrefetcher::reset()
+{
+    ring_.clear();
+    epoch_.clear();
+}
+
+} // namespace rio::prefetch

@@ -1,0 +1,53 @@
+#include "ring/descriptor_ring.h"
+
+#include "base/logging.h"
+
+namespace rio::ring {
+
+DescriptorRing::DescriptorRing(mem::PhysicalMemory &pm, u32 entries)
+    : pm_(pm), entries_(entries)
+{
+    RIO_ASSERT(entries_ >= 2, "ring too small");
+    base_ = pm_.allocContiguous(bytes());
+}
+
+DescriptorRing::~DescriptorRing()
+{
+    for (u64 off = 0; off < pageAlignUp(bytes()); off += kPageSize)
+        pm_.freeFrame(base_ + off);
+}
+
+void
+DescriptorRing::write(u32 idx, const Descriptor &desc)
+{
+    RIO_ASSERT(idx < entries_, "descriptor index out of range");
+    pm_.writeObject(base_ + offsetOf(idx), desc);
+}
+
+Descriptor
+DescriptorRing::read(u32 idx) const
+{
+    RIO_ASSERT(idx < entries_, "descriptor index out of range");
+    return pm_.readObject<Descriptor>(base_ + offsetOf(idx));
+}
+
+u32
+DescriptorRing::push(const Descriptor &desc)
+{
+    RIO_ASSERT(spaceLeft() > 0, "pushing into a full ring");
+    const u32 idx = tail_;
+    write(idx, desc);
+    tail_ = next(tail_);
+    ++pending_;
+    return idx;
+}
+
+void
+DescriptorRing::pop()
+{
+    RIO_ASSERT(pending_ > 0, "popping an empty ring");
+    head_ = next(head_);
+    --pending_;
+}
+
+} // namespace rio::ring

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Generic DMA descriptor ring (paper §2.3 / Figure 3): a circular
+ * array shared between an OS driver and its device. The array lives
+ * in simulated physical memory; the driver writes descriptors
+ * directly (it owns the memory) while the device reads them through
+ * its DMA translation path.
+ */
+#ifndef RIO_RING_DESCRIPTOR_RING_H
+#define RIO_RING_DESCRIPTOR_RING_H
+
+#include "base/types.h"
+#include "mem/phys_mem.h"
+
+namespace rio::ring {
+
+/**
+ * One DMA descriptor: target-buffer address (an IOVA when an IOMMU
+ * is on), length, and status flags for driver/device synchronization.
+ * 16 bytes in memory.
+ */
+struct Descriptor
+{
+    u64 addr = 0;
+    u32 len = 0;
+    u32 flags = 0;
+
+    static constexpr u32 kOwnedByDevice = 1u << 0; //!< posted, not done
+    static constexpr u32 kCompleted = 1u << 1;     //!< device finished
+    static constexpr u32 kEndOfPacket = 1u << 2;   //!< last buffer of pkt
+    static constexpr u64 kBytes = 16;
+
+    bool ownedByDevice() const { return flags & kOwnedByDevice; }
+    bool completed() const { return flags & kCompleted; }
+    bool endOfPacket() const { return flags & kEndOfPacket; }
+};
+
+/**
+ * The circular descriptor array plus head/tail bookkeeping. The
+ * driver adds at the tail; the device consumes from the head
+ * ([head, tail) is device-owned, §2.3).
+ */
+class DescriptorRing
+{
+  public:
+    DescriptorRing(mem::PhysicalMemory &pm, u32 entries);
+    ~DescriptorRing();
+
+    DescriptorRing(const DescriptorRing &) = delete;
+    DescriptorRing &operator=(const DescriptorRing &) = delete;
+
+    u32 entries() const { return entries_; }
+    PhysAddr base() const { return base_; }
+    u64 bytes() const { return static_cast<u64>(entries_) * Descriptor::kBytes; }
+
+    /** Driver-side direct access (driver owns this memory). */
+    void write(u32 idx, const Descriptor &desc);
+    Descriptor read(u32 idx) const;
+
+    /** Byte offset of descriptor @p idx within the ring array. */
+    u64
+    offsetOf(u32 idx) const
+    {
+        return static_cast<u64>(idx % entries_) * Descriptor::kBytes;
+    }
+
+    u32 next(u32 idx) const { return (idx + 1) % entries_; }
+
+    // ---- head/tail bookkeeping ([head, tail) is device-owned) ------
+    u32 head() const { return head_; }
+    u32 tail() const { return tail_; }
+
+    /** Descriptors the driver can still post. */
+    u32
+    spaceLeft() const
+    {
+        return entries_ - pending_;
+    }
+
+    /** Descriptors currently owned by the device. */
+    u32 pending() const { return pending_; }
+
+    /** Driver posts one descriptor at the tail; returns its index. */
+    u32 push(const Descriptor &desc);
+
+    /** Device consumed the head descriptor; advance. */
+    void pop();
+
+  private:
+    mem::PhysicalMemory &pm_;
+    u32 entries_;
+    PhysAddr base_;
+    u32 head_ = 0;
+    u32 tail_ = 0;
+    u32 pending_ = 0;
+};
+
+} // namespace rio::ring
+
+#endif // RIO_RING_DESCRIPTOR_RING_H

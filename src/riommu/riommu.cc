@@ -1,0 +1,219 @@
+#include "riommu/riommu.h"
+
+#include "base/logging.h"
+
+namespace rio::riommu {
+
+Riommu::Riommu(mem::PhysicalMemory &pm, const cycles::CostModel &cost,
+               bool prefetch_enabled)
+    : pm_(pm), cost_(cost), prefetch_enabled_(prefetch_enabled)
+{
+}
+
+void
+Riommu::attachDevice(Bdf bdf, PhysAddr rdevice_base, u16 nrings)
+{
+    devices_[bdf.pack()] = RDeviceInfo{rdevice_base, nrings};
+}
+
+void
+Riommu::detachDevice(Bdf bdf)
+{
+    const u16 sid = bdf.pack();
+    auto it = devices_.find(sid);
+    if (it == devices_.end())
+        return;
+    for (u16 rid = 0; rid < it->second.nrings; ++rid)
+        riotlb_.invalidate(sid, rid);
+    devices_.erase(it);
+}
+
+const Riommu::RDeviceInfo *
+Riommu::getDomain(u16 sid) const
+{
+    auto it = devices_.find(sid);
+    return it == devices_.end() ? nullptr : &it->second;
+}
+
+RRingDesc
+Riommu::readRingDesc(const RDeviceInfo &dev, u16 rid) const
+{
+    RRingDesc desc;
+    const PhysAddr slot = dev.base + static_cast<u64>(rid) * RRingDesc::kBytes;
+    desc.table = pm_.read64(slot);
+    desc.size = pm_.read32(slot + 8);
+    return desc;
+}
+
+RPte
+Riommu::readPte(const RRingDesc &ring, u32 rentry) const
+{
+    const PhysAddr slot =
+        ring.table + static_cast<u64>(rentry) * RPte::kBytes;
+    return RPte::fromWords(pm_.read64(slot), pm_.read64(slot + 8));
+}
+
+void
+Riommu::prefetch(const RDeviceInfo &dev, RiotlbEntry &entry)
+{
+    // rprefetch (Figure 10): stash a copy of the subsequent rPTE if
+    // it is already valid. May run asynchronously in hardware; the
+    // design works without it, so it is gated for the ablation bench.
+    entry.next.valid = false;
+    if (!prefetch_enabled_)
+        return;
+    const RRingDesc ring = readRingDesc(dev, entry.rid);
+    if (ring.size <= 1)
+        return;
+    const u32 next = (entry.rentry + 1) % ring.size;
+    const RPte pte = readPte(ring, next);
+    if (pte.valid)
+        entry.next = pte;
+}
+
+Result<RiotlbEntry>
+Riommu::tableWalk(u16 sid, RIova iova, Cycles *hw)
+{
+    // rtable_walk (Figure 10): bounds-check rid/rentry against the
+    // rDEVICE limits and require a valid rPTE; noncompliance is an
+    // I/O page fault (errant DMA or buggy driver).
+    *hw += cost_.hw_rwalk;
+    const RDeviceInfo *dev = getDomain(sid);
+    if (!dev) {
+        fault(sid, iova, Access::kRead, iommu::FaultReason::kNoContext);
+        return Status(ErrorCode::kIoPageFault, "device has no rDEVICE");
+    }
+    if (iova.rid() >= dev->nrings) {
+        fault(sid, iova, Access::kRead, iommu::FaultReason::kOutOfRange);
+        return Status(ErrorCode::kIoPageFault, "rid out of range");
+    }
+    const RRingDesc ring = readRingDesc(*dev, iova.rid());
+    if (iova.rentry() >= ring.size) {
+        fault(sid, iova, Access::kRead, iommu::FaultReason::kOutOfRange);
+        return Status(ErrorCode::kIoPageFault, "rentry out of range");
+    }
+    const RPte pte = readPte(ring, iova.rentry());
+    if (!pte.valid) {
+        fault(sid, iova, Access::kRead, iommu::FaultReason::kNotPresent);
+        return Status(ErrorCode::kIoPageFault, "rPTE invalid");
+    }
+
+    RiotlbEntry entry;
+    entry.bdf = sid;
+    entry.rid = iova.rid();
+    entry.rentry = iova.rentry();
+    entry.rpte = pte;
+    prefetch(*dev, entry);
+    ++riotlb_.stats().walks;
+    return entry;
+}
+
+Status
+Riommu::entrySync(u16 sid, RIova iova, RiotlbEntry &entry, Cycles *hw,
+                  bool *prefetch_hit)
+{
+    // riotlb_entry_sync (Figure 10): the cached entry points at a
+    // different rentry than this rIOVA. If the prefetched next rPTE
+    // matches, advance in place; otherwise do a full walk.
+    const RDeviceInfo *dev = getDomain(sid);
+    if (!dev) {
+        fault(sid, iova, Access::kRead, iommu::FaultReason::kNoContext);
+        return Status(ErrorCode::kIoPageFault, "device has no rDEVICE");
+    }
+    const RRingDesc ring = readRingDesc(*dev, entry.rid);
+    const u32 next = (entry.rentry + 1) % ring.size;
+
+    if (entry.next.valid && iova.rentry() == next) {
+        entry.rpte = entry.next;
+        entry.rentry = next;
+        entry.next.valid = false;
+        *prefetch_hit = true;
+        *hw += cost_.hw_tlb_hit;
+        ++riotlb_.stats().prefetch_hits;
+    } else {
+        auto walked = tableWalk(sid, iova, hw);
+        if (!walked.isOk())
+            return walked.status();
+        entry = walked.value();
+        // tableWalk already prefetched into the fresh entry.
+        return Status::ok();
+    }
+    prefetch(*dev, entry);
+    return Status::ok();
+}
+
+Result<RTranslation>
+Riommu::translate(Bdf bdf, RIova iova, Access access, u64 len)
+{
+    const u16 sid = bdf.pack();
+    RiotlbStats &st = riotlb_.stats();
+    ++st.lookups;
+
+    RTranslation out;
+    out.hw_cycles = cost_.hw_tlb_hit;
+
+    RiotlbEntry *e = riotlb_.find(sid, iova.rid());
+    if (!e) {
+        auto walked = tableWalk(sid, iova, &out.hw_cycles);
+        if (!walked.isOk())
+            return walked.status();
+        riotlb_.insert(walked.value());
+        e = riotlb_.find(sid, iova.rid());
+        RIO_ASSERT(e, "entry vanished after insert");
+    } else {
+        out.riotlb_hit = true;
+        ++st.hits;
+        if (e->rentry != iova.rentry()) {
+            ++st.synced;
+            Status s = entrySync(sid, iova, *e, &out.hw_cycles,
+                                 &out.prefetch_hit);
+            if (!s)
+                return s;
+        } else {
+            ++st.current;
+        }
+    }
+
+    // Permission and fine-grained bounds checks (rtranslate tail).
+    const RPte &pte = e->rpte;
+    if (len == 0 || iova.offset() >= pte.size ||
+        len > pte.size - iova.offset()) {
+        fault(sid, iova, access, iommu::FaultReason::kOutOfRange);
+        return Status(ErrorCode::kIoPageFault,
+                      "offset/length beyond mapping size");
+    }
+    if (!dirPermits(pte.dir, access)) {
+        fault(sid, iova, access, iommu::FaultReason::kPermission);
+        return Status(ErrorCode::kPermission, "DMA direction violation");
+    }
+    out.pa = pte.phys_addr + iova.offset();
+    return out;
+}
+
+Status
+Riommu::dmaWrite(Bdf bdf, RIova iova, const void *src, u64 len)
+{
+    auto tr = translate(bdf, iova, Access::kWrite, len);
+    if (!tr.isOk())
+        return tr.status();
+    pm_.write(tr.value().pa, src, len);
+    return Status::ok();
+}
+
+Status
+Riommu::dmaRead(Bdf bdf, RIova iova, void *dst, u64 len)
+{
+    auto tr = translate(bdf, iova, Access::kRead, len);
+    if (!tr.isOk())
+        return tr.status();
+    pm_.read(tr.value().pa, dst, len);
+    return Status::ok();
+}
+
+void
+Riommu::invalidateRing(Bdf bdf, u16 rid)
+{
+    riotlb_.invalidate(bdf.pack(), rid);
+}
+
+} // namespace rio::riommu

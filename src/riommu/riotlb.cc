@@ -1,0 +1,32 @@
+#include "riommu/riotlb.h"
+
+namespace rio::riommu {
+
+RiotlbEntry *
+Riotlb::find(u16 bdf, u16 rid)
+{
+    auto it = entries_.find(key(bdf, rid));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+Riotlb::insert(const RiotlbEntry &entry)
+{
+    entries_[key(entry.bdf, entry.rid)] = entry;
+}
+
+bool
+Riotlb::invalidate(u16 bdf, u16 rid)
+{
+    ++stats_.invalidations;
+    return entries_.erase(key(bdf, rid)) > 0;
+}
+
+const RiotlbEntry *
+Riotlb::peek(u16 bdf, u16 rid) const
+{
+    auto it = entries_.find(key(bdf, rid));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+} // namespace rio::riommu

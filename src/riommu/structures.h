@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The rIOMMU data structures of Figure 9, bit-widths included:
+ *
+ *   rDEVICE { u16 size; rRING rings[size]; }         (hardware-read)
+ *   rRING   { u18 size; rPTE ring[size];
+ *             u18 tail; u18 nmapped; }               (tail/nmapped SW-only)
+ *   rPTE    { u64 phys_addr; u30 size; u02 dir;
+ *             u01 valid; u31 unused; }               (128 bits)
+ *   rIOVA   { u30 offset; u18 rentry; u16 rid; }     (64 bits)
+ *
+ * rPTE and the rDEVICE/rRING descriptors are memory-resident (the
+ * hardware model really reads them from simulated physical memory);
+ * rIOVA is a value type packed exactly as the paper lays it out.
+ */
+#ifndef RIO_RIOMMU_STRUCTURES_H
+#define RIO_RIOMMU_STRUCTURES_H
+
+#include "base/types.h"
+#include "iommu/types.h"
+
+namespace rio::riommu {
+
+using iommu::Access;
+using iommu::Bdf;
+using iommu::DmaDir;
+
+/**
+ * How a rRING hands out its flat-table entries.
+ *
+ * kSequential is the paper's design: a tail pointer, two integer
+ * bumps per map, FIFO unmaps. kFreeList is the extension sketched in
+ * §4 ("It would be easy to extend rIOMMU to support [AHCI's
+ * arbitrary-order] work mode as well"): entries are allocated from a
+ * free list so maps and unmaps may happen in any order; the hardware
+ * side is untouched (rIOVAs are just indices into the 1-D table),
+ * only the next-entry prefetch loses its payoff.
+ */
+enum class RingMode : u8 { kSequential = 0, kFreeList = 1 };
+
+/** Field widths fixed by the rIOVA layout. */
+inline constexpr unsigned kOffsetBits = 30;
+inline constexpr unsigned kRentryBits = 18;
+inline constexpr unsigned kRidBits = 16;
+inline constexpr u64 kMaxOffset = (u64{1} << kOffsetBits) - 1;
+inline constexpr u64 kMaxRingSize = u64{1} << kRentryBits;   // 256 K entries
+inline constexpr u64 kMaxRingsPerDevice = u64{1} << kRidBits;
+
+/**
+ * A packed rIOVA. The I/O device treats it as an opaque 64-bit DMA
+ * address; the rIOMMU decodes it as (rid, rentry, offset).
+ */
+struct RIova
+{
+    u64 raw = 0;
+
+    u32
+    offset() const
+    {
+        return static_cast<u32>(raw & kMaxOffset);
+    }
+
+    u32
+    rentry() const
+    {
+        return static_cast<u32>((raw >> kOffsetBits) &
+                                ((u64{1} << kRentryBits) - 1));
+    }
+
+    u16
+    rid() const
+    {
+        return static_cast<u16>(raw >> (kOffsetBits + kRentryBits));
+    }
+
+    /** pack_iova of Figure 11: the driver always packs offset = 0. */
+    static RIova
+    pack(u32 offset, u32 rentry, u16 rid)
+    {
+        return RIova{(static_cast<u64>(rid) << (kOffsetBits + kRentryBits)) |
+                     (static_cast<u64>(rentry) << kOffsetBits) |
+                     (offset & kMaxOffset)};
+    }
+
+    /** Same rIOVA with its offset adjusted by the caller (§4). */
+    RIova
+    withOffset(u32 offset) const
+    {
+        return RIova{(raw & ~kMaxOffset) | (offset & kMaxOffset)};
+    }
+
+    bool operator==(const RIova &o) const { return raw == o.raw; }
+};
+
+/**
+ * In-memory rPTE image: 128 bits. Word 0 is the physical address
+ * (not necessarily page aligned — rIOMMU protects at byte
+ * granularity); word 1 packs size(30) | dir(2) | valid(1).
+ */
+struct RPte
+{
+    u64 phys_addr = 0;
+    u32 size = 0;   // 30 bits used
+    DmaDir dir = DmaDir::kNone;
+    bool valid = false;
+
+    static constexpr u64 kBytes = 16; //!< footprint in the flat table
+
+    /** Serialize to the two memory words. */
+    u64 word0() const { return phys_addr; }
+
+    u64
+    word1() const
+    {
+        return (static_cast<u64>(size) & kMaxOffset) |
+               (static_cast<u64>(dir) << kOffsetBits) |
+               (static_cast<u64>(valid) << (kOffsetBits + 2));
+    }
+
+    static RPte
+    fromWords(u64 w0, u64 w1)
+    {
+        RPte pte;
+        pte.phys_addr = w0;
+        pte.size = static_cast<u32>(w1 & kMaxOffset);
+        pte.dir = static_cast<DmaDir>((w1 >> kOffsetBits) & 0x3);
+        pte.valid = ((w1 >> (kOffsetBits + 2)) & 0x1) != 0;
+        return pte;
+    }
+};
+
+/**
+ * In-memory rRING descriptor inside the rDEVICE array (16 bytes):
+ * word 0 = physical address of the flat rPTE table, word 1 = size.
+ * The tail and nmapped fields of Figure 9b are software-only state
+ * and live in the driver (RDevice), invisible to hardware.
+ */
+struct RRingDesc
+{
+    PhysAddr table = 0;
+    u32 size = 0;
+
+    static constexpr u64 kBytes = 16;
+};
+
+} // namespace rio::riommu
+
+#endif // RIO_RIOMMU_STRUCTURES_H

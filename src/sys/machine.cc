@@ -1,0 +1,33 @@
+#include "sys/machine.h"
+
+namespace rio::sys {
+
+namespace {
+
+dma::DmaHandle &
+wrap(std::unique_ptr<dma::DmaHandle> &handle,
+     std::unique_ptr<trace::RecordingDmaHandle> &recorder,
+     trace::DmaTrace *trace)
+{
+    if (!trace)
+        return *handle;
+    recorder =
+        std::make_unique<trace::RecordingDmaHandle>(*handle, *trace);
+    return *recorder;
+}
+
+} // namespace
+
+Machine::Machine(des::Simulator &sim, dma::ProtectionMode mode,
+                 const nic::NicProfile &profile,
+                 const cycles::CostModel &cost, trace::DmaTrace *trace)
+    : sim_(sim), mode_(mode), profile_(profile), ctx_(cost),
+      core_(sim, cost),
+      handle_(ctx_.makeHandle(mode, iommu::Bdf{0, 3, 0}, &core_.acct(),
+                              profile.riommuRingSizes())),
+      nic_(sim, core_, ctx_.memory(), wrap(handle_, recorder_, trace),
+           profile_)
+{
+}
+
+} // namespace rio::sys

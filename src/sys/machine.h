@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine: one simulated host — memory + IOMMUs (DmaContext), a
+ * single core (the paper's servers are configured to use one core,
+ * §5.1), a DMA handle implementing the chosen protection mode, and a
+ * NIC. Workloads are built on top of one or two Machines sharing a
+ * discrete-event Simulator.
+ */
+#ifndef RIO_SYS_MACHINE_H
+#define RIO_SYS_MACHINE_H
+
+#include <memory>
+
+#include "des/core.h"
+#include "des/simulator.h"
+#include "dma/dma_context.h"
+#include "nic/nic.h"
+#include "trace/trace.h"
+
+namespace rio::sys {
+
+/** A host under a given protection mode with one NIC. */
+class Machine
+{
+  public:
+    /**
+     * @param trace when non-null, every map/unmap/device access of
+     * this machine's NIC is recorded (for the §5.4 prefetcher study).
+     */
+    Machine(des::Simulator &sim, dma::ProtectionMode mode,
+            const nic::NicProfile &profile,
+            const cycles::CostModel &cost = cycles::defaultCostModel(),
+            trace::DmaTrace *trace = nullptr);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Bring the NIC up (ring allocation, Rx prefill). Do this before
+     * starting a workload; init-time charges precede any measurement
+     * window. */
+    void bringUp() { nic_.bringUp(); }
+
+    des::Simulator &sim() { return sim_; }
+    des::Core &core() { return core_; }
+    cycles::CycleAccount &acct() { return core_.acct(); }
+    dma::DmaContext &ctx() { return ctx_; }
+    dma::DmaHandle &handle() { return *handle_; }
+    nic::Nic &nic() { return nic_; }
+    dma::ProtectionMode mode() const { return mode_; }
+    const nic::NicProfile &profile() const { return profile_; }
+    const cycles::CostModel &cost() const { return ctx_.cost(); }
+
+  private:
+    des::Simulator &sim_;
+    dma::ProtectionMode mode_;
+    // By value: callers may pass temporaries; devices keep pointing
+    // at this stable copy.
+    const nic::NicProfile profile_;
+    dma::DmaContext ctx_;
+    des::Core core_;
+    std::unique_ptr<dma::DmaHandle> handle_;
+    std::unique_ptr<trace::RecordingDmaHandle> recorder_;
+    nic::Nic nic_;
+};
+
+} // namespace rio::sys
+
+#endif // RIO_SYS_MACHINE_H

@@ -1,0 +1,85 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+
+#include "base/logging.h"
+
+namespace rio::trace {
+
+Status
+DmaTrace::saveText(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return Status(ErrorCode::kInvalidArgument, "cannot open " + path);
+    static const char kKindChar[] = {'M', 'U', 'A'};
+    for (const TraceEvent &e : events_) {
+        std::fprintf(f, "%c %llu\n",
+                     kKindChar[static_cast<unsigned>(e.kind)],
+                     static_cast<unsigned long long>(e.iova_pfn));
+    }
+    std::fclose(f);
+    return Status::ok();
+}
+
+Status
+DmaTrace::loadText(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return Status(ErrorCode::kNotFound, "cannot open " + path);
+    events_.clear();
+    char kind = 0;
+    unsigned long long pfn = 0;
+    while (std::fscanf(f, " %c %llu", &kind, &pfn) == 2) {
+        TraceEvent::Kind k;
+        switch (kind) {
+          case 'M': k = TraceEvent::Kind::kMap; break;
+          case 'U': k = TraceEvent::Kind::kUnmap; break;
+          case 'A': k = TraceEvent::Kind::kAccess; break;
+          default:
+            std::fclose(f);
+            return Status(ErrorCode::kInvalidArgument,
+                          "bad trace line kind");
+        }
+        events_.push_back({k, pfn});
+    }
+    std::fclose(f);
+    return Status::ok();
+}
+
+Result<dma::DmaMapping>
+RecordingDmaHandle::map(u16 rid, PhysAddr pa, u32 size, iommu::DmaDir dir)
+{
+    auto m = inner_.map(rid, pa, size, dir);
+    if (m.isOk())
+        trace_.add(TraceEvent::Kind::kMap,
+                   m.value().device_addr >> kPageShift);
+    return m;
+}
+
+Status
+RecordingDmaHandle::unmap(const dma::DmaMapping &mapping, bool end_of_burst)
+{
+    Status s = inner_.unmap(mapping, end_of_burst);
+    if (s.isOk())
+        trace_.add(TraceEvent::Kind::kUnmap,
+                   mapping.device_addr >> kPageShift);
+    return s;
+}
+
+Status
+RecordingDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
+{
+    trace_.add(TraceEvent::Kind::kAccess, device_addr >> kPageShift);
+    return inner_.deviceRead(device_addr, dst, len);
+}
+
+Status
+RecordingDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
+{
+    trace_.add(TraceEvent::Kind::kAccess, device_addr >> kPageShift);
+    return inner_.deviceWrite(device_addr, src, len);
+}
+
+} // namespace rio::trace

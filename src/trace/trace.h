@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DMA trace capture (§5.4 methodology): the paper logged the DMAs of
+ * emulated devices under KVM/QEMU and fed them to simulated TLB
+ * prefetchers. Here a RecordingDmaHandle decorates any DmaHandle and
+ * records map/unmap/access events at IOVA-page granularity; the
+ * prefetch module replays the traces.
+ */
+#ifndef RIO_TRACE_TRACE_H
+#define RIO_TRACE_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "dma/dma_handle.h"
+
+namespace rio::trace {
+
+/** One event in a DMA trace. */
+struct TraceEvent
+{
+    enum class Kind : u8 { kMap = 0, kUnmap = 1, kAccess = 2 };
+
+    Kind kind = Kind::kAccess;
+    u64 iova_pfn = 0;
+};
+
+/** An in-memory DMA trace with text-file (de)serialization. */
+class DmaTrace
+{
+  public:
+    void
+    add(TraceEvent::Kind kind, u64 iova_pfn)
+    {
+        events_.push_back({kind, iova_pfn});
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    u64 size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /** "M pfn" / "U pfn" / "A pfn" lines. */
+    Status saveText(const std::string &path) const;
+    Status loadText(const std::string &path);
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Decorator that forwards to an inner handle and records every map,
+ * unmap and device access into a DmaTrace.
+ */
+class RecordingDmaHandle : public dma::DmaHandle
+{
+  public:
+    RecordingDmaHandle(dma::DmaHandle &inner, DmaTrace &trace)
+        : inner_(inner), trace_(trace)
+    {
+    }
+
+    Result<dma::DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
+                                iommu::DmaDir dir) override;
+    Status unmap(const dma::DmaMapping &mapping,
+                 bool end_of_burst) override;
+    Status deviceRead(u64 device_addr, void *dst, u64 len) override;
+    Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
+    u64 liveMappings() const override { return inner_.liveMappings(); }
+    iommu::Bdf bdf() const override { return inner_.bdf(); }
+
+  private:
+    dma::DmaHandle &inner_;
+    DmaTrace &trace_;
+};
+
+} // namespace rio::trace
+
+#endif // RIO_TRACE_TRACE_H

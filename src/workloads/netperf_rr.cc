@@ -1,0 +1,106 @@
+#include "workloads/netperf_rr.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "base/logging.h"
+#include "net/packet.h"
+#include "sys/machine.h"
+
+namespace rio::workloads {
+
+RrParams
+rrParamsFor(const nic::NicProfile &profile)
+{
+    RrParams p;
+    if (std::string_view(profile.name) == "brcm") {
+        // brcm RTTs are far higher (Table 3: 34.6 us for none) —
+        // 10GBASE-T PHY latency plus heavier interrupt moderation;
+        // most of that is in the profile's wire/irq delays.
+        p.per_message_cycles = 3400;
+    } else {
+        p.per_message_cycles = 2600;
+    }
+    return p;
+}
+
+RunResult
+runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
+             const RrParams &params, const cycles::CostModel &cost)
+{
+    des::Simulator sim;
+    sys::Machine a(sim, mode, profile, cost); // netperf (measured)
+    sys::Machine b(sim, mode, profile, cost); // netserver (echoer)
+    a.bringUp();
+    b.bringUp();
+
+    // Wire: full-duplex point-to-point link.
+    a.nic().setWireTxCallback([&](const net::Packet &pkt) {
+        sim.scheduleAfter(profile.wire_ns,
+                          [&, pkt] { b.nic().packetFromWire(pkt); });
+    });
+    b.nic().setWireTxCallback([&](const net::Packet &pkt) {
+        sim.scheduleAfter(profile.wire_ns,
+                          [&, pkt] { a.nic().packetFromWire(pkt); });
+    });
+
+    u64 transactions = 0;
+    bool stopped = false;
+    Nanos t_start = 0, t_end = 0;
+    Cycles busy_start = 0, busy_end = 0;
+    cycles::CycleAccount acct_start, acct_end;
+
+    auto send = [&](sys::Machine &machine) {
+        machine.core().acct().charge(cycles::Cat::kProcessing,
+                                     params.per_message_cycles);
+        net::Packet pkt;
+        pkt.payload_bytes = params.payload;
+        Status s = machine.nic().sendPacket(pkt);
+        RIO_ASSERT(s.isOk(), "rr send failed: ", s.toString());
+    };
+
+    // Echo side: bounce every message straight back.
+    b.nic().setRxCallback([&](const net::Packet &) { send(b); });
+
+    // Initiator: count a transaction per echo, fire the next one.
+    a.nic().setRxCallback([&](const net::Packet &) {
+        ++transactions;
+        if (transactions == params.warmup_transactions) {
+            t_start = sim.now();
+            busy_start = a.core().busyCycles();
+            acct_start = a.core().acct();
+        }
+        if (transactions ==
+            params.warmup_transactions + params.measure_transactions) {
+            stopped = true;
+            t_end = sim.now();
+            busy_end = a.core().busyCycles();
+            acct_end = a.core().acct();
+            return;
+        }
+        if (!stopped)
+            send(a);
+    });
+
+    a.core().post([&] { send(a); });
+    sim.run();
+    RIO_ASSERT(stopped, "RR run ended early");
+
+    RunResult r;
+    r.duration_s = static_cast<double>(t_end - t_start) * 1e-9;
+    r.transactions = params.measure_transactions;
+    r.transactions_per_sec =
+        static_cast<double>(r.transactions) / r.duration_s;
+    r.acct = acct_end.since(acct_start);
+    r.tx_packets = r.transactions;
+    r.cycles_per_packet = static_cast<double>(r.acct.total()) /
+                          static_cast<double>(r.transactions);
+    r.cpu = std::min(1.0, static_cast<double>(busy_end - busy_start) /
+                              cost.core_ghz /
+                              static_cast<double>(t_end - t_start));
+    r.throughput_gbps = r.transactions_per_sec *
+                        static_cast<double>(params.payload) * 8 / 1e9;
+    return r;
+}
+
+} // namespace rio::workloads

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Netperf UDP request-response model (§5.1): two full machines under
+ * the same protection mode exchange 1-byte messages in a ping-pong.
+ * Latency is the inverse of the transaction rate (Table 3); the
+ * workload is latency-sensitive, so rIOMMU's end-of-burst
+ * invalidation is NOT amortized here — exactly the regime §4
+ * discusses.
+ */
+#ifndef RIO_WORKLOADS_NETPERF_RR_H
+#define RIO_WORKLOADS_NETPERF_RR_H
+
+#include "dma/protection_mode.h"
+#include "nic/profile.h"
+#include "workloads/result.h"
+
+namespace rio::workloads {
+
+/** Parameters of a Netperf RR run. */
+struct RrParams
+{
+    u64 measure_transactions = 4000;
+    u64 warmup_transactions = 500;
+    u32 payload = 1; //!< netperf RR default: one byte each way
+    /** Per-message stack cost (UDP path + syscall + wakeup). */
+    Cycles per_message_cycles = 2600;
+};
+
+/** Calibrated parameters (Table 3's none RTT anchors the wire). */
+RrParams rrParamsFor(const nic::NicProfile &profile);
+
+/**
+ * Run the ping-pong. Returns the initiating machine's metrics;
+ * transactions_per_sec is the RR rate, so RTT in microseconds is
+ * 1e6 / transactions_per_sec.
+ */
+RunResult runNetperfRr(dma::ProtectionMode mode,
+                       const nic::NicProfile &profile,
+                       const RrParams &params,
+                       const cycles::CostModel &cost =
+                           cycles::defaultCostModel());
+
+} // namespace rio::workloads
+
+#endif // RIO_WORKLOADS_NETPERF_RR_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Request/response server model covering the paper's Apache
+ * (ApacheBench, 32 concurrent requests of a 1 KB or 1 MB static
+ * page) and Memcached (Memslap, 90% get / 10% set, 64 B keys, 1 KB
+ * values, 32 concurrent) benchmarks (§5.1). The measured host runs
+ * the server; the load generator is an abstract client that keeps
+ * `concurrency` requests outstanding and costs nothing.
+ */
+#ifndef RIO_WORKLOADS_REQUEST_LOAD_H
+#define RIO_WORKLOADS_REQUEST_LOAD_H
+
+#include "base/rng.h"
+#include "dma/protection_mode.h"
+#include "nic/profile.h"
+#include "workloads/result.h"
+
+namespace rio::workloads {
+
+/** Parameters of a request/response run. */
+struct RequestLoadParams
+{
+    u32 concurrency = 32;
+    u32 request_payload = 100;   //!< GET line / memcached key packet
+    u64 response_bytes = 1024;   //!< page / value size
+    /**
+     * Small additional Rx/Tx packets per request: TCP handshake and
+     * teardown for ApacheBench's one-connection-per-request mode
+     * (SYN/ACK/FIN in, SYN-ACK/FIN-ACK out); zero for memcached's
+     * persistent connections.
+     */
+    u32 extra_rx_small = 0;
+    u32 extra_tx_small = 0;
+    /** Fraction of requests that are uploads (memcached set: the 1 KB
+     * value travels client->server and the reply is tiny). */
+    double set_fraction = 0.0;
+    /** Application cycles per request (HTTP parse + file serve, or
+     * the memcached LRU lookup). Dominates Apache 1KB (§5.2). */
+    Cycles per_request_cycles = 250000;
+    /** Stack cost per transmitted data segment. */
+    Cycles per_tx_packet_cycles = 500;
+    /** Stack cost per received packet. */
+    Cycles per_rx_packet_cycles = 300;
+    /** Client ACKs every N response segments (1 MB streaming). */
+    u32 ack_every = 2;
+    u64 measure_requests = 2000;
+    u64 warmup_requests = 300;
+    u64 seed = 1;
+};
+
+/** ApacheBench serving a file of @p response_bytes. */
+RequestLoadParams apacheParams(u64 response_bytes);
+
+/** Memslap against memcached: 90/10 get/set, 1 KB values. */
+RequestLoadParams memcachedParams();
+
+/** Run the server under @p mode; transactions are completed requests. */
+RunResult runRequestLoad(dma::ProtectionMode mode,
+                         const nic::NicProfile &profile,
+                         const RequestLoadParams &params,
+                         const cycles::CostModel &cost =
+                             cycles::defaultCostModel());
+
+} // namespace rio::workloads
+
+#endif // RIO_WORKLOADS_REQUEST_LOAD_H

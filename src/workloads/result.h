@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Result record shared by all workload drivers — the quantities the
+ * paper's evaluation reports: throughput, transactions/latency, CPU
+ * consumption and the cycles-per-packet breakdown (Figure 7 /
+ * Table 1 categories).
+ */
+#ifndef RIO_WORKLOADS_RESULT_H
+#define RIO_WORKLOADS_RESULT_H
+
+#include "cycles/cycle_account.h"
+#include "nic/nic.h"
+
+namespace rio::workloads {
+
+/** Measurement-window results of one workload run. */
+struct RunResult
+{
+    double duration_s = 0;
+    u64 tx_packets = 0;
+    u64 rx_packets = 0;
+    u64 tx_payload_bytes = 0;
+    u64 transactions = 0;
+
+    /** Payload goodput in Gbps over the window. */
+    double throughput_gbps = 0;
+    /** Requests (or RR transactions) per second. */
+    double transactions_per_sec = 0;
+    /** Core utilization in [0, 1]. */
+    double cpu = 0;
+    /** Average core cycles per transmitted packet (Figure 7's C). */
+    double cycles_per_packet = 0;
+    /** Average completion-burst length (the paper observes ~200). */
+    double avg_unmap_burst = 0;
+
+    /** Per-category cycle deltas over the window (Table 1 rows). */
+    cycles::CycleAccount acct;
+    /** NIC counter deltas over the window. */
+    nic::NicStats nic;
+};
+
+/** a - b, field-wise, for NIC counter windows. */
+nic::NicStats statsDelta(const nic::NicStats &a, const nic::NicStats &b);
+
+} // namespace rio::workloads
+
+#endif // RIO_WORKLOADS_RESULT_H

@@ -1,0 +1,99 @@
+#include "workloads/storage.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "dma/dma_context.h"
+#include "des/core.h"
+
+namespace rio::workloads {
+
+RunResult
+runStorage(dma::ProtectionMode mode, const StorageParams &params,
+           const cycles::CostModel &cost)
+{
+    des::Simulator sim;
+    dma::DmaContext ctx(cost);
+    des::Core core(sim, cost);
+    auto handle =
+        ctx.makeHandle(mode, iommu::Bdf{0, 6, 0}, &core.acct(),
+                       nvme::NvmeDevice::riommuRingSizes(params.device));
+    nvme::NvmeDevice ssd(sim, core, ctx.memory(), *handle, params.device);
+    ssd.bringUp();
+    Rng rng(params.seed);
+
+    // One staging buffer per queue slot.
+    const u32 block = params.device.block_bytes;
+    std::vector<PhysAddr> buffers;
+    for (u32 i = 0; i < params.queue_depth; ++i)
+        buffers.push_back(ctx.memory().allocContiguous(block));
+
+    u64 submitted = 0;
+    u64 done = 0;
+    u64 next_lba = 0;
+    const u64 total = params.warmup_ios + params.measure_ios;
+
+    Nanos t_start = 0, t_end = 0;
+    Cycles busy_start = 0, busy_end = 0;
+    cycles::CycleAccount acct_start, acct_end;
+    bool started = false, stopped = false;
+
+    std::function<void()> pump = [&] {
+        while (!stopped && submitted < total && ssd.submitSpace() > 0 &&
+               submitted - done < params.queue_depth) {
+            core.acct().charge(cycles::Cat::kProcessing,
+                               params.per_io_cycles);
+            const bool is_write = rng.chance(params.write_fraction);
+            const u64 lba = params.sequential
+                                ? next_lba++
+                                : rng.below(1 << 20);
+            auto cid =
+                ssd.submit(is_write ? nvme::Opcode::kWrite
+                                    : nvme::Opcode::kRead,
+                           lba, 1,
+                           buffers[submitted % params.queue_depth]);
+            RIO_ASSERT(cid.isOk(), "submit failed: ",
+                       cid.status().toString());
+            ++submitted;
+        }
+    };
+    ssd.setCompletionCallback([&](u32, Status s) {
+        RIO_ASSERT(s.isOk(), "I/O failed: ", s.toString());
+        ++done;
+        if (!started && done >= params.warmup_ios) {
+            started = true;
+            t_start = sim.now();
+            busy_start = core.busyCycles();
+            acct_start = core.acct();
+        }
+        if (started && !stopped && done >= total) {
+            stopped = true;
+            t_end = sim.now();
+            busy_end = core.busyCycles();
+            acct_end = core.acct();
+            return;
+        }
+        pump();
+    });
+    core.post(pump);
+    sim.run();
+    RIO_ASSERT(stopped, "storage run ended early at ", done, " I/Os");
+
+    RunResult r;
+    r.duration_s = static_cast<double>(t_end - t_start) * 1e-9;
+    r.transactions = params.measure_ios;
+    r.transactions_per_sec =
+        static_cast<double>(r.transactions) / r.duration_s;
+    r.throughput_gbps = r.transactions_per_sec * block * 8 / 1e9;
+    r.acct = acct_end.since(acct_start);
+    r.cpu = std::min(1.0, static_cast<double>(busy_end - busy_start) /
+                              cost.core_ghz /
+                              static_cast<double>(t_end - t_start));
+    r.cycles_per_packet = static_cast<double>(r.acct.total()) /
+                          static_cast<double>(r.transactions);
+    return r;
+}
+
+} // namespace rio::workloads

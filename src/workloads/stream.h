@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Netperf TCP stream model (§5.1): the measured host pushes
+ * MSS-sized segments of 16 KB messages as fast as its core can, the
+ * remote end sinks them and returns ACKs. Throughput is CPU-bound
+ * unless the NIC's line rate caps it first (the brcm regime).
+ */
+#ifndef RIO_WORKLOADS_STREAM_H
+#define RIO_WORKLOADS_STREAM_H
+
+#include "dma/protection_mode.h"
+#include "nic/profile.h"
+#include "trace/trace.h"
+#include "workloads/result.h"
+
+namespace rio::workloads {
+
+/** Parameters of a Netperf-stream run. */
+struct StreamParams
+{
+    /** Data packets in the measurement window / the warmup. */
+    u64 measure_packets = 60000;
+    u64 warmup_packets = 15000;
+    /** Netperf's default message size; segmented at the MSS. */
+    u32 message_bytes = 16384;
+    /** Remote ACKs every N data packets (delayed-ACK style). */
+    u32 ack_every = 2;
+    u32 ack_payload = 4;
+    /**
+     * Per-data-packet protocol cost on the core (TCP/IP, syscalls,
+     * interrupt share) — the "other" bar of Figure 7, calibrated so
+     * that the none mode reproduces the paper's C_none.
+     */
+    Cycles per_packet_cycles = 1516;
+    /** Rx-stack cost of processing one ACK. */
+    Cycles per_ack_cycles = 600;
+    /** Optional DMA trace capture (§5.4). */
+    trace::DmaTrace *trace = nullptr;
+};
+
+/** Calibrated parameters for a NIC profile (see workloads/calibrate.cc). */
+StreamParams streamParamsFor(const nic::NicProfile &profile);
+
+/** Run Netperf stream under @p mode and return window metrics. */
+RunResult runStream(dma::ProtectionMode mode,
+                    const nic::NicProfile &profile,
+                    const StreamParams &params,
+                    const cycles::CostModel &cost =
+                        cycles::defaultCostModel());
+
+} // namespace rio::workloads
+
+#endif // RIO_WORKLOADS_STREAM_H

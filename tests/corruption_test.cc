@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fault-injection: because every translation structure is resident in
+ * simulated physical memory and the hardware models really
+ * dereference it, corrupting that memory must misbehave exactly the
+ * way hardware would — redirected DMAs, spurious faults, stale
+ * caches. These tests pin down that property (it is what makes the
+ * functional simulation trustworthy).
+ */
+#include <gtest/gtest.h>
+
+#include "dma/baseline_handle.h"
+#include "dma/dma_context.h"
+#include "riommu/rdevice.h"
+
+namespace rio {
+namespace {
+
+using iommu::Access;
+using iommu::Bdf;
+using iommu::DmaDir;
+
+class CorruptionTest : public ::testing::Test
+{
+  protected:
+    dma::DmaContext ctx;
+    cycles::CycleAccount acct;
+    Bdf bdf{0, 3, 0};
+};
+
+TEST_F(CorruptionTest, ClearingALeafPteInMemoryKillsTheTranslation)
+{
+    auto handle = ctx.makeHandle(dma::ProtectionMode::kStrict, bdf, &acct);
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto m = handle->map(0, buf, 512, DmaDir::kBidir);
+    ASSERT_TRUE(m.isOk());
+
+    // Find the leaf PTE by walking the real tables, then zero it
+    // behind the driver's back (a buggy kernel scribble).
+    auto *baseline = static_cast<dma::BaselineDmaHandle *>(handle.get());
+    const u64 iova_pfn = m.value().device_addr >> kPageShift;
+    ASSERT_TRUE(baseline->pageTable().walk(iova_pfn).isOk());
+    // Walk the hierarchy manually to locate the slot.
+    PhysAddr table = baseline->pageTable().rootAddr();
+    for (int level = 1; level < 4; ++level) {
+        const unsigned idx = static_cast<unsigned>(
+            (iova_pfn >> (9 * (4 - level))) & 0x1ff);
+        table = ctx.memory().read64(table + idx * 8) & ~u64{0xfff};
+    }
+    const PhysAddr slot = table + (iova_pfn & 0x1ff) * 8;
+    ctx.memory().write64(slot, 0);
+
+    u64 v = 0;
+    EXPECT_FALSE(handle->deviceRead(m.value().device_addr, &v, 8).isOk())
+        << "the walker reads the corrupted memory and faults";
+}
+
+TEST_F(CorruptionTest, RedirectedLeafPteMisdirectsTheDma)
+{
+    auto handle = ctx.makeHandle(dma::ProtectionMode::kStrict, bdf, &acct);
+    const PhysAddr buf = ctx.memory().allocFrame();
+    const PhysAddr victim = ctx.memory().allocFrame();
+    auto m = handle->map(0, buf, 512, DmaDir::kBidir);
+    ASSERT_TRUE(m.isOk());
+
+    const u64 iova_pfn = m.value().device_addr >> kPageShift;
+    PhysAddr table =
+        static_cast<dma::BaselineDmaHandle *>(handle.get())
+            ->pageTable()
+            .rootAddr();
+    for (int level = 1; level < 4; ++level) {
+        const unsigned idx = static_cast<unsigned>(
+            (iova_pfn >> (9 * (4 - level))) & 0x1ff);
+        table = ctx.memory().read64(table + idx * 8) & ~u64{0xfff};
+    }
+    const PhysAddr slot = table + (iova_pfn & 0x1ff) * 8;
+    // Point the PTE at the victim frame (malicious redirection).
+    ctx.memory().write64(slot, victim | 0x3);
+
+    u64 v = 0xabcdef;
+    ASSERT_TRUE(handle->deviceWrite(m.value().device_addr, &v, 8).isOk());
+    EXPECT_EQ(ctx.memory().read64(victim), 0xabcdefu)
+        << "the DMA lands where the (corrupted) tables point";
+    EXPECT_EQ(ctx.memory().read64(buf), 0u);
+}
+
+TEST_F(CorruptionTest, InvalidatingAnRPteInMemoryFaultsTheDevice)
+{
+    riommu::RDevice dev(ctx.riommu(), ctx.memory(), bdf,
+                        std::vector<u32>{8}, true, ctx.cost(), &acct);
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto iova = dev.map(0, buf, 64, DmaDir::kBidir).value();
+
+    // Flip the valid bit in the memory-resident rPTE directly.
+    riommu::RPte pte = dev.readPte(0, iova.rentry());
+    ASSERT_TRUE(pte.valid);
+    pte.valid = false;
+    const PhysAddr slot =
+        ctx.memory().read64(dev.rdeviceBase()) + // ring 0 table addr
+        static_cast<u64>(iova.rentry()) * riommu::RPte::kBytes;
+    ctx.memory().write64(slot + 8, pte.word1());
+
+    auto t = ctx.riommu().translate(bdf, iova, Access::kRead, 1);
+    EXPECT_FALSE(t.isOk());
+}
+
+TEST_F(CorruptionTest, ShrinkingAnRPteSizeInMemoryTightensTheBound)
+{
+    riommu::RDevice dev(ctx.riommu(), ctx.memory(), bdf,
+                        std::vector<u32>{8}, true, ctx.cost(), &acct);
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto iova = dev.map(0, buf, 1024, DmaDir::kBidir).value();
+    ASSERT_TRUE(
+        ctx.riommu().translate(bdf, iova, Access::kRead, 1024).isOk());
+
+    riommu::RPte pte = dev.readPte(0, iova.rentry());
+    pte.size = 16;
+    const PhysAddr slot =
+        ctx.memory().read64(dev.rdeviceBase()) +
+        static_cast<u64>(iova.rentry()) * riommu::RPte::kBytes;
+    ctx.memory().write64(slot + 8, pte.word1());
+    // The rIOTLB may still hold the old bound for this entry; force a
+    // fresh walk by invalidating the ring.
+    ctx.riommu().invalidateRing(bdf, 0);
+
+    EXPECT_TRUE(
+        ctx.riommu().translate(bdf, iova, Access::kRead, 16).isOk());
+    EXPECT_FALSE(
+        ctx.riommu().translate(bdf, iova, Access::kRead, 17).isOk());
+}
+
+TEST_F(CorruptionTest, CorruptRRingDescriptorBoundsRentry)
+{
+    riommu::RDevice dev(ctx.riommu(), ctx.memory(), bdf,
+                        std::vector<u32>{8}, true, ctx.cost(), &acct);
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto iova = dev.map(0, buf, 64, DmaDir::kBidir).value();
+    // Shrink the in-memory rRING size to 0: even valid rIOVAs must
+    // now fail the rtable_walk bounds check.
+    ctx.memory().write32(dev.rdeviceBase() + 8, 0);
+    ctx.riommu().invalidateRing(bdf, 0);
+    auto t = ctx.riommu().translate(bdf, iova, Access::kRead, 1);
+    EXPECT_FALSE(t.isOk());
+    EXPECT_EQ(ctx.riommu().faults().back().reason,
+              iommu::FaultReason::kOutOfRange);
+}
+
+} // namespace
+} // namespace rio

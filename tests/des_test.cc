@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulator.h"
+
+namespace rio::des {
+namespace {
+
+TEST(Simulator, RunsEventsInTimestampOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.scheduleAt(30, [&] { order.push_back(3); });
+    sim.scheduleAt(10, [&] { order.push_back(1); });
+    sim.scheduleAt(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+    EXPECT_EQ(sim.eventsRun(), 3u);
+}
+
+TEST(Simulator, FifoTieBreakAtEqualTimestamps)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.scheduleAt(5, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative)
+{
+    Simulator sim;
+    Nanos seen = 0;
+    sim.scheduleAt(100, [&] {
+        sim.scheduleAfter(50, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        if (++count < 100)
+            sim.scheduleAfter(10, tick);
+    };
+    sim.scheduleAt(0, tick);
+    sim.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(sim.now(), 990u);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool ran = false;
+    const EventId id = sim.scheduleAt(10, [&] { ran = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id)) << "second cancel is a no-op";
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(sim.eventsRun(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int ran = 0;
+    sim.scheduleAt(10, [&] { ++ran; });
+    sim.scheduleAt(20, [&] { ++ran; });
+    sim.scheduleAt(30, [&] { ++ran; });
+    sim.runUntil(20);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(sim.now(), 20u);
+    sim.run();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents)
+{
+    Simulator sim;
+    sim.runUntil(1000);
+    EXPECT_EQ(sim.now(), 1000u);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, IdleReflectsPendingEvents)
+{
+    Simulator sim;
+    EXPECT_TRUE(sim.idle());
+    const EventId id = sim.scheduleAt(5, [] {});
+    EXPECT_FALSE(sim.idle());
+    sim.cancel(id);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ResetClearsEverything)
+{
+    Simulator sim;
+    bool ran = false;
+    sim.scheduleAt(10, [&] { ran = true; });
+    sim.reset();
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastPanics)
+{
+    Simulator sim;
+    sim.scheduleAt(100, [] {});
+    sim.run();
+    EXPECT_DEATH(sim.scheduleAt(50, [] {}), "past");
+}
+
+} // namespace
+} // namespace rio::des

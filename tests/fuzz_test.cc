@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Randomized cross-checking of the translation hardware against
+ * simple reference models: thousands of random map/unmap/access
+ * operations where every translate() outcome (address AND
+ * fault-or-not) must agree with an oracle built from plain maps.
+ */
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "base/rng.h"
+#include "dma/dma_context.h"
+#include "riommu/rdevice.h"
+
+namespace rio {
+namespace {
+
+using iommu::Access;
+using iommu::Bdf;
+using iommu::DmaDir;
+
+struct FuzzParam
+{
+    u64 seed;
+    int ops;
+};
+
+// ---- baseline IOMMU vs oracle ------------------------------------------------
+
+class IommuFuzz : public ::testing::TestWithParam<FuzzParam>
+{
+};
+
+TEST_P(IommuFuzz, TranslateAgreesWithOracle)
+{
+    const auto [seed, ops] = GetParam();
+    Rng rng(seed);
+    mem::PhysicalMemory pm;
+    cycles::CostModel cost;
+    iommu::Iommu iommu(pm, cost);
+    iommu::IoPageTable table(pm, false, cost, nullptr);
+    const Bdf bdf{0, 3, 0};
+    iommu.attachDevice(bdf, &table);
+
+    struct Entry
+    {
+        u64 phys_pfn;
+        bool writable;
+    };
+    std::unordered_map<u64, Entry> oracle; // iova pfn -> entry
+
+    for (int i = 0; i < ops; ++i) {
+        const u64 pfn = rng.below(256); // small space: collisions likely
+        const int action = static_cast<int>(rng.below(4));
+        if (action == 0) { // map
+            const bool writable = rng.chance(0.5);
+            const u64 phys = 0x100 + rng.below(1000);
+            Status s = table.map(pfn, phys,
+                                 writable ? DmaDir::kBidir
+                                          : DmaDir::kToDevice);
+            if (oracle.count(pfn)) {
+                EXPECT_EQ(s.code(), ErrorCode::kExists);
+            } else {
+                ASSERT_TRUE(s.isOk());
+                oracle[pfn] = {phys, writable};
+            }
+        } else if (action == 1) { // unmap
+            Status s = table.unmap(pfn);
+            EXPECT_EQ(s.isOk(), oracle.erase(pfn) == 1);
+            iommu.invalidateIotlbEntry(bdf, pfn); // strict semantics
+        } else { // access (read or write)
+            const Access acc =
+                rng.chance(0.5) ? Access::kRead : Access::kWrite;
+            const u64 offset = rng.below(kPageSize);
+            auto t = iommu.translate(bdf, (pfn << kPageShift) | offset,
+                                     acc);
+            auto it = oracle.find(pfn);
+            const bool should_ok =
+                it != oracle.end() &&
+                (acc == Access::kRead || it->second.writable);
+            ASSERT_EQ(t.isOk(), should_ok)
+                << "op " << i << " pfn " << pfn;
+            if (should_ok) {
+                EXPECT_EQ(t.value().pa,
+                          (it->second.phys_pfn << kPageShift) | offset);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IommuFuzz,
+                         ::testing::Values(FuzzParam{11, 4000},
+                                           FuzzParam{22, 4000},
+                                           FuzzParam{33, 8000},
+                                           FuzzParam{44, 2000}));
+
+// ---- rIOMMU ring vs oracle ----------------------------------------------------
+
+class RiommuFuzz : public ::testing::TestWithParam<FuzzParam>
+{
+};
+
+TEST_P(RiommuFuzz, RingStateAgreesWithOracle)
+{
+    const auto [seed, ops] = GetParam();
+    Rng rng(seed);
+    mem::PhysicalMemory pm;
+    cycles::CostModel cost;
+    riommu::Riommu riommu(pm, cost);
+    const Bdf bdf{0, 4, 0};
+    constexpr u32 kRing = 32;
+    riommu::RDevice dev(riommu, pm, bdf, std::vector<u32>{kRing}, true,
+                        cost, nullptr);
+    const PhysAddr pool = pm.allocContiguous(64 * kPageSize);
+
+    struct Live
+    {
+        riommu::RIova iova;
+        PhysAddr pa;
+        u32 size;
+        bool writable;
+    };
+    std::deque<Live> fifo; // ring semantics: map and unmap FIFO
+
+    for (int i = 0; i < ops; ++i) {
+        const int action = static_cast<int>(rng.below(3));
+        if (action == 0 && fifo.size() < kRing) { // map
+            const u32 size = 1 + static_cast<u32>(rng.below(4096));
+            const PhysAddr pa = pool + rng.below(60 * kPageSize);
+            const bool writable = rng.chance(0.5);
+            auto m = dev.map(0, pa, size,
+                             writable ? DmaDir::kBidir
+                                      : DmaDir::kToDevice);
+            ASSERT_TRUE(m.isOk());
+            fifo.push_back({m.value(), pa, size, writable});
+        } else if (action == 1 && !fifo.empty()) { // unmap oldest
+            ASSERT_TRUE(
+                dev.unmap(fifo.front().iova, rng.chance(0.3)).isOk());
+            fifo.pop_front();
+        } else if (!fifo.empty()) { // access random live mapping
+            const Live &l = fifo[rng.below(fifo.size())];
+            const u32 offset = static_cast<u32>(rng.below(l.size + 16));
+            const Access acc =
+                rng.chance(0.5) ? Access::kRead : Access::kWrite;
+            auto t = riommu.translate(bdf, l.iova.withOffset(offset),
+                                      acc, 1);
+            const bool should_ok =
+                offset < l.size &&
+                (acc == Access::kRead || l.writable);
+            ASSERT_EQ(t.isOk(), should_ok) << "op " << i;
+            if (should_ok) {
+                EXPECT_EQ(t.value().pa, l.pa + offset);
+            }
+        }
+        ASSERT_EQ(dev.nmapped(0), fifo.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiommuFuzz,
+                         ::testing::Values(FuzzParam{5, 6000},
+                                           FuzzParam{6, 6000},
+                                           FuzzParam{7, 12000}));
+
+// ---- overflow under pressure ---------------------------------------------------
+
+TEST(RiommuFuzzEdge, FullRingAlwaysOverflowsNeverCorrupts)
+{
+    mem::PhysicalMemory pm;
+    cycles::CostModel cost;
+    riommu::Riommu riommu(pm, cost);
+    riommu::RDevice dev(riommu, pm, Bdf{0, 4, 0}, std::vector<u32>{4},
+                        true, cost, nullptr);
+    const PhysAddr pa = pm.allocFrame();
+    std::vector<riommu::RIova> live;
+    for (int i = 0; i < 4; ++i)
+        live.push_back(dev.map(0, pa, 8, DmaDir::kBidir).value());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(dev.map(0, pa, 8, DmaDir::kBidir).status().code(),
+                  ErrorCode::kOverflow);
+    // Everything mapped before the overflow storm still translates.
+    for (const auto &iova : live) {
+        EXPECT_TRUE(
+            riommu.translate(Bdf{0, 4, 0}, iova, Access::kRead, 1)
+                .isOk());
+    }
+}
+
+} // namespace
+} // namespace rio

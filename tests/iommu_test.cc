@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the baseline VT-d-style IOMMU model: page-table
+ * map/walk/unmap, permission checks, IOTLB behaviour, root/context
+ * lookup, DMA helpers and fault recording.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cycles/cycle_account.h"
+#include "iommu/iommu.h"
+
+namespace rio::iommu {
+namespace {
+
+using cycles::Cat;
+using cycles::CycleAccount;
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    mem::PhysicalMemory pm;
+    cycles::CostModel cost;
+    CycleAccount acct;
+    IoPageTable table{pm, /*coherent=*/false, cost, &acct};
+};
+
+TEST_F(PageTableTest, MapThenWalkFindsTranslation)
+{
+    ASSERT_TRUE(table.map(0x123, 0x456, DmaDir::kBidir).isOk());
+    int levels = 0;
+    auto pte = table.walk(0x123, &levels);
+    ASSERT_TRUE(pte.isOk());
+    EXPECT_EQ(pte.value().addr(), u64{0x456} << kPageShift);
+    EXPECT_EQ(levels, 4);
+    EXPECT_TRUE(pte.value().allowsRead());
+    EXPECT_TRUE(pte.value().allowsWrite());
+}
+
+TEST_F(PageTableTest, WalkOfUnmappedFails)
+{
+    auto pte = table.walk(0x999);
+    EXPECT_FALSE(pte.isOk());
+    EXPECT_EQ(pte.status().code(), ErrorCode::kIoPageFault);
+}
+
+TEST_F(PageTableTest, DirectionBitsAreHonoured)
+{
+    ASSERT_TRUE(table.map(1, 100, DmaDir::kToDevice).isOk());
+    ASSERT_TRUE(table.map(2, 200, DmaDir::kFromDevice).isOk());
+    auto to_dev = table.walk(1);
+    auto from_dev = table.walk(2);
+    EXPECT_TRUE(to_dev.value().permits(Access::kRead));
+    EXPECT_FALSE(to_dev.value().permits(Access::kWrite));
+    EXPECT_FALSE(from_dev.value().permits(Access::kRead));
+    EXPECT_TRUE(from_dev.value().permits(Access::kWrite));
+}
+
+TEST_F(PageTableTest, UnmapRemovesTranslation)
+{
+    ASSERT_TRUE(table.map(7, 70, DmaDir::kBidir).isOk());
+    EXPECT_EQ(table.mappedPages(), 1u);
+    ASSERT_TRUE(table.unmap(7).isOk());
+    EXPECT_EQ(table.mappedPages(), 0u);
+    EXPECT_FALSE(table.walk(7).isOk());
+}
+
+TEST_F(PageTableTest, DoubleMapAndDoubleUnmapFail)
+{
+    ASSERT_TRUE(table.map(7, 70, DmaDir::kBidir).isOk());
+    EXPECT_EQ(table.map(7, 71, DmaDir::kBidir).code(), ErrorCode::kExists);
+    ASSERT_TRUE(table.unmap(7).isOk());
+    EXPECT_EQ(table.unmap(7).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PageTableTest, RangeMappingCoversAllPages)
+{
+    ASSERT_TRUE(table.mapRange(0x1000, 0x2000, 16, DmaDir::kBidir).isOk());
+    for (u64 i = 0; i < 16; ++i) {
+        auto pte = table.walk(0x1000 + i);
+        ASSERT_TRUE(pte.isOk());
+        EXPECT_EQ(pte.value().addr(), (u64{0x2000} + i) << kPageShift);
+    }
+    ASSERT_TRUE(table.unmapRange(0x1000, 16).isOk());
+    EXPECT_EQ(table.mappedPages(), 0u);
+}
+
+TEST_F(PageTableTest, DistantIovasUseSeparateLeafTables)
+{
+    const u64 before = table.tablePages();
+    ASSERT_TRUE(table.map(0, 1, DmaDir::kBidir).isOk());
+    ASSERT_TRUE(table.map(u64{1} << 35, 2, DmaDir::kBidir).isOk());
+    // Two disjoint subtrees: at least 3 extra tables each.
+    EXPECT_GE(table.tablePages(), before + 6);
+}
+
+TEST_F(PageTableTest, MapChargesMoreWhenNotCoherent)
+{
+    CycleAccount coherent_acct;
+    IoPageTable coherent_table(pm, /*coherent=*/true, cost,
+                               &coherent_acct);
+    ASSERT_TRUE(coherent_table.map(5, 50, DmaDir::kBidir).isOk());
+    ASSERT_TRUE(table.map(5, 50, DmaDir::kBidir).isOk());
+    EXPECT_GT(acct.get(Cat::kMapPageTable),
+              coherent_acct.get(Cat::kMapPageTable) +
+                  cost.cacheline_flush - 1);
+}
+
+TEST_F(PageTableTest, InsertCostNearTableOne)
+{
+    // Table 1: map/"page table" ~588 cycles (strict, non-coherent).
+    for (u64 i = 0; i < 100; ++i)
+        ASSERT_TRUE(table.map(0x4000 + i, i, DmaDir::kBidir).isOk());
+    const double avg = acct.avg(Cat::kMapPageTable);
+    EXPECT_GT(avg, 400.0);
+    EXPECT_LT(avg, 800.0);
+}
+
+TEST_F(PageTableTest, DestructorReleasesAllTablePages)
+{
+    const u64 baseline = pm.allocatedFrames();
+    {
+        IoPageTable scoped(pm, false, cost, nullptr);
+        ASSERT_TRUE(scoped.mapRange(0, 0, 600, DmaDir::kBidir).isOk());
+        EXPECT_GT(pm.allocatedFrames(), baseline);
+    }
+    EXPECT_EQ(pm.allocatedFrames(), baseline);
+}
+
+// ---- IOTLB ---------------------------------------------------------------
+
+TEST(IotlbTest, MissThenHit)
+{
+    Iotlb tlb;
+    EXPECT_FALSE(tlb.lookup(1, 0x10).has_value());
+    tlb.insert(1, 0x10, Pte{0x5000 | Pte::kRead});
+    auto hit = tlb.lookup(1, 0x10);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->addr(), 0x5000u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(IotlbTest, EntriesAreKeyedByDevice)
+{
+    Iotlb tlb;
+    tlb.insert(1, 0x10, Pte{0x5000 | Pte::kRead});
+    EXPECT_FALSE(tlb.lookup(2, 0x10).has_value());
+}
+
+TEST(IotlbTest, SingleInvalidationRemovesOnlyThatEntry)
+{
+    Iotlb tlb;
+    tlb.insert(1, 0x10, Pte{0x5000 | Pte::kRead});
+    tlb.insert(1, 0x11, Pte{0x6000 | Pte::kRead});
+    EXPECT_TRUE(tlb.invalidateEntry(1, 0x10));
+    EXPECT_FALSE(tlb.contains(1, 0x10));
+    EXPECT_TRUE(tlb.contains(1, 0x11));
+    EXPECT_FALSE(tlb.invalidateEntry(1, 0x10)) << "already gone";
+}
+
+TEST(IotlbTest, FlushAllEmptiesEverything)
+{
+    Iotlb tlb;
+    for (u64 i = 0; i < 20; ++i)
+        tlb.insert(1, i, Pte{(i << 12) | Pte::kRead});
+    EXPECT_GT(tlb.validEntries(), 0u);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.validEntries(), 0u);
+    EXPECT_EQ(tlb.stats().global_flushes, 1u);
+}
+
+TEST(IotlbTest, LruEvictionWithinSet)
+{
+    // 1 set x 2 ways: third insert evicts the least recently used.
+    Iotlb tlb(IotlbConfig{1, 2});
+    tlb.insert(1, 0xa, Pte{0x1000 | Pte::kRead});
+    tlb.insert(1, 0xb, Pte{0x2000 | Pte::kRead});
+    EXPECT_TRUE(tlb.lookup(1, 0xa).has_value()); // 0xa is now MRU
+    tlb.insert(1, 0xc, Pte{0x3000 | Pte::kRead});
+    EXPECT_TRUE(tlb.contains(1, 0xa));
+    EXPECT_FALSE(tlb.contains(1, 0xb)) << "LRU way evicted";
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(IotlbTest, CapacityBounded)
+{
+    Iotlb tlb(IotlbConfig{4, 2});
+    for (u64 i = 0; i < 1000; ++i)
+        tlb.insert(3, i, Pte{(i << 12) | Pte::kRead});
+    EXPECT_LE(tlb.validEntries(), tlb.capacity());
+}
+
+// ---- full IOMMU ------------------------------------------------------------
+
+class IommuTest : public ::testing::Test
+{
+  protected:
+    IommuTest() : iommu(pm, cost), table(pm, false, cost, &acct)
+    {
+        iommu.attachDevice(bdf, &table);
+    }
+
+    mem::PhysicalMemory pm;
+    cycles::CostModel cost;
+    CycleAccount acct;
+    Iommu iommu{pm, cost};
+    Bdf bdf{0, 3, 0};
+    IoPageTable table{pm, false, cost, &acct};
+};
+
+TEST_F(IommuTest, TranslateMissWalksThenHits)
+{
+    ASSERT_TRUE(table.map(0x42, 0x99, DmaDir::kBidir).isOk());
+    auto t1 = iommu.translate(bdf, 0x42000 + 0x123, Access::kRead);
+    ASSERT_TRUE(t1.isOk());
+    EXPECT_EQ(t1.value().pa, (u64{0x99} << kPageShift) + 0x123);
+    EXPECT_FALSE(t1.value().iotlb_hit);
+    EXPECT_EQ(t1.value().walk_levels, 4);
+    EXPECT_EQ(t1.value().hw_cycles,
+              cost.hw_tlb_hit + 4 * cost.hw_walk_level);
+
+    auto t2 = iommu.translate(bdf, 0x42000, Access::kRead);
+    ASSERT_TRUE(t2.isOk());
+    EXPECT_TRUE(t2.value().iotlb_hit);
+    EXPECT_EQ(t2.value().hw_cycles, cost.hw_tlb_hit);
+}
+
+TEST_F(IommuTest, UnknownDeviceFaults)
+{
+    auto t = iommu.translate(Bdf{1, 2, 3}, 0x1000, Access::kRead);
+    EXPECT_FALSE(t.isOk());
+    ASSERT_EQ(iommu.faults().size(), 1u);
+    EXPECT_EQ(iommu.faults()[0].reason, FaultReason::kNoContext);
+}
+
+TEST_F(IommuTest, UnmappedIovaFaults)
+{
+    auto t = iommu.translate(bdf, 0x7777000, Access::kRead);
+    EXPECT_FALSE(t.isOk());
+    EXPECT_EQ(t.status().code(), ErrorCode::kIoPageFault);
+    ASSERT_EQ(iommu.faults().size(), 1u);
+    EXPECT_EQ(iommu.faults()[0].reason, FaultReason::kNotPresent);
+}
+
+TEST_F(IommuTest, PermissionViolationFaultsOnMissAndOnHit)
+{
+    ASSERT_TRUE(table.map(0x10, 0x20, DmaDir::kToDevice).isOk());
+    // Miss path: write to a read-only (device-read) mapping.
+    auto w = iommu.translate(bdf, 0x10000, Access::kWrite);
+    EXPECT_EQ(w.status().code(), ErrorCode::kPermission);
+    // Load it legitimately, then violate via the IOTLB-hit path.
+    ASSERT_TRUE(iommu.translate(bdf, 0x10000, Access::kRead).isOk());
+    auto w2 = iommu.translate(bdf, 0x10000, Access::kWrite);
+    EXPECT_EQ(w2.status().code(), ErrorCode::kPermission);
+    EXPECT_EQ(iommu.faults().size(), 2u);
+}
+
+TEST_F(IommuTest, DmaRoundTripAcrossPages)
+{
+    const PhysAddr buf = pm.allocContiguous(2 * kPageSize);
+    ASSERT_TRUE(
+        table.mapRange(0x100, buf >> kPageShift, 2, DmaDir::kBidir).isOk());
+    std::vector<u8> out(5000);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<u8>(i);
+    ASSERT_TRUE(
+        iommu.dmaWrite(bdf, 0x100000 + 100, out.data(), out.size()).isOk());
+    std::vector<u8> in(out.size());
+    ASSERT_TRUE(
+        iommu.dmaRead(bdf, 0x100000 + 100, in.data(), in.size()).isOk());
+    EXPECT_EQ(in, out);
+    // And the data really is at the mapped physical location.
+    u8 probe = 0;
+    pm.read(buf + 100, &probe, 1);
+    EXPECT_EQ(probe, 0);
+    pm.read(buf + 101, &probe, 1);
+    EXPECT_EQ(probe, 1);
+}
+
+TEST_F(IommuTest, StaleIotlbEntryStillTranslatesUntilInvalidated)
+{
+    // The vulnerability mechanism behind the deferred modes (§3.2).
+    ASSERT_TRUE(table.map(0x50, 0x60, DmaDir::kBidir).isOk());
+    ASSERT_TRUE(iommu.translate(bdf, 0x50000, Access::kRead).isOk());
+    ASSERT_TRUE(table.unmap(0x50).isOk());
+    // Table says gone, but the IOTLB still caches it.
+    EXPECT_TRUE(iommu.translate(bdf, 0x50000, Access::kRead).isOk())
+        << "stale entry must erroneously translate";
+    iommu.invalidateIotlbEntry(bdf, 0x50);
+    EXPECT_FALSE(iommu.translate(bdf, 0x50000, Access::kRead).isOk());
+}
+
+TEST_F(IommuTest, PassthroughReturnsIdentity)
+{
+    iommu.setPassthrough(true);
+    auto t = iommu.translate(bdf, 0xdead000, Access::kWrite);
+    ASSERT_TRUE(t.isOk());
+    EXPECT_EQ(t.value().pa, 0xdead000u);
+    EXPECT_EQ(t.value().hw_cycles, 0u);
+}
+
+TEST_F(IommuTest, DetachRemovesContextAndIotlbEntries)
+{
+    ASSERT_TRUE(table.map(0x11, 0x22, DmaDir::kBidir).isOk());
+    ASSERT_TRUE(iommu.translate(bdf, 0x11000, Access::kRead).isOk());
+    iommu.detachDevice(bdf);
+    auto t = iommu.translate(bdf, 0x11000, Access::kRead);
+    EXPECT_FALSE(t.isOk());
+    EXPECT_EQ(iommu.faults().back().reason, FaultReason::kNoContext);
+}
+
+TEST(BdfTest, PackUnpackRoundTrip)
+{
+    for (u8 bus : {0, 1, 255}) {
+        for (u8 dev : {0, 13, 31}) {
+            for (u8 fn : {0, 5, 7}) {
+                const Bdf b{bus, dev, fn};
+                const Bdf r = Bdf::unpack(b.pack());
+                EXPECT_EQ(r.bus, bus);
+                EXPECT_EQ(r.dev, dev);
+                EXPECT_EQ(r.fn, fn);
+            }
+        }
+    }
+    EXPECT_EQ((Bdf{0, 3, 0}.toString()), "00:03.0");
+}
+
+} // namespace
+} // namespace rio::iommu

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the simulated physical memory.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/phys_mem.h"
+
+namespace rio::mem {
+namespace {
+
+TEST(PhysicalMemory, UntouchedMemoryReadsZero)
+{
+    PhysicalMemory pm;
+    EXPECT_EQ(pm.read64(0x1000), 0u);
+    u8 buf[16];
+    pm.read(0x12345, buf, sizeof(buf));
+    for (u8 b : buf)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(PhysicalMemory, ReadBackWhatWasWritten)
+{
+    PhysicalMemory pm;
+    pm.write64(0x2000, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(pm.read64(0x2000), 0xdeadbeefcafef00dULL);
+    pm.write32(0x3000, 0x12345678);
+    EXPECT_EQ(pm.read32(0x3000), 0x12345678u);
+    pm.write8(0x3004, 0xab);
+    EXPECT_EQ(pm.read8(0x3004), 0xab);
+}
+
+TEST(PhysicalMemory, CrossPageTransfer)
+{
+    PhysicalMemory pm;
+    std::vector<u8> src(3 * kPageSize);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<u8>(i * 37);
+    const PhysAddr addr = 2 * kPageSize - 100; // straddles boundaries
+    pm.write(addr, src.data(), src.size());
+    std::vector<u8> dst(src.size());
+    pm.read(addr, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(PhysicalMemory, ObjectRoundTrip)
+{
+    struct Desc
+    {
+        u64 addr;
+        u32 len;
+        u32 flags;
+    };
+    PhysicalMemory pm;
+    const Desc d{0xabc, 1500, 7};
+    pm.writeObject(0x8000, d);
+    const Desc r = pm.readObject<Desc>(0x8000);
+    EXPECT_EQ(r.addr, d.addr);
+    EXPECT_EQ(r.len, d.len);
+    EXPECT_EQ(r.flags, d.flags);
+}
+
+TEST(PhysicalMemory, FillZero)
+{
+    PhysicalMemory pm;
+    pm.write64(0x1000, ~u64{0});
+    pm.fillZero(0x1000, 8);
+    EXPECT_EQ(pm.read64(0x1000), 0u);
+}
+
+TEST(PhysicalMemory, FrameAllocationIsZeroedAndDistinct)
+{
+    PhysicalMemory pm;
+    const PhysAddr a = pm.allocFrame();
+    const PhysAddr b = pm.allocFrame();
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(isPageAligned(a));
+    EXPECT_TRUE(isPageAligned(b));
+    EXPECT_EQ(pm.allocatedFrames(), 2u);
+
+    pm.write64(a, 123);
+    pm.freeFrame(a);
+    const PhysAddr c = pm.allocFrame(); // recycles a
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(pm.read64(c), 0u) << "recycled frame must be zeroed";
+}
+
+TEST(PhysicalMemory, FrameZeroIsNeverAllocated)
+{
+    PhysicalMemory pm;
+    for (int i = 0; i < 64; ++i)
+        EXPECT_NE(pm.allocFrame(), 0u);
+}
+
+TEST(PhysicalMemory, ContiguousAllocationSpansPages)
+{
+    PhysicalMemory pm;
+    const PhysAddr a = pm.allocContiguous(3 * kPageSize + 1);
+    EXPECT_TRUE(isPageAligned(a));
+    EXPECT_EQ(pm.allocatedFrames(), 4u);
+    // Whole run is writable and readable.
+    std::vector<u8> buf(3 * kPageSize + 1, 0x5a);
+    pm.write(a, buf.data(), buf.size());
+    std::vector<u8> out(buf.size());
+    pm.read(a, out.data(), out.size());
+    EXPECT_EQ(buf, out);
+}
+
+TEST(PhysicalMemoryDeathTest, OutOfRangeAccessPanics)
+{
+    PhysicalMemory pm(1 << 20); // 1 MB
+    EXPECT_DEATH(pm.write64(2 << 20, 1), "out of range");
+    u64 v;
+    EXPECT_DEATH(pm.read((2 << 20), &v, 8), "out of range");
+}
+
+TEST(PhysicalMemoryDeathTest, ExhaustionPanics)
+{
+    PhysicalMemory pm(4 * kPageSize);
+    pm.allocFrame();
+    pm.allocFrame();
+    pm.allocFrame(); // frames 1..3 (0 reserved)
+    EXPECT_DEATH(pm.allocFrame(), "exhausted");
+}
+
+TEST(PhysicalMemoryDeathTest, UnalignedFreePanics)
+{
+    PhysicalMemory pm;
+    pm.allocFrame();
+    EXPECT_DEATH(pm.freeFrame(123), "unaligned");
+}
+
+} // namespace
+} // namespace rio::mem

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for the packet/segmentation vocabulary.
+ */
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace rio::net {
+namespace {
+
+TEST(Segmentation, CountsSegments)
+{
+    EXPECT_EQ(segmentsFor(0), 1u) << "a bare ACK still frames";
+    EXPECT_EQ(segmentsFor(1), 1u);
+    EXPECT_EQ(segmentsFor(kMss), 1u);
+    EXPECT_EQ(segmentsFor(kMss + 1), 2u);
+    EXPECT_EQ(segmentsFor(16384), 12u) << "netperf's 16 KB message";
+    EXPECT_EQ(segmentsFor(u64{1} << 20), 725u) << "apache's 1 MB page";
+}
+
+TEST(Segmentation, PayloadsSumToMessage)
+{
+    for (u64 bytes : {u64{1}, u64{kMss}, u64{16384}, u64{1000000}}) {
+        u64 sum = 0;
+        const u64 segs = segmentsFor(bytes);
+        for (u64 i = 0; i < segs; ++i) {
+            const u32 p = segmentPayload(bytes, i);
+            EXPECT_LE(p, kMss);
+            if (i + 1 < segs) {
+                EXPECT_EQ(p, kMss) << "only the tail may be partial";
+            }
+            sum += p;
+        }
+        EXPECT_EQ(sum, bytes);
+    }
+}
+
+TEST(WireTime, MatchesLineRateArithmetic)
+{
+    // A full frame at 10 Gbps: (1448 + 90) * 8 / 10 = 1230.4 ns.
+    EXPECT_NEAR(wireTimeNs(kMss, 10.0), 1230.4, 0.1);
+    // Double the rate, half the time.
+    EXPECT_NEAR(wireTimeNs(kMss, 20.0), 615.2, 0.1);
+    // Line-rate packet rate at 10 GbE ~ 813 K frames/s.
+    EXPECT_NEAR(1e9 / wireTimeNs(kMss, 10.0), 812744.0, 10.0);
+}
+
+TEST(Constants, MssMatchesMtu)
+{
+    EXPECT_EQ(kMss + 52u, kMtu);
+    EXPECT_GT(kWireOverhead, kHeaderBytes);
+}
+
+} // namespace
+} // namespace rio::net

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the generic descriptor ring.
+ */
+#include <gtest/gtest.h>
+
+#include "ring/descriptor_ring.h"
+
+namespace rio::ring {
+namespace {
+
+class RingTest : public ::testing::Test
+{
+  protected:
+    mem::PhysicalMemory pm;
+};
+
+TEST_F(RingTest, DescriptorsLiveInPhysicalMemory)
+{
+    DescriptorRing ring(pm, 8);
+    Descriptor d;
+    d.addr = 0xabcd000;
+    d.len = 1500;
+    d.flags = Descriptor::kOwnedByDevice | Descriptor::kEndOfPacket;
+    ring.write(3, d);
+
+    // Read the raw bytes where the descriptor must live.
+    const Descriptor raw =
+        pm.readObject<Descriptor>(ring.base() + 3 * Descriptor::kBytes);
+    EXPECT_EQ(raw.addr, d.addr);
+    EXPECT_EQ(raw.len, d.len);
+    EXPECT_TRUE(raw.ownedByDevice());
+    EXPECT_TRUE(raw.endOfPacket());
+    EXPECT_FALSE(raw.completed());
+}
+
+TEST_F(RingTest, PushPopMaintainsHeadTail)
+{
+    DescriptorRing ring(pm, 4);
+    EXPECT_EQ(ring.spaceLeft(), 4u);
+    EXPECT_EQ(ring.push(Descriptor{1, 0, 0}), 0u);
+    EXPECT_EQ(ring.push(Descriptor{2, 0, 0}), 1u);
+    EXPECT_EQ(ring.pending(), 2u);
+    EXPECT_EQ(ring.spaceLeft(), 2u);
+    EXPECT_EQ(ring.head(), 0u);
+    EXPECT_EQ(ring.tail(), 2u);
+    ring.pop();
+    EXPECT_EQ(ring.head(), 1u);
+    EXPECT_EQ(ring.pending(), 1u);
+    EXPECT_EQ(ring.spaceLeft(), 3u);
+}
+
+TEST_F(RingTest, WrapsAroundManyLaps)
+{
+    DescriptorRing ring(pm, 4);
+    for (u64 i = 0; i < 40; ++i) {
+        const u32 idx = ring.push(Descriptor{i, 0, 0});
+        EXPECT_EQ(idx, i % 4);
+        ring.pop();
+    }
+    EXPECT_EQ(ring.pending(), 0u);
+}
+
+TEST_F(RingTest, FullRingHasNoSpace)
+{
+    DescriptorRing ring(pm, 2);
+    ring.push(Descriptor{});
+    ring.push(Descriptor{});
+    EXPECT_EQ(ring.spaceLeft(), 0u);
+}
+
+TEST_F(RingTest, OffsetOfMatchesLayout)
+{
+    DescriptorRing ring(pm, 16);
+    EXPECT_EQ(ring.offsetOf(0), 0u);
+    EXPECT_EQ(ring.offsetOf(5), 5 * Descriptor::kBytes);
+    EXPECT_EQ(ring.offsetOf(16), 0u) << "modular indexing";
+}
+
+TEST_F(RingTest, DestructorReleasesMemory)
+{
+    const u64 before = pm.allocatedFrames();
+    {
+        DescriptorRing ring(pm, 1024); // 16 KB = 4 frames
+        EXPECT_EQ(pm.allocatedFrames(), before + 4);
+    }
+    EXPECT_EQ(pm.allocatedFrames(), before);
+}
+
+TEST_F(RingTest, DeathOnMisuse)
+{
+    DescriptorRing ring(pm, 2);
+    EXPECT_DEATH(ring.pop(), "empty");
+    ring.push(Descriptor{});
+    ring.push(Descriptor{});
+    EXPECT_DEATH(ring.push(Descriptor{}), "full");
+    EXPECT_DEATH(ring.read(2), "out of range");
+}
+
+} // namespace
+} // namespace rio::ring

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for DMA trace capture and (de)serialization.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dma/dma_context.h"
+#include "trace/trace.h"
+
+namespace rio::trace {
+namespace {
+
+TEST(TraceTest, RecordingHandleCapturesEvents)
+{
+    dma::DmaContext ctx;
+    cycles::CycleAccount acct;
+    auto inner = ctx.makeHandle(dma::ProtectionMode::kStrict,
+                                iommu::Bdf{0, 3, 0}, &acct);
+    DmaTrace trace;
+    RecordingDmaHandle handle(*inner, trace);
+
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto m = handle.map(0, buf, 512, iommu::DmaDir::kBidir);
+    ASSERT_TRUE(m.isOk());
+    u64 v = 0;
+    ASSERT_TRUE(handle.deviceWrite(m.value().device_addr, &v, 8).isOk());
+    ASSERT_TRUE(handle.deviceRead(m.value().device_addr, &v, 8).isOk());
+    ASSERT_TRUE(handle.unmap(m.value(), true).isOk());
+
+    ASSERT_EQ(trace.size(), 4u);
+    const auto &ev = trace.events();
+    EXPECT_EQ(ev[0].kind, TraceEvent::Kind::kMap);
+    EXPECT_EQ(ev[1].kind, TraceEvent::Kind::kAccess);
+    EXPECT_EQ(ev[2].kind, TraceEvent::Kind::kAccess);
+    EXPECT_EQ(ev[3].kind, TraceEvent::Kind::kUnmap);
+    EXPECT_EQ(ev[0].iova_pfn, ev[3].iova_pfn);
+    EXPECT_EQ(ev[0].iova_pfn, m.value().device_addr >> kPageShift);
+}
+
+TEST(TraceTest, RecordingIsTransparent)
+{
+    dma::DmaContext ctx;
+    cycles::CycleAccount acct;
+    auto inner = ctx.makeHandle(dma::ProtectionMode::kRiommu,
+                                iommu::Bdf{0, 3, 0}, &acct, {16});
+    DmaTrace trace;
+    RecordingDmaHandle handle(*inner, trace);
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto m = handle.map(0, buf, 100, iommu::DmaDir::kBidir);
+    ASSERT_TRUE(m.isOk());
+    EXPECT_EQ(handle.liveMappings(), 1u);
+    // Failed accesses are still recorded but propagate the error.
+    u64 v = 0;
+    const u64 before = trace.size();
+    EXPECT_FALSE(
+        handle.deviceRead(m.value().device_addr, &v, 200).isOk())
+        << "read beyond the 100-byte mapping must fault";
+    EXPECT_EQ(trace.size(), before + 1);
+}
+
+TEST(TraceTest, SaveAndLoadTextRoundTrip)
+{
+    DmaTrace trace;
+    trace.add(TraceEvent::Kind::kMap, 100);
+    trace.add(TraceEvent::Kind::kAccess, 100);
+    trace.add(TraceEvent::Kind::kUnmap, 100);
+    const std::string path = "/tmp/rio_trace_test.txt";
+    ASSERT_TRUE(trace.saveText(path).isOk());
+
+    DmaTrace loaded;
+    ASSERT_TRUE(loaded.loadText(path).isOk());
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded.events()[0].kind, TraceEvent::Kind::kMap);
+    EXPECT_EQ(loaded.events()[1].kind, TraceEvent::Kind::kAccess);
+    EXPECT_EQ(loaded.events()[2].kind, TraceEvent::Kind::kUnmap);
+    EXPECT_EQ(loaded.events()[2].iova_pfn, 100u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadMissingFileFails)
+{
+    DmaTrace trace;
+    EXPECT_EQ(trace.loadText("/tmp/definitely-not-here-42").code(),
+              ErrorCode::kNotFound);
+}
+
+} // namespace
+} // namespace rio::trace
