@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nvme.dir/bench_ablation_nvme.cc.o"
+  "CMakeFiles/bench_ablation_nvme.dir/bench_ablation_nvme.cc.o.d"
+  "bench_ablation_nvme"
+  "bench_ablation_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_riommu.dir/bench_ablation_riommu.cc.o"
+  "CMakeFiles/bench_ablation_riommu.dir/bench_ablation_riommu.cc.o.d"
+  "bench_ablation_riommu"
+  "bench_ablation_riommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_riommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sata.dir/bench_ablation_sata.cc.o"
+  "CMakeFiles/bench_ablation_sata.dir/bench_ablation_sata.cc.o.d"
+  "bench_ablation_sata"
+  "bench_ablation_sata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

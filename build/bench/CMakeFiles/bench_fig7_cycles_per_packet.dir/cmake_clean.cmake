@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cycles_per_packet.dir/bench_fig7_cycles_per_packet.cc.o"
+  "CMakeFiles/bench_fig7_cycles_per_packet.dir/bench_fig7_cycles_per_packet.cc.o.d"
+  "bench_fig7_cycles_per_packet"
+  "bench_fig7_cycles_per_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cycles_per_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_cycles_per_packet.
+# This may be replaced when dependencies are built.

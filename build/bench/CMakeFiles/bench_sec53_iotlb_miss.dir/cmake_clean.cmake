@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_iotlb_miss.dir/bench_sec53_iotlb_miss.cc.o"
+  "CMakeFiles/bench_sec53_iotlb_miss.dir/bench_sec53_iotlb_miss.cc.o.d"
+  "bench_sec53_iotlb_miss"
+  "bench_sec53_iotlb_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_iotlb_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

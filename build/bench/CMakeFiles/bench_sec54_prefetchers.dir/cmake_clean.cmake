@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_prefetchers.dir/bench_sec54_prefetchers.cc.o"
+  "CMakeFiles/bench_sec54_prefetchers.dir/bench_sec54_prefetchers.cc.o.d"
+  "bench_sec54_prefetchers"
+  "bench_sec54_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

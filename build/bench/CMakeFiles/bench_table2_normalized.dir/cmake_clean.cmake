@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_normalized.dir/bench_table2_normalized.cc.o"
+  "CMakeFiles/bench_table2_normalized.dir/bench_table2_normalized.cc.o.d"
+  "bench_table2_normalized"
+  "bench_table2_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvme_storage.dir/nvme_storage.cc.o"
+  "CMakeFiles/nvme_storage.dir/nvme_storage.cc.o.d"
+  "nvme_storage"
+  "nvme_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvme_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_order_disk.dir/out_of_order_disk.cc.o"
+  "CMakeFiles/out_of_order_disk.dir/out_of_order_disk.cc.o.d"
+  "out_of_order_disk"
+  "out_of_order_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_order_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for out_of_order_disk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("cycles")
+subdirs("mem")
+subdirs("des")
+subdirs("iova")
+subdirs("iommu")
+subdirs("riommu")
+subdirs("dma")
+subdirs("ring")
+subdirs("nic")
+subdirs("nvme")
+subdirs("ahci")
+subdirs("net")
+subdirs("workloads")
+subdirs("sys")
+subdirs("trace")
+subdirs("prefetch")

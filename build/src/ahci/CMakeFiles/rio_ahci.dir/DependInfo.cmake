@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ahci/ahci.cc" "src/ahci/CMakeFiles/rio_ahci.dir/ahci.cc.o" "gcc" "src/ahci/CMakeFiles/rio_ahci.dir/ahci.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/rio_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/rio_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/riommu/CMakeFiles/rio_riommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/rio_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/iova/CMakeFiles/rio_iova.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycles/CMakeFiles/rio_cycles.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_ahci.dir/ahci.cc.o"
+  "CMakeFiles/rio_ahci.dir/ahci.cc.o.d"
+  "librio_ahci.a"
+  "librio_ahci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_ahci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

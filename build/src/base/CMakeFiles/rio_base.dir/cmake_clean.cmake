@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_base.dir/logging.cc.o"
+  "CMakeFiles/rio_base.dir/logging.cc.o.d"
+  "CMakeFiles/rio_base.dir/rng.cc.o"
+  "CMakeFiles/rio_base.dir/rng.cc.o.d"
+  "CMakeFiles/rio_base.dir/stats.cc.o"
+  "CMakeFiles/rio_base.dir/stats.cc.o.d"
+  "CMakeFiles/rio_base.dir/status.cc.o"
+  "CMakeFiles/rio_base.dir/status.cc.o.d"
+  "CMakeFiles/rio_base.dir/strings.cc.o"
+  "CMakeFiles/rio_base.dir/strings.cc.o.d"
+  "CMakeFiles/rio_base.dir/table.cc.o"
+  "CMakeFiles/rio_base.dir/table.cc.o.d"
+  "librio_base.a"
+  "librio_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

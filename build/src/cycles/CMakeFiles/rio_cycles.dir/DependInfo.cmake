@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cycles/cost_model.cc" "src/cycles/CMakeFiles/rio_cycles.dir/cost_model.cc.o" "gcc" "src/cycles/CMakeFiles/rio_cycles.dir/cost_model.cc.o.d"
+  "/root/repo/src/cycles/cycle_account.cc" "src/cycles/CMakeFiles/rio_cycles.dir/cycle_account.cc.o" "gcc" "src/cycles/CMakeFiles/rio_cycles.dir/cycle_account.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rio_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_cycles.dir/cost_model.cc.o"
+  "CMakeFiles/rio_cycles.dir/cost_model.cc.o.d"
+  "CMakeFiles/rio_cycles.dir/cycle_account.cc.o"
+  "CMakeFiles/rio_cycles.dir/cycle_account.cc.o.d"
+  "librio_cycles.a"
+  "librio_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

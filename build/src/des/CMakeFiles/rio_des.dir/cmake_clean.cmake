@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_des.dir/core.cc.o"
+  "CMakeFiles/rio_des.dir/core.cc.o.d"
+  "CMakeFiles/rio_des.dir/simulator.cc.o"
+  "CMakeFiles/rio_des.dir/simulator.cc.o.d"
+  "librio_des.a"
+  "librio_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

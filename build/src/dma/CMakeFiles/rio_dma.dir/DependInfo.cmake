@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dma/baseline_handle.cc" "src/dma/CMakeFiles/rio_dma.dir/baseline_handle.cc.o" "gcc" "src/dma/CMakeFiles/rio_dma.dir/baseline_handle.cc.o.d"
+  "/root/repo/src/dma/dma_context.cc" "src/dma/CMakeFiles/rio_dma.dir/dma_context.cc.o" "gcc" "src/dma/CMakeFiles/rio_dma.dir/dma_context.cc.o.d"
+  "/root/repo/src/dma/dma_handle.cc" "src/dma/CMakeFiles/rio_dma.dir/dma_handle.cc.o" "gcc" "src/dma/CMakeFiles/rio_dma.dir/dma_handle.cc.o.d"
+  "/root/repo/src/dma/protection_mode.cc" "src/dma/CMakeFiles/rio_dma.dir/protection_mode.cc.o" "gcc" "src/dma/CMakeFiles/rio_dma.dir/protection_mode.cc.o.d"
+  "/root/repo/src/dma/riommu_handle.cc" "src/dma/CMakeFiles/rio_dma.dir/riommu_handle.cc.o" "gcc" "src/dma/CMakeFiles/rio_dma.dir/riommu_handle.cc.o.d"
+  "/root/repo/src/dma/simple_handles.cc" "src/dma/CMakeFiles/rio_dma.dir/simple_handles.cc.o" "gcc" "src/dma/CMakeFiles/rio_dma.dir/simple_handles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycles/CMakeFiles/rio_cycles.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/rio_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/riommu/CMakeFiles/rio_riommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/iova/CMakeFiles/rio_iova.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_dma.dir/baseline_handle.cc.o"
+  "CMakeFiles/rio_dma.dir/baseline_handle.cc.o.d"
+  "CMakeFiles/rio_dma.dir/dma_context.cc.o"
+  "CMakeFiles/rio_dma.dir/dma_context.cc.o.d"
+  "CMakeFiles/rio_dma.dir/dma_handle.cc.o"
+  "CMakeFiles/rio_dma.dir/dma_handle.cc.o.d"
+  "CMakeFiles/rio_dma.dir/protection_mode.cc.o"
+  "CMakeFiles/rio_dma.dir/protection_mode.cc.o.d"
+  "CMakeFiles/rio_dma.dir/riommu_handle.cc.o"
+  "CMakeFiles/rio_dma.dir/riommu_handle.cc.o.d"
+  "CMakeFiles/rio_dma.dir/simple_handles.cc.o"
+  "CMakeFiles/rio_dma.dir/simple_handles.cc.o.d"
+  "librio_dma.a"
+  "librio_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_iommu.dir/inval_queue.cc.o"
+  "CMakeFiles/rio_iommu.dir/inval_queue.cc.o.d"
+  "CMakeFiles/rio_iommu.dir/iommu.cc.o"
+  "CMakeFiles/rio_iommu.dir/iommu.cc.o.d"
+  "CMakeFiles/rio_iommu.dir/iotlb.cc.o"
+  "CMakeFiles/rio_iommu.dir/iotlb.cc.o.d"
+  "CMakeFiles/rio_iommu.dir/page_table.cc.o"
+  "CMakeFiles/rio_iommu.dir/page_table.cc.o.d"
+  "CMakeFiles/rio_iommu.dir/types.cc.o"
+  "CMakeFiles/rio_iommu.dir/types.cc.o.d"
+  "librio_iommu.a"
+  "librio_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iova/linux_allocator.cc" "src/iova/CMakeFiles/rio_iova.dir/linux_allocator.cc.o" "gcc" "src/iova/CMakeFiles/rio_iova.dir/linux_allocator.cc.o.d"
+  "/root/repo/src/iova/magazine_allocator.cc" "src/iova/CMakeFiles/rio_iova.dir/magazine_allocator.cc.o" "gcc" "src/iova/CMakeFiles/rio_iova.dir/magazine_allocator.cc.o.d"
+  "/root/repo/src/iova/rbtree.cc" "src/iova/CMakeFiles/rio_iova.dir/rbtree.cc.o" "gcc" "src/iova/CMakeFiles/rio_iova.dir/rbtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycles/CMakeFiles/rio_cycles.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

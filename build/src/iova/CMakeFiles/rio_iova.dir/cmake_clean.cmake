@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_iova.dir/linux_allocator.cc.o"
+  "CMakeFiles/rio_iova.dir/linux_allocator.cc.o.d"
+  "CMakeFiles/rio_iova.dir/magazine_allocator.cc.o"
+  "CMakeFiles/rio_iova.dir/magazine_allocator.cc.o.d"
+  "CMakeFiles/rio_iova.dir/rbtree.cc.o"
+  "CMakeFiles/rio_iova.dir/rbtree.cc.o.d"
+  "librio_iova.a"
+  "librio_iova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_iova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/rio_mem.dir/phys_mem.cc.o.d"
+  "librio_mem.a"
+  "librio_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_nic.dir/nic.cc.o"
+  "CMakeFiles/rio_nic.dir/nic.cc.o.d"
+  "CMakeFiles/rio_nic.dir/profile.cc.o"
+  "CMakeFiles/rio_nic.dir/profile.cc.o.d"
+  "librio_nic.a"
+  "librio_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_nvme.dir/nvme.cc.o"
+  "CMakeFiles/rio_nvme.dir/nvme.cc.o.d"
+  "librio_nvme.a"
+  "librio_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

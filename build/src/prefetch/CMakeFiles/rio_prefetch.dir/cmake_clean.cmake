@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_prefetch.dir/prefetcher.cc.o"
+  "CMakeFiles/rio_prefetch.dir/prefetcher.cc.o.d"
+  "CMakeFiles/rio_prefetch.dir/replay.cc.o"
+  "CMakeFiles/rio_prefetch.dir/replay.cc.o.d"
+  "librio_prefetch.a"
+  "librio_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_ring.dir/descriptor_ring.cc.o"
+  "CMakeFiles/rio_ring.dir/descriptor_ring.cc.o.d"
+  "librio_ring.a"
+  "librio_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

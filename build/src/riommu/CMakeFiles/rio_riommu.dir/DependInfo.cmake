@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/riommu/rdevice.cc" "src/riommu/CMakeFiles/rio_riommu.dir/rdevice.cc.o" "gcc" "src/riommu/CMakeFiles/rio_riommu.dir/rdevice.cc.o.d"
+  "/root/repo/src/riommu/riommu.cc" "src/riommu/CMakeFiles/rio_riommu.dir/riommu.cc.o" "gcc" "src/riommu/CMakeFiles/rio_riommu.dir/riommu.cc.o.d"
+  "/root/repo/src/riommu/riotlb.cc" "src/riommu/CMakeFiles/rio_riommu.dir/riotlb.cc.o" "gcc" "src/riommu/CMakeFiles/rio_riommu.dir/riotlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycles/CMakeFiles/rio_cycles.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/rio_iommu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

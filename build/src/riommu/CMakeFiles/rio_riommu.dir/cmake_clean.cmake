@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_riommu.dir/rdevice.cc.o"
+  "CMakeFiles/rio_riommu.dir/rdevice.cc.o.d"
+  "CMakeFiles/rio_riommu.dir/riommu.cc.o"
+  "CMakeFiles/rio_riommu.dir/riommu.cc.o.d"
+  "CMakeFiles/rio_riommu.dir/riotlb.cc.o"
+  "CMakeFiles/rio_riommu.dir/riotlb.cc.o.d"
+  "librio_riommu.a"
+  "librio_riommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_riommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_sys.dir/machine.cc.o"
+  "CMakeFiles/rio_sys.dir/machine.cc.o.d"
+  "librio_sys.a"
+  "librio_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_trace.dir/trace.cc.o"
+  "CMakeFiles/rio_trace.dir/trace.cc.o.d"
+  "librio_trace.a"
+  "librio_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

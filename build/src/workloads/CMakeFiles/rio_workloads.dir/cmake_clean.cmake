@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_workloads.dir/netperf_rr.cc.o"
+  "CMakeFiles/rio_workloads.dir/netperf_rr.cc.o.d"
+  "CMakeFiles/rio_workloads.dir/request_load.cc.o"
+  "CMakeFiles/rio_workloads.dir/request_load.cc.o.d"
+  "CMakeFiles/rio_workloads.dir/storage.cc.o"
+  "CMakeFiles/rio_workloads.dir/storage.cc.o.d"
+  "CMakeFiles/rio_workloads.dir/stream.cc.o"
+  "CMakeFiles/rio_workloads.dir/stream.cc.o.d"
+  "librio_workloads.a"
+  "librio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahci_test.dir/ahci_test.cc.o"
+  "CMakeFiles/ahci_test.dir/ahci_test.cc.o.d"
+  "ahci_test"
+  "ahci_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

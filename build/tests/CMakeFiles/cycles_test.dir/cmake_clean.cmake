@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycles_test.dir/cycles_test.cc.o"
+  "CMakeFiles/cycles_test.dir/cycles_test.cc.o.d"
+  "cycles_test"
+  "cycles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inval_queue_test.dir/inval_queue_test.cc.o"
+  "CMakeFiles/inval_queue_test.dir/inval_queue_test.cc.o.d"
+  "inval_queue_test"
+  "inval_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inval_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iova_test.dir/iova_test.cc.o"
+  "CMakeFiles/iova_test.dir/iova_test.cc.o.d"
+  "iova_test"
+  "iova_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iova_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

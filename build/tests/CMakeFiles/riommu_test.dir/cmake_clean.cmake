@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riommu_test.dir/riommu_test.cc.o"
+  "CMakeFiles/riommu_test.dir/riommu_test.cc.o.d"
+  "riommu_test"
+  "riommu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riommu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
