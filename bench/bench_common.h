@@ -8,7 +8,9 @@
 #define RIO_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/strings.h"
@@ -52,6 +54,86 @@ printHeader(const std::string &title)
 {
     std::printf("\n=== %s ===\n\n", title.c_str());
 }
+
+/** The `--json <path>` argument, or null when absent. */
+inline const char *
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string_view(argv[i]) == "--json")
+            return argv[i + 1];
+    return nullptr;
+}
+
+/**
+ * Mirrors a bench's table into a machine-readable file (conventionally
+ * BENCH_<name>.json) for plotting and CI diffing:
+ *
+ *   {"bench": "...", "rows": [{"mode": "strict", "total": 17650.0}, ...]}
+ *
+ * Rows are flat objects of string and number fields, added in call
+ * order. Writing is a no-op when the path is null (no --json given).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::string bench) : bench_(std::move(bench)) {}
+
+    void beginRow() { rows_.emplace_back(); }
+    void add(const std::string &key, const std::string &value)
+    {
+        rows_.back().push_back(
+            strprintf("\"%s\": \"%s\"", key.c_str(), value.c_str()));
+    }
+    void add(const std::string &key, const char *value)
+    {
+        add(key, std::string(value));
+    }
+    void add(const std::string &key, double value)
+    {
+        rows_.back().push_back(
+            strprintf("\"%s\": %.6g", key.c_str(), value));
+    }
+    void add(const std::string &key, u64 value)
+    {
+        rows_.back().push_back(strprintf("\"%s\": %llu", key.c_str(),
+                                         (unsigned long long)value));
+    }
+    void add(const std::string &key, unsigned value)
+    {
+        add(key, static_cast<u64>(value));
+    }
+
+    /** Write to @p path; returns false (with a message) on I/O error.
+     * Null @p path: nothing to do, returns true. */
+    bool
+    writeTo(const char *path) const
+    {
+        if (!path)
+            return true;
+        std::FILE *f = std::fopen(path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path);
+            return false;
+        }
+        std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", bench_.c_str());
+        for (size_t i = 0; i < rows_.size(); ++i) {
+            std::fprintf(f, "%s{", i ? ", " : "");
+            for (size_t j = 0; j < rows_[i].size(); ++j)
+                std::fprintf(f, "%s%s", j ? ", " : "",
+                             rows_[i][j].c_str());
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path);
+        return true;
+    }
+
+  private:
+    std::string bench_;
+    std::vector<std::vector<std::string>> rows_;
+};
 
 } // namespace rio::bench
 

@@ -18,7 +18,7 @@ using namespace rio;
 using cycles::Cat;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Figure 7: cycles per packet by component, "
                        "Netperf stream on mlx (paper C_none = 1816)");
@@ -71,5 +71,19 @@ main()
     std::printf("%s\n", t.toString().c_str());
     std::printf("paper ratios: strict 9.4x, strict+ 5.2x, defer 4.7x, "
                 "defer+ 3.2x, riommu- ~1.9x, riommu ~1.3x, none 1.0x\n");
+
+    bench::JsonWriter json("fig7_cycles_per_packet");
+    for (const Row &row : rows) {
+        json.beginRow();
+        json.add("mode", dma::modeName(row.mode));
+        json.add("iotlb_inv", row.inv);
+        json.add("page_table", row.pt);
+        json.add("iova", row.iova);
+        json.add("other", row.other);
+        json.add("total", row.total);
+        json.add("ratio_vs_none", row.total / c_none);
+    }
+    if (!json.writeTo(bench::jsonPathFromArgs(argc, argv)))
+        return 1;
     return 0;
 }

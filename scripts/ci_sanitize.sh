@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under AddressSanitizer + UBSan (the RIO_SANITIZE
+# CMake option). Run from the repo root:
+#
+#   scripts/ci_sanitize.sh [build-dir]
+#
+# Benches are built too but not run (they are deterministic replays of
+# the same code paths the tests cover; full runs under ASan are slow).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DRIO_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# abort_on_error makes ASan failures fail ctest rather than just log.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "sanitized tier-1 suite passed"

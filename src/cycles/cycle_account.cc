@@ -17,6 +17,7 @@ catName(Cat cat)
       case Cat::kUnmapIotlbInv: return "unmap/iotlb inv";
       case Cat::kUnmapOther: return "unmap/other";
       case Cat::kProcessing: return "processing";
+      case Cat::kLockWait: return "lock wait";
       case Cat::kNumCats: break;
     }
     RIO_PANIC("bad Cat");

@@ -26,6 +26,7 @@ enum class Cat : unsigned {
     kUnmapIotlbInv,    //!< unmap: IOTLB/rIOTLB invalidation
     kUnmapOther,       //!< unmap: call overhead, deferred-list mgmt
     kProcessing,       //!< TCP/IP, interrupts, application logic
+    kLockWait,         //!< spinning on a contended driver lock
     kNumCats
 };
 

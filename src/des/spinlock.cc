@@ -1,0 +1,48 @@
+#include "des/spinlock.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace rio::des {
+
+Cycles
+SimSpinlock::acquire(Core *core, cycles::CycleAccount *acct)
+{
+    RIO_ASSERT(!held_, "recursive acquire of SimSpinlock ", name_);
+    held_ = true;
+    ++stats_.acquisitions;
+    if (!core)
+        return 0;
+
+    const Nanos now = core->virtualNow();
+    if (now >= free_at_)
+        return 0;
+
+    // Spin until the previous critical section's virtual end. Charging
+    // the wait advances the core's virtualNow() to (at least) the
+    // grant time, so the critical section that follows is serialized
+    // after the previous holder's in simulated time.
+    const Nanos wait_ns = free_at_ - now;
+    const Cycles wait = static_cast<Cycles>(
+        std::ceil(static_cast<double>(wait_ns) * cost_.core_ghz));
+    if (acct)
+        acct->charge(cycles::Cat::kLockWait, wait);
+    ++stats_.contended;
+    stats_.wait_cycles += wait;
+    return wait;
+}
+
+void
+SimSpinlock::release(Core *core)
+{
+    RIO_ASSERT(held_, "release of unheld SimSpinlock ", name_);
+    held_ = false;
+    if (!core)
+        return;
+    const Nanos now = core->virtualNow();
+    if (now > free_at_)
+        free_at_ = now;
+}
+
+} // namespace rio::des

@@ -66,6 +66,20 @@ class BaselineDmaHandle : public DmaHandle
     /** Entries waiting in the deferred queue. */
     u64 deferredPending() const { return defer_queue_.size(); }
 
+    /**
+     * Share the context-global locks: IOVA-allocator operations run
+     * under @p iova_lock and synchronous invalidations under
+     * @p inval_lock, both at @p core's virtual time. See
+     * DmaContext::makeHandle.
+     */
+    void
+    setContention(des::SimSpinlock *iova_lock,
+                  des::SimSpinlock *inval_lock, des::Core *core)
+    {
+        allocator_->setContention(iova_lock, core);
+        inval_queue_.setContention(inval_lock, core);
+    }
+
     iommu::IoPageTable &pageTable() { return table_; }
     iova::IovaAllocator &allocator() { return *allocator_; }
     iommu::InvalQueue &invalQueue() { return inval_queue_; }

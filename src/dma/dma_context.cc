@@ -10,34 +10,41 @@ namespace rio::dma {
 DmaContext::DmaContext(const cycles::CostModel &cost,
                        iommu::IotlbConfig iotlb_config)
     : cost_(cost), pm_(), iommu_(pm_, cost_, iotlb_config),
-      riommu_(pm_, cost_)
+      riommu_(pm_, cost_), iova_lock_(cost_, "iova"),
+      inval_lock_(cost_, "qi")
 {
 }
 
 std::unique_ptr<DmaHandle>
 DmaContext::makeHandle(ProtectionMode mode, iommu::Bdf bdf,
                        cycles::CycleAccount *acct,
-                       std::vector<u32> ring_sizes)
+                       std::vector<u32> ring_sizes, des::Core *core)
 {
     std::vector<riommu::RingSpec> specs;
     specs.reserve(ring_sizes.size());
     for (u32 size : ring_sizes)
         specs.push_back(riommu::RingSpec{size, riommu::RingMode::kSequential});
-    return makeHandleWithSpecs(mode, bdf, acct, std::move(specs));
+    return makeHandleWithSpecs(mode, bdf, acct, std::move(specs), core);
 }
 
 std::unique_ptr<DmaHandle>
 DmaContext::makeHandleWithSpecs(ProtectionMode mode, iommu::Bdf bdf,
                                 cycles::CycleAccount *acct,
-                                std::vector<riommu::RingSpec> ring_specs)
+                                std::vector<riommu::RingSpec> ring_specs,
+                                des::Core *core)
 {
     switch (mode) {
       case ProtectionMode::kStrict:
       case ProtectionMode::kStrictPlus:
       case ProtectionMode::kDefer:
-      case ProtectionMode::kDeferPlus:
-        return std::make_unique<BaselineDmaHandle>(mode, iommu_, pm_, bdf,
-                                                   cost_, acct);
+      case ProtectionMode::kDeferPlus: {
+        auto handle = std::make_unique<BaselineDmaHandle>(mode, iommu_,
+                                                          pm_, bdf,
+                                                          cost_, acct);
+        if (core)
+            handle->setContention(&iova_lock_, &inval_lock_, core);
+        return handle;
+      }
       case ProtectionMode::kRiommuNc:
       case ProtectionMode::kRiommu:
         RIO_ASSERT(!ring_specs.empty(),

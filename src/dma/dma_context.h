@@ -13,6 +13,7 @@
 
 #include "cycles/cost_model.h"
 #include "cycles/cycle_account.h"
+#include "des/spinlock.h"
 #include "dma/dma_handle.h"
 #include "dma/protection_mode.h"
 #include "iommu/iommu.h"
@@ -38,17 +39,30 @@ class DmaContext
     riommu::Riommu &riommu() { return riommu_; }
     const cycles::CostModel &cost() const { return cost_; }
 
+    /** The context-global IOVA-allocator lock (Linux's per-domain
+     * spinlock, the §3.2 scalability pathology). */
+    des::SimSpinlock &iovaLock() { return iova_lock_; }
+    /** The per-IOMMU invalidation-queue register lock. */
+    des::SimSpinlock &invalLock() { return inval_lock_; }
+
     /**
      * Create the DMA handle implementing @p mode for device @p bdf.
      * @param acct where driver-side cycles are charged (may be null
      *        for purely functional use)
      * @param ring_sizes rRING sizes for the rIOMMU modes; required
      *        non-empty there, ignored elsewhere
+     * @param core the simulated core the handle's driver work runs
+     *        on. When non-null, the baseline modes serialize their
+     *        IOVA allocator and invalidation-queue operations on this
+     *        context's shared locks at the core's virtual time —
+     *        cores sharing one context then contend, as on real
+     *        hardware. The rIOMMU modes take no locks either way.
      */
     std::unique_ptr<DmaHandle> makeHandle(ProtectionMode mode,
                                           iommu::Bdf bdf,
                                           cycles::CycleAccount *acct,
-                                          std::vector<u32> ring_sizes = {});
+                                          std::vector<u32> ring_sizes = {},
+                                          des::Core *core = nullptr);
 
     /**
      * Same, with explicit per-rRING allocation policies — needed for
@@ -57,13 +71,16 @@ class DmaContext
     std::unique_ptr<DmaHandle>
     makeHandleWithSpecs(ProtectionMode mode, iommu::Bdf bdf,
                         cycles::CycleAccount *acct,
-                        std::vector<riommu::RingSpec> ring_specs);
+                        std::vector<riommu::RingSpec> ring_specs,
+                        des::Core *core = nullptr);
 
   private:
     const cycles::CostModel &cost_;
     mem::PhysicalMemory pm_;
     iommu::Iommu iommu_;
     riommu::Riommu riommu_;
+    des::SimSpinlock iova_lock_;
+    des::SimSpinlock inval_lock_;
 };
 
 } // namespace rio::dma

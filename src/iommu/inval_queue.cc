@@ -108,6 +108,7 @@ void
 InvalQueue::invalidateEntrySync(Bdf bdf, u64 iova_pfn,
                                 cycles::CycleAccount *acct)
 {
+    des::SpinGuard lock(lock_, lock_core_, acct);
     Cycles c = submit(QiDescriptor::entry(bdf.pack(), iova_pfn));
     c += submit(QiDescriptor::wait(status_addr_));
     c += cost_.qi_doorbell;
@@ -125,6 +126,7 @@ InvalQueue::invalidateEntrySync(Bdf bdf, u64 iova_pfn,
 void
 InvalQueue::flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat)
 {
+    des::SpinGuard lock(lock_, lock_core_, acct);
     Cycles c = submit(QiDescriptor::global());
     c += submit(QiDescriptor::wait(status_addr_));
     c += cost_.qi_doorbell;

@@ -19,6 +19,7 @@
 #include "base/types.h"
 #include "cycles/cost_model.h"
 #include "cycles/cycle_account.h"
+#include "des/spinlock.h"
 #include "iommu/iommu.h"
 #include "mem/phys_mem.h"
 
@@ -86,6 +87,20 @@ class InvalQueue
      */
     void flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat);
 
+    /**
+     * Serialize the synchronous operations on @p lock, modeling the
+     * per-IOMMU invalidation-queue tail register all cores share
+     * (intel-iommu's qi lock): submit + doorbell + status spin happen
+     * under the lock, so concurrent invalidations from other cores
+     * stack up behind the full ~2,150-cycle round trip.
+     */
+    void
+    setContention(des::SimSpinlock *lock, des::Core *core)
+    {
+        lock_ = lock;
+        lock_core_ = core;
+    }
+
     const QiStats &stats() const { return stats_; }
     PhysAddr base() const { return base_; }
     u32 entries() const { return entries_; }
@@ -111,6 +126,8 @@ class InvalQueue
     u32 tail_ = 0; //!< driver's submission point
     u64 status_cookie_ = 0;
     QiStats stats_;
+    des::SimSpinlock *lock_ = nullptr;
+    des::Core *lock_core_ = nullptr;
 };
 
 } // namespace rio::iommu

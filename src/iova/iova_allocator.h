@@ -13,6 +13,7 @@
 #include "base/types.h"
 #include "cycles/cost_model.h"
 #include "cycles/cycle_account.h"
+#include "des/spinlock.h"
 
 namespace rio::iova {
 
@@ -74,7 +75,28 @@ class IovaAllocator
     /** Nodes resident in the search structure (>= live for strict+). */
     virtual u64 treeSize() const = 0;
 
+    /**
+     * Model Linux's globally locked allocator (§3.2): every public
+     * operation runs under @p lock, with spin-waits charged to this
+     * allocator's account at @p core's virtual time. The lock is
+     * typically shared by every baseline handle of one DmaContext so
+     * cores contend on it; unset (the default) means uncontended use.
+     */
+    void
+    setContention(des::SimSpinlock *lock, des::Core *core)
+    {
+        lock_ = lock;
+        lock_core_ = core;
+    }
+
   protected:
+    /** Serialize a public operation on the shared allocator lock. */
+    des::SpinGuard
+    lockScope()
+    {
+        return des::SpinGuard(lock_, lock_core_, acct_);
+    }
+
     void
     charge(cycles::Cat cat, Cycles c)
     {
@@ -84,6 +106,8 @@ class IovaAllocator
 
     cycles::CycleAccount *acct_;
     const cycles::CostModel &cost_;
+    des::SimSpinlock *lock_ = nullptr;
+    des::Core *lock_core_ = nullptr;
 };
 
 } // namespace rio::iova

@@ -23,6 +23,7 @@ Result<IovaRange>
 LinuxIovaAllocator::alloc(u64 npages)
 {
     RIO_ASSERT(npages > 0, "alloc(0)");
+    auto lock = lockScope();
     u64 visits = 0;
     u64 rebalances = 0;
     u64 limit_pfn = limit_pfn_;
@@ -84,6 +85,7 @@ LinuxIovaAllocator::alloc(u64 npages)
 Result<IovaRange>
 LinuxIovaAllocator::find(u64 pfn)
 {
+    auto lock = lockScope();
     u64 visits = 0;
     RbTree::Node *node = tree_.findContaining(pfn, &visits);
     charge(cycles::Cat::kUnmapIovaFind,
@@ -96,6 +98,7 @@ LinuxIovaAllocator::find(u64 pfn)
 Status
 LinuxIovaAllocator::free(u64 pfn_lo)
 {
+    auto lock = lockScope();
     // The driver already located the range via find(); Linux's
     // __free_iova() takes that pointer directly, so this lookup is
     // mechanical and not charged.

@@ -22,6 +22,7 @@ Result<IovaRange>
 MagazineIovaAllocator::alloc(u64 npages)
 {
     RIO_ASSERT(npages > 0, "alloc(0)");
+    auto lock = lockScope();
     ++alloc_calls_;
 
     auto it = magazines_.find(npages);
@@ -65,6 +66,7 @@ MagazineIovaAllocator::alloc(u64 npages)
 Result<IovaRange>
 MagazineIovaAllocator::find(u64 pfn)
 {
+    auto lock = lockScope();
     u64 visits = 0;
     RbTree::Node *node = tree_.findContaining(pfn, &visits);
     charge(cycles::Cat::kUnmapIovaFind,
@@ -77,6 +79,7 @@ MagazineIovaAllocator::find(u64 pfn)
 Status
 MagazineIovaAllocator::free(u64 pfn_lo)
 {
+    auto lock = lockScope();
     RbTree::Node *node = tree_.findContaining(pfn_lo, nullptr);
     if (!node || node->pfn_lo != pfn_lo || !node->live)
         return Status(ErrorCode::kNotFound, "free of unallocated IOVA");

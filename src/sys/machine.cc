@@ -1,33 +1,67 @@
 #include "sys/machine.h"
 
+#include "base/logging.h"
+
 namespace rio::sys {
 
-namespace {
-
-dma::DmaHandle &
-wrap(std::unique_ptr<dma::DmaHandle> &handle,
-     std::unique_ptr<trace::RecordingDmaHandle> &recorder,
-     trace::DmaTrace *trace)
+Machine::Machine(des::Simulator &sim, dma::ProtectionMode mode,
+                 unsigned ncores, const cycles::CostModel &cost)
+    : sim_(sim), mode_(mode), ctx_(cost)
 {
-    if (!trace)
-        return *handle;
-    recorder =
-        std::make_unique<trace::RecordingDmaHandle>(*handle, *trace);
-    return *recorder;
+    RIO_ASSERT(ncores > 0, "machine with no cores");
+    cores_.reserve(ncores);
+    for (unsigned i = 0; i < ncores; ++i)
+        cores_.push_back(std::make_unique<des::Core>(sim_, cost));
 }
-
-} // namespace
 
 Machine::Machine(des::Simulator &sim, dma::ProtectionMode mode,
                  const nic::NicProfile &profile,
                  const cycles::CostModel &cost, trace::DmaTrace *trace)
-    : sim_(sim), mode_(mode), profile_(profile), ctx_(cost),
-      core_(sim, cost),
-      handle_(ctx_.makeHandle(mode, iommu::Bdf{0, 3, 0}, &core_.acct(),
-                              profile.riommuRingSizes())),
-      nic_(sim, core_, ctx_.memory(), wrap(handle_, recorder_, trace),
-           profile_)
+    : Machine(sim, mode, /*ncores=*/1, cost)
 {
+    attachNic(profile, 0, trace);
+}
+
+iommu::Bdf
+Machine::nextBdf()
+{
+    RIO_ASSERT(next_dev_ < 32, "PCI device numbers exhausted on bus 0");
+    return iommu::Bdf{0, next_dev_++, 0};
+}
+
+unsigned
+Machine::attachNic(const nic::NicProfile &profile, unsigned core_idx,
+                   trace::DmaTrace *trace)
+{
+    RIO_ASSERT(core_idx < cores_.size(), "pin to nonexistent core ",
+               core_idx);
+    auto node = std::make_unique<Node>(profile, core_idx);
+    des::Core &core = *cores_[core_idx];
+    node->handle =
+        ctx_.makeHandle(mode_, nextBdf(), &core.acct(),
+                        node->profile.riommuRingSizes(), &core);
+    dma::DmaHandle *handle = node->handle.get();
+    if (trace) {
+        node->recorder = std::make_unique<trace::RecordingDmaHandle>(
+            *handle, *trace);
+        handle = node->recorder.get();
+    }
+    node->nic = std::make_unique<nic::Nic>(sim_, core, ctx_.memory(),
+                                           *handle, node->profile);
+    nodes_.push_back(std::move(node));
+    return static_cast<unsigned>(nodes_.size() - 1);
+}
+
+dma::DmaHandle &
+Machine::attachDeviceHandle(unsigned core_idx, std::vector<u32> ring_sizes)
+{
+    RIO_ASSERT(core_idx < cores_.size(), "pin to nonexistent core ",
+               core_idx);
+    des::Core &core = *cores_[core_idx];
+    extra_handles_.push_back(ctx_.makeHandle(mode_, nextBdf(),
+                                             &core.acct(),
+                                             std::move(ring_sizes), &core));
+    return *extra_handles_.back();
 }
 
 } // namespace rio::sys

@@ -1,15 +1,20 @@
 /**
  * @file
- * Machine: one simulated host — memory + IOMMUs (DmaContext), a
- * single core (the paper's servers are configured to use one core,
- * §5.1), a DMA handle implementing the chosen protection mode, and a
- * NIC. Workloads are built on top of one or two Machines sharing a
+ * Machine: one simulated host — memory + IOMMUs (one shared
+ * DmaContext), N cores, and a set of attached devices, each pinned to
+ * a core. The paper's servers are configured to use one core (§5.1),
+ * and the single-core constructor reproduces exactly that setup; the
+ * N-core form exists to measure what §3.2 predicts about it: the
+ * baseline modes serialize every map/unmap on the context-global IOVA
+ * and invalidation-queue locks, while rIOMMU's per-ring state scales
+ * lock-free. Workloads are built on one or more Machines sharing a
  * discrete-event Simulator.
  */
 #ifndef RIO_SYS_MACHINE_H
 #define RIO_SYS_MACHINE_H
 
 #include <memory>
+#include <vector>
 
 #include "des/core.h"
 #include "des/simulator.h"
@@ -19,11 +24,15 @@
 
 namespace rio::sys {
 
-/** A host under a given protection mode with one NIC. */
+/** A host under a given protection mode: N cores x M devices. */
 class Machine
 {
   public:
     /**
+     * Single-core, single-NIC machine — the paper's configuration.
+     * Equivalent to the N-core constructor with ncores = 1 followed
+     * by attachNic(profile, 0, trace).
+     *
      * @param trace when non-null, every map/unmap/device access of
      * this machine's NIC is recorded (for the §5.4 prefetcher study).
      */
@@ -32,35 +41,100 @@ class Machine
             const cycles::CostModel &cost = cycles::defaultCostModel(),
             trace::DmaTrace *trace = nullptr);
 
+    /**
+     * Bare N-core machine sharing one DmaContext; attach devices
+     * (and thereby pin them to cores) before bringUp().
+     */
+    Machine(des::Simulator &sim, dma::ProtectionMode mode,
+            unsigned ncores,
+            const cycles::CostModel &cost = cycles::defaultCostModel());
+
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
-    /** Bring the NIC up (ring allocation, Rx prefill). Do this before
-     * starting a workload; init-time charges precede any measurement
-     * window. */
-    void bringUp() { nic_.bringUp(); }
+    /**
+     * Attach a NIC driven by core @p core_idx. Its DMA handle shares
+     * this machine's context (and, for the baseline modes, the
+     * context-global locks). Returns the NIC's index.
+     */
+    unsigned attachNic(const nic::NicProfile &profile, unsigned core_idx,
+                       trace::DmaTrace *trace = nullptr);
+
+    /**
+     * Create a DMA handle for an additional non-NIC device (NVMe,
+     * AHCI, ...) pinned to core @p core_idx, sharing this machine's
+     * context and BDF space. The machine keeps ownership; pass the
+     * reference to the device model's constructor. @p ring_sizes is
+     * required for the rIOMMU modes (e.g. NvmeDevice::riommuRingSizes).
+     */
+    dma::DmaHandle &attachDeviceHandle(unsigned core_idx,
+                                       std::vector<u32> ring_sizes = {});
+
+    /** Bring every attached NIC up (ring allocation, Rx prefill).
+     * Do this before starting a workload; init-time charges precede
+     * any measurement window. */
+    void
+    bringUp()
+    {
+        for (auto &node : nodes_)
+            node->nic->bringUp();
+    }
+
+    unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+    unsigned numNics() const { return static_cast<unsigned>(nodes_.size()); }
 
     des::Simulator &sim() { return sim_; }
-    des::Core &core() { return core_; }
-    cycles::CycleAccount &acct() { return core_.acct(); }
+    des::Core &core(unsigned i = 0) { return *cores_[i]; }
+    cycles::CycleAccount &acct(unsigned i = 0) { return cores_[i]->acct(); }
     dma::DmaContext &ctx() { return ctx_; }
-    dma::DmaHandle &handle() { return *handle_; }
-    nic::Nic &nic() { return nic_; }
+    dma::DmaHandle &handle(unsigned i = 0) { return *nodes_[i]->handle; }
+    nic::Nic &nic(unsigned i = 0) { return *nodes_[i]->nic; }
     dma::ProtectionMode mode() const { return mode_; }
-    const nic::NicProfile &profile() const { return profile_; }
+    const nic::NicProfile &profile(unsigned i = 0) const
+    {
+        return nodes_[i]->profile;
+    }
     const cycles::CostModel &cost() const { return ctx_.cost(); }
 
+    /** The core a NIC is pinned to. */
+    des::Core &nicCore(unsigned i) { return *cores_[nodes_[i]->core_idx]; }
+
+    /** Contention counters of the context-global locks. */
+    const des::SimSpinlock::Stats &iovaLockStats()
+    {
+        return ctx_.iovaLock().stats();
+    }
+    const des::SimSpinlock::Stats &invalLockStats()
+    {
+        return ctx_.invalLock().stats();
+    }
+
   private:
+    struct Node
+    {
+        // By value: callers may pass temporaries; devices keep
+        // pointing at this stable copy.
+        const nic::NicProfile profile;
+        unsigned core_idx;
+        std::unique_ptr<dma::DmaHandle> handle;
+        std::unique_ptr<trace::RecordingDmaHandle> recorder;
+        std::unique_ptr<nic::Nic> nic;
+
+        Node(const nic::NicProfile &p, unsigned c)
+            : profile(p), core_idx(c)
+        {
+        }
+    };
+
+    iommu::Bdf nextBdf();
+
     des::Simulator &sim_;
     dma::ProtectionMode mode_;
-    // By value: callers may pass temporaries; devices keep pointing
-    // at this stable copy.
-    const nic::NicProfile profile_;
     dma::DmaContext ctx_;
-    des::Core core_;
-    std::unique_ptr<dma::DmaHandle> handle_;
-    std::unique_ptr<trace::RecordingDmaHandle> recorder_;
-    nic::Nic nic_;
+    std::vector<std::unique_ptr<des::Core>> cores_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<dma::DmaHandle>> extra_handles_;
+    u8 next_dev_ = 3; //!< next PCI device number (bus 0, fn 0)
 };
 
 } // namespace rio::sys

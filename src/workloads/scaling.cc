@@ -1,0 +1,293 @@
+#include "workloads/scaling.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "base/logging.h"
+#include "net/packet.h"
+#include "sys/machine.h"
+
+namespace rio::workloads {
+
+namespace {
+
+/** Window snapshot of one flow's core + NIC. */
+struct Snapshot
+{
+    Nanos t = 0;
+    Cycles busy = 0;
+    cycles::CycleAccount acct;
+    nic::NicStats nic;
+};
+
+/** Driver state of one flow (heap-allocated: callbacks keep
+ * pointers). */
+struct Flow
+{
+    unsigned idx = 0;
+    bool started = false;
+    bool stopped = false;
+    bool pump_posted = false;
+    u64 data_on_wire = 0;
+    u64 transactions = 0;
+    Snapshot start, end;
+    std::function<void()> pump;
+};
+
+Snapshot
+snapFlow(sys::Machine &m, unsigned i)
+{
+    return Snapshot{m.sim().now(), m.nicCore(i).busyCycles(),
+                    m.nicCore(i).acct(), m.nic(i).stats()};
+}
+
+RunResult
+flowResult(const Snapshot &start, const Snapshot &end, double core_ghz)
+{
+    RunResult r;
+    r.duration_s = static_cast<double>(end.t - start.t) * 1e-9;
+    r.nic = statsDelta(end.nic, start.nic);
+    r.acct = end.acct.since(start.acct);
+    r.tx_packets = r.nic.tx_packets;
+    r.rx_packets = r.nic.rx_packets;
+    r.tx_payload_bytes = r.nic.tx_payload_bytes;
+    r.transactions = r.nic.tx_packets;
+    r.throughput_gbps = static_cast<double>(r.tx_payload_bytes) * 8 /
+                        r.duration_s / 1e9;
+    r.transactions_per_sec =
+        static_cast<double>(r.transactions) / r.duration_s;
+    r.cpu = std::min(1.0, static_cast<double>(end.busy - start.busy) /
+                              core_ghz /
+                              static_cast<double>(end.t - start.t));
+    r.cycles_per_packet =
+        static_cast<double>(r.acct.total()) /
+        static_cast<double>(std::max<u64>(r.tx_packets, 1));
+    return r;
+}
+
+ScalingResult
+aggregate(std::vector<RunResult> per_flow, sys::Machine &m,
+          unsigned ncores)
+{
+    ScalingResult out;
+    out.cores = ncores;
+    Cycles total_cycles = 0, lock_wait = 0;
+    for (const RunResult &r : per_flow) {
+        out.tx_packets += r.tx_packets;
+        total_cycles += r.acct.total();
+        lock_wait += r.acct.get(cycles::Cat::kLockWait);
+        out.throughput_gbps += r.throughput_gbps;
+    }
+    const double pkts =
+        static_cast<double>(std::max<u64>(out.tx_packets, 1));
+    out.cycles_per_packet = static_cast<double>(total_cycles) / pkts;
+    out.lock_wait_per_packet = static_cast<double>(lock_wait) / pkts;
+    out.iova_lock = m.iovaLockStats();
+    out.inval_lock = m.invalLockStats();
+    out.per_flow = std::move(per_flow);
+    return out;
+}
+
+} // namespace
+
+ScalingResult
+runStreamScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
+                 unsigned ncores, const StreamParams &params,
+                 const cycles::CostModel &cost)
+{
+    RIO_ASSERT(ncores > 0, "scaling run with no cores");
+    des::Simulator sim;
+    sys::Machine m(sim, mode, ncores, cost);
+    for (unsigned i = 0; i < ncores; ++i)
+        m.attachNic(profile, i, params.trace);
+    m.bringUp();
+
+    const u64 total_target =
+        params.warmup_packets + params.measure_packets;
+    const u64 message_segments =
+        std::max<u64>(net::segmentsFor(params.message_bytes), 1);
+    const Nanos rtt_ns = 2 * profile.wire_ns;
+
+    // One independent Netperf-stream pump + remote sink per core —
+    // the single-flow logic of runStream, replicated. The flows
+    // interact only through the context-global locks (and not at all
+    // in the rIOMMU/none modes).
+    std::vector<std::unique_ptr<Flow>> flows;
+    sys::Machine *mp = &m;
+    des::Simulator *simp = &sim;
+    for (unsigned i = 0; i < ncores; ++i) {
+        flows.push_back(std::make_unique<Flow>());
+        Flow *f = flows.back().get();
+        f->idx = i;
+        nic::Nic *nic = &m.nic(i);
+        des::Core *core = &m.nicCore(i);
+
+        f->pump = [mp, f, core, nic, message_segments, params] {
+            f->pump_posted = false;
+            if (f->stopped)
+                return;
+            u64 sent = 0;
+            while (sent < message_segments &&
+                   nic->txSpacePackets(net::kMss) > 0) {
+                core->acct().charge(cycles::Cat::kProcessing,
+                                    params.per_packet_cycles);
+                net::Packet pkt;
+                pkt.payload_bytes = net::kMss;
+                pkt.kind = 1;
+                Status s = nic->sendPacket(pkt);
+                RIO_ASSERT(s.isOk(), "sendPacket: ", s.toString());
+                ++sent;
+            }
+            // Next message; Rx (ACK) handlers slot in between.
+            if (sent > 0 && nic->txSpacePackets(net::kMss) > 0 &&
+                !f->pump_posted) {
+                f->pump_posted = true;
+                core->post([f] { f->pump(); });
+            }
+        };
+        nic->setTxSpaceCallback([f, core] {
+            if (f->pump_posted || f->stopped)
+                return;
+            f->pump_posted = true;
+            core->post([f] { f->pump(); });
+        });
+        nic->setRxCallback([core, params](const net::Packet &) {
+            core->acct().charge(cycles::Cat::kProcessing,
+                                params.per_ack_cycles);
+        });
+        // Remote sink: consume data, ACK every ack_every packets
+        // after a round-trip wire delay.
+        nic->setWireTxCallback([mp, simp, f, nic, params, total_target,
+                                rtt_ns](const net::Packet &) {
+            ++f->data_on_wire;
+            if (!f->started &&
+                nic->stats().tx_packets >= params.warmup_packets) {
+                f->started = true;
+                f->start = snapFlow(*mp, f->idx);
+            }
+            if (f->started && !f->stopped &&
+                nic->stats().tx_packets >= total_target) {
+                f->stopped = true;
+                f->end = snapFlow(*mp, f->idx);
+            }
+            if (!f->stopped &&
+                f->data_on_wire % params.ack_every == 0) {
+                simp->scheduleAfter(rtt_ns, [nic, params] {
+                    net::Packet ack;
+                    ack.payload_bytes = params.ack_payload;
+                    ack.kind = 2;
+                    ack.flow = 0;
+                    nic->packetFromWire(ack);
+                });
+            }
+        });
+    }
+
+    for (auto &f : flows) {
+        f->pump_posted = true;
+        Flow *fp = f.get();
+        m.nicCore(fp->idx).post([fp] { fp->pump(); });
+    }
+    sim.run();
+
+    std::vector<RunResult> per_flow;
+    for (auto &f : flows) {
+        RIO_ASSERT(f->stopped, "stream flow ", f->idx,
+                   " ended before reaching its target");
+        per_flow.push_back(flowResult(f->start, f->end, cost.core_ghz));
+    }
+    return aggregate(std::move(per_flow), m, ncores);
+}
+
+ScalingResult
+runRrScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
+             unsigned ncores, const RrParams &params,
+             const cycles::CostModel &cost)
+{
+    RIO_ASSERT(ncores > 0, "scaling run with no cores");
+    des::Simulator sim;
+    sys::Machine a(sim, mode, ncores, cost); // initiators (measured)
+    sys::Machine b(sim, mode, ncores, cost); // echoers
+    for (unsigned i = 0; i < ncores; ++i) {
+        a.attachNic(profile, i);
+        b.attachNic(profile, i);
+    }
+    a.bringUp();
+    b.bringUp();
+
+    std::vector<std::unique_ptr<Flow>> flows;
+    sys::Machine *ap = &a;
+    sys::Machine *bp = &b;
+    des::Simulator *simp = &sim;
+
+    auto send = [params](sys::Machine *machine, unsigned i) {
+        machine->nicCore(i).acct().charge(cycles::Cat::kProcessing,
+                                          params.per_message_cycles);
+        net::Packet pkt;
+        pkt.payload_bytes = params.payload;
+        Status s = machine->nic(i).sendPacket(pkt);
+        RIO_ASSERT(s.isOk(), "rr send failed: ", s.toString());
+    };
+
+    for (unsigned i = 0; i < ncores; ++i) {
+        flows.push_back(std::make_unique<Flow>());
+        Flow *f = flows.back().get();
+        f->idx = i;
+        const Nanos wire_ns = profile.wire_ns;
+
+        // Wire: a full-duplex point-to-point link per flow pair.
+        a.nic(i).setWireTxCallback(
+            [bp, simp, i, wire_ns](const net::Packet &pkt) {
+                simp->scheduleAfter(wire_ns, [bp, i, pkt] {
+                    bp->nic(i).packetFromWire(pkt);
+                });
+            });
+        b.nic(i).setWireTxCallback(
+            [ap, simp, i, wire_ns](const net::Packet &pkt) {
+                simp->scheduleAfter(wire_ns, [ap, i, pkt] {
+                    ap->nic(i).packetFromWire(pkt);
+                });
+            });
+        // Echo side: bounce every message straight back.
+        b.nic(i).setRxCallback(
+            [bp, i, send](const net::Packet &) { send(bp, i); });
+        // Initiator: count a transaction per echo, fire the next one.
+        a.nic(i).setRxCallback([ap, f, i, send,
+                                params](const net::Packet &) {
+            ++f->transactions;
+            if (f->transactions == params.warmup_transactions)
+                f->start = snapFlow(*ap, i);
+            if (f->transactions == params.warmup_transactions +
+                                       params.measure_transactions) {
+                f->stopped = true;
+                f->end = snapFlow(*ap, i);
+                return;
+            }
+            if (!f->stopped)
+                send(ap, i);
+        });
+    }
+
+    for (auto &f : flows) {
+        const unsigned i = f->idx;
+        a.nicCore(i).post([ap, i, send] { send(ap, i); });
+    }
+    sim.run();
+
+    std::vector<RunResult> per_flow;
+    for (auto &f : flows) {
+        RIO_ASSERT(f->stopped, "RR flow ", f->idx, " ended early");
+        RunResult r = flowResult(f->start, f->end, cost.core_ghz);
+        r.transactions = params.measure_transactions;
+        r.transactions_per_sec =
+            static_cast<double>(r.transactions) / r.duration_s;
+        r.throughput_gbps = r.transactions_per_sec *
+                            static_cast<double>(params.payload) * 8 /
+                            1e9;
+        per_flow.push_back(r);
+    }
+    return aggregate(std::move(per_flow), a, ncores);
+}
+
+} // namespace rio::workloads

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-core scaling workloads: K independent Netperf flows pinned to
+ * K cores of ONE machine, all devices sharing one DmaContext. This is
+ * the configuration §3.2 reasons about: the baseline modes serialize
+ * every map/unmap on the context-global IOVA-allocator lock and the
+ * invalidation-queue register, so their per-packet cost grows with
+ * core count, while the rIOMMU modes touch only per-ring state and
+ * scale flat with exactly zero lock-wait cycles.
+ */
+#ifndef RIO_WORKLOADS_SCALING_H
+#define RIO_WORKLOADS_SCALING_H
+
+#include <vector>
+
+#include "des/spinlock.h"
+#include "dma/protection_mode.h"
+#include "nic/profile.h"
+#include "workloads/netperf_rr.h"
+#include "workloads/result.h"
+#include "workloads/stream.h"
+
+namespace rio::workloads {
+
+/** Aggregate + per-flow results of one K-core run. */
+struct ScalingResult
+{
+    unsigned cores = 1;
+
+    /** Sum of measurement-window packets across flows. */
+    u64 tx_packets = 0;
+    /** Aggregate core cycles per packet (incl. lock waits). */
+    double cycles_per_packet = 0;
+    /** Aggregate lock-wait cycles per packet (0 for rIOMMU/none). */
+    double lock_wait_per_packet = 0;
+    /** Sum of flow goodputs in Gbps. */
+    double throughput_gbps = 0;
+
+    /** Whole-run contention counters of the two context locks. */
+    des::SimSpinlock::Stats iova_lock;
+    des::SimSpinlock::Stats inval_lock;
+
+    /** Per-flow window results (index == core index). */
+    std::vector<RunResult> per_flow;
+};
+
+/**
+ * Netperf TCP stream on each of @p ncores cores — one NIC per core,
+ * one shared DmaContext. Flow parameters are per flow.
+ */
+ScalingResult runStreamScaling(dma::ProtectionMode mode,
+                               const nic::NicProfile &profile,
+                               unsigned ncores,
+                               const StreamParams &params,
+                               const cycles::CostModel &cost =
+                                   cycles::defaultCostModel());
+
+/**
+ * Netperf RR ping-pong on each of @p ncores cores: initiator and
+ * echoer machines each have K cores x K NICs sharing their own
+ * DmaContext; flow i connects initiator NIC i to echoer NIC i.
+ */
+ScalingResult runRrScaling(dma::ProtectionMode mode,
+                           const nic::NicProfile &profile,
+                           unsigned ncores, const RrParams &params,
+                           const cycles::CostModel &cost =
+                               cycles::defaultCostModel());
+
+} // namespace rio::workloads
+
+#endif // RIO_WORKLOADS_SCALING_H
