@@ -32,7 +32,24 @@ main(int argc, char **argv)
     params.measure_packets = bench::scaled(20000);
     params.warmup_packets = bench::scaled(5000);
 
-    const std::vector<unsigned> core_counts = {1, 2, 4, 8};
+    // `--cores 1,2,4` overrides the default sweep (the golden-output
+    // regression test pins {1,2} for a fast deterministic run).
+    std::vector<unsigned> core_counts = {1, 2, 4, 8};
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string_view(argv[i]) != "--cores")
+            continue;
+        core_counts.clear();
+        unsigned v = 0;
+        for (const char *p = argv[i + 1]; *p; ++p) {
+            if (*p == ',') {
+                core_counts.push_back(v);
+                v = 0;
+            } else if (*p >= '0' && *p <= '9') {
+                v = v * 10 + static_cast<unsigned>(*p - '0');
+            }
+        }
+        core_counts.push_back(v);
+    }
 
     struct Row
     {
@@ -51,7 +68,7 @@ main(int argc, char **argv)
              "qi contended"});
     const Row *base = nullptr;
     for (const Row &row : rows) {
-        if (row.r.cores == 1)
+        if (row.r.cores == core_counts.front() || !base)
             base = &row;
         const double wait_pct = 100.0 * row.r.lock_wait_per_packet /
                                 row.r.cycles_per_packet;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Extended randomized campaign: the oracle fuzz suites (translation
+# and fault-injection) with a larger seed set than the default ctest
+# run, plus the fault unit suite. Run from the repo root:
+#
+#   scripts/ci_fuzz.sh [build-dir] [extra-seeds]
+#
+# extra-seeds is a comma-separated list appended to the compiled-in
+# seeds of the FaultFuzz campaign (default below). A plain optimized
+# build is enough; use ci_sanitize.sh for the ASan/UBSan variant.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+EXTRA_SEEDS="${2:-11213,19937,2203,86243,216091}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_test fault_test
+
+export RIO_FUZZ_EXTRA_SEEDS="$EXTRA_SEEDS"
+"$BUILD_DIR/tests/fuzz_test"
+"$BUILD_DIR/tests/fault_test"
+
+echo "fuzz campaign passed (extra seeds: $EXTRA_SEEDS)"

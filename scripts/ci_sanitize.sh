@@ -20,4 +20,12 @@ export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="print_stacktrace=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Second pass over the randomized suites with extra seeds that only
+# this lane runs: the fault-injection campaign stresses the recovery
+# paths (PTE save/restore, log drain, latch clear) where ASan/UBSan
+# have the most to find.
+export RIO_FUZZ_EXTRA_SEEDS="7001,7919,104729"
+"$BUILD_DIR/tests/fuzz_test" --gtest_filter='*FaultFuzz*:*IommuFuzz*:*RiommuFuzz*'
+"$BUILD_DIR/tests/fault_test"
+
 echo "sanitized tier-1 suite passed"

@@ -15,6 +15,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kNotFound: return "NOT_FOUND";
       case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
       case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case ErrorCode::kCorrupted: return "CORRUPTED";
     }
     return "UNKNOWN";
 }

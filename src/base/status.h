@@ -24,8 +24,9 @@ enum class ErrorCode {
     kOverflow,         //!< ring / table has no free entry
     kExists,           //!< mapping already present
     kNotFound,         //!< lookup failed
-    kInvalidArgument,  //!< caller error
-    kResourceExhausted //!< out of simulated memory, ids, ...
+    kInvalidArgument,   //!< caller error
+    kResourceExhausted, //!< out of simulated memory, ids, ...
+    kCorrupted          //!< reserved bits set / malformed structure
 };
 
 /** Human-readable name of @p code. */

@@ -137,6 +137,28 @@ struct CostModel
      */
     Cycles passthrough_call = 50;
 
+    // ---- Fault reporting & recovery -----------------------------------
+    /**
+     * Reading the fault-recording state after an I/O page fault: an
+     * interrupt-context read of the fault-status register plus the
+     * uncached reads that drain one fault-log record and the write
+     * that clears it. Charged once per recovered fault regardless of
+     * policy.
+     */
+    Cycles fault_report = 750;
+    /**
+     * Re-installing a damaged translation under the retry-with-remap
+     * policy: one leaf-level table store plus barrier, on top of the
+     * per-retry device access itself.
+     */
+    Cycles fault_remap = 350;
+    /**
+     * Backoff penalty of the drop-with-backoff policy: the driver
+     * parks the faulting request and schedules a later retransmit
+     * (timer programming + softirq bookkeeping).
+     */
+    Cycles fault_backoff = 2000;
+
     /** Convert cycles to nanoseconds at this model's clock. */
     double toNanos(Cycles c) const
     {

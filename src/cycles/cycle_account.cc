@@ -18,6 +18,7 @@ catName(Cat cat)
       case Cat::kUnmapOther: return "unmap/other";
       case Cat::kProcessing: return "processing";
       case Cat::kLockWait: return "lock wait";
+      case Cat::kFaultHandling: return "fault handling";
       case Cat::kNumCats: break;
     }
     RIO_PANIC("bad Cat");

@@ -27,6 +27,7 @@ enum class Cat : unsigned {
     kUnmapOther,       //!< unmap: call overhead, deferred-list mgmt
     kProcessing,       //!< TCP/IP, interrupts, application logic
     kLockWait,         //!< spinning on a contended driver lock
+    kFaultHandling,    //!< fault report read-out + recovery policy work
     kNumCats
 };
 

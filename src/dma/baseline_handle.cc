@@ -19,7 +19,8 @@ BaselineDmaHandle::BaselineDmaHandle(ProtectionMode mode,
                                      iommu::Bdf bdf,
                                      const cycles::CostModel &cost,
                                      cycles::CycleAccount *acct)
-    : mode_(mode), iommu_(iommu), bdf_(bdf), cost_(cost), acct_(acct),
+    : mode_(mode), iommu_(iommu), pm_(pm), bdf_(bdf), cost_(cost),
+      acct_(acct),
       // The paper's testbed has I/O page walks incoherent with CPU
       // caches (§3.2), hence the barrier+flush in every table update.
       table_(pm, /*coherent=*/false, cost, acct),
@@ -35,6 +36,7 @@ BaselineDmaHandle::BaselineDmaHandle(ProtectionMode mode,
             kDmaLimitPfn, acct, cost);
     }
     iommu_.attachDevice(bdf_, &table_);
+    fault_.bind(&cost_, acct_);
 }
 
 BaselineDmaHandle::~BaselineDmaHandle()
@@ -181,16 +183,73 @@ BaselineDmaHandle::flushDeferred()
     defer_queue_.clear();
 }
 
+void
+BaselineDmaHandle::acknowledgeFaults()
+{
+    // The fault interrupt handler drains the fault-recording ring and
+    // clears the overflow bit; the cycle cost is the engine's
+    // fault_report constant.
+    iommu_.faultLog().drain();
+    iommu_.faultLog().clearOverflow();
+}
+
+Status
+BaselineDmaHandle::deviceAccess(u64 device_addr,
+                                const std::function<Status()> &access)
+{
+    if (!fault_.armed())
+        return access();
+
+    // One draw per top-level access, mirrored by the test oracle.
+    if (fault_.shouldInject()) {
+        // Damage the live translation the way an errant driver would:
+        // zero the leaf PTE behind the IOMMU's back and shoot down
+        // the cached copy so the walker sees the damage.
+        const u64 pfn = device_addr >> kPageShift;
+        const PhysAddr slot = table_.leafSlot(pfn);
+        const u64 saved = slot ? pm_.read64(slot) : 0;
+        if (slot) {
+            pm_.write64(slot, 0);
+            iommu_.invalidateIotlbEntry(bdf_, pfn);
+        }
+        auto repair = [this, slot, saved] {
+            acknowledgeFaults();
+            if (slot)
+                pm_.write64(slot, saved);
+        };
+        Status s = access();
+        if (s.isOk()) {
+            // The damaged page was not touched (unmapped hierarchy or
+            // access elsewhere); restore silently.
+            repair();
+            return s;
+        }
+        return fault_.recover(s, repair, access);
+    }
+
+    Status s = access();
+    if (s.isOk())
+        return s;
+    // Organic fault (corrupted table, errant address): recovery can
+    // acknowledge the report but has nothing to re-install.
+    return fault_.recover(
+        s, [this] { acknowledgeFaults(); }, access);
+}
+
 Status
 BaselineDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
-    return iommu_.dmaRead(bdf_, device_addr, dst, len);
+    return deviceAccess(device_addr, [&] {
+        return iommu_.dmaRead(bdf_, device_addr, dst, len);
+    });
 }
 
 Status
 BaselineDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
 {
-    return iommu_.dmaWrite(bdf_, device_addr, src, len);
+    return deviceAccess(device_addr, [&] {
+        return iommu_.dmaWrite(bdf_, device_addr, src, len);
+    });
 }
 
 } // namespace rio::dma

@@ -92,8 +92,21 @@ class BaselineDmaHandle : public DmaHandle
             acct_->charge(cat, c);
     }
 
+    /**
+     * Device access with the fault engine in the loop: optionally
+     * injects a translation fault (zeroed leaf PTE + IOTLB shootdown,
+     * undone during recovery), and routes any faulted access through
+     * the recovery policy.
+     */
+    Status deviceAccess(u64 device_addr,
+                        const std::function<Status()> &access);
+
+    /** Driver fault-interrupt work: drain the hardware fault log. */
+    void acknowledgeFaults();
+
     ProtectionMode mode_;
     iommu::Iommu &iommu_;
+    mem::PhysicalMemory &pm_;
     iommu::Bdf bdf_;
     const cycles::CostModel &cost_;
     cycles::CycleAccount *acct_;

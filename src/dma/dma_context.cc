@@ -52,7 +52,7 @@ DmaContext::makeHandleWithSpecs(ProtectionMode mode, iommu::Bdf bdf,
         return std::make_unique<RiommuDmaHandle>(
             mode, riommu_, pm_, bdf, std::move(ring_specs), cost_, acct);
       case ProtectionMode::kNone:
-        return std::make_unique<NoneDmaHandle>(pm_, bdf);
+        return std::make_unique<NoneDmaHandle>(pm_, bdf, cost_, acct);
       case ProtectionMode::kHwPassthrough:
         return std::make_unique<HwPassthroughDmaHandle>(pm_, bdf, cost_,
                                                         acct);

@@ -18,6 +18,7 @@
 
 #include "base/status.h"
 #include "base/types.h"
+#include "dma/fault.h"
 #include "iommu/types.h"
 
 namespace rio::dma {
@@ -91,6 +92,32 @@ class DmaHandle
 
     /** The device this handle manages DMA for. */
     virtual iommu::Bdf bdf() const = 0;
+
+    // ---- fault recovery & injection -----------------------------------
+    // Virtual so decorators (trace::RecordingDmaHandle) can forward to
+    // the handle that actually runs the device path.
+
+    /** Select the recovery policy for faulted device accesses. */
+    virtual void setFaultPolicy(FaultPolicy policy)
+    {
+        fault_.setPolicy(policy);
+    }
+
+    virtual FaultPolicy faultPolicy() const { return fault_.policy(); }
+
+    /**
+     * Arm (rate > 0) or disarm deterministic fault injection on this
+     * handle's device-access path.
+     */
+    virtual void setFaultInjection(const FaultInjectConfig &cfg)
+    {
+        fault_.setInjection(cfg);
+    }
+
+    virtual FaultStats faultStats() const { return fault_.stats(); }
+
+  protected:
+    FaultEngine fault_;
 };
 
 } // namespace rio::dma

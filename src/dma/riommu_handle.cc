@@ -10,12 +10,13 @@ RiommuDmaHandle::RiommuDmaHandle(ProtectionMode mode,
                                  std::vector<riommu::RingSpec> rings,
                                  const cycles::CostModel &cost,
                                  cycles::CycleAccount *acct)
-    : riommu_(riommu),
+    : riommu_(riommu), pm_(pm),
       rdevice_(riommu, pm, bdf, std::move(rings),
                /*coherent=*/mode == ProtectionMode::kRiommu, cost, acct)
 {
     RIO_ASSERT(modeUsesRiommu(mode),
                "RiommuDmaHandle with non-rIOMMU mode");
+    fault_.bind(&cost, acct);
 }
 
 Result<DmaMapping>
@@ -39,17 +40,71 @@ RiommuDmaHandle::unmap(const DmaMapping &mapping, bool end_of_burst)
 }
 
 Status
+RiommuDmaHandle::deviceAccess(u64 device_addr,
+                              const std::function<Status()> &access)
+{
+    if (!fault_.armed())
+        return access();
+
+    const riommu::RIova iova{device_addr};
+    const iommu::Bdf dev_bdf = rdevice_.bdf();
+    const u16 rid = iova.rid();
+
+    // One draw per top-level access, mirrored by the test oracle.
+    if (fault_.shouldInject()) {
+        // Damage the exact rPTE this access resolves through: clear
+        // its valid bit in the flat table and invalidate the ring's
+        // rIOTLB entry so the walk sees the damage.
+        PhysAddr slot = 0;
+        u64 saved_word1 = 0;
+        if (rid < rdevice_.nrings() &&
+            iova.rentry() < rdevice_.ringSize(rid)) {
+            slot = rdevice_.tableAddr(rid) +
+                   static_cast<u64>(iova.rentry()) * riommu::RPte::kBytes;
+            saved_word1 = pm_.read64(slot + 8);
+            constexpr u64 kValid = u64{1} << 32; // size(30) | dir(2) | valid
+            pm_.write64(slot + 8, saved_word1 & ~kValid);
+            riommu_.invalidateRing(dev_bdf, rid);
+        }
+        auto repair = [this, slot, saved_word1, dev_bdf, rid] {
+            riommu_.clearRingFault(dev_bdf, rid);
+            if (slot) {
+                pm_.write64(slot + 8, saved_word1);
+                riommu_.invalidateRing(dev_bdf, rid);
+            }
+        };
+        Status s = access();
+        if (s.isOk()) {
+            repair();
+            return s;
+        }
+        return fault_.recover(s, repair, access);
+    }
+
+    Status s = access();
+    if (s.isOk())
+        return s;
+    return fault_.recover(
+        s, [this, dev_bdf, rid] { riommu_.clearRingFault(dev_bdf, rid); },
+        access);
+}
+
+Status
 RiommuDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
-    return riommu_.dmaRead(rdevice_.bdf(), riommu::RIova{device_addr},
-                           dst, len);
+    return deviceAccess(device_addr, [&] {
+        return riommu_.dmaRead(rdevice_.bdf(),
+                               riommu::RIova{device_addr}, dst, len);
+    });
 }
 
 Status
 RiommuDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
 {
-    return riommu_.dmaWrite(rdevice_.bdf(), riommu::RIova{device_addr},
-                            src, len);
+    return deviceAccess(device_addr, [&] {
+        return riommu_.dmaWrite(rdevice_.bdf(),
+                                riommu::RIova{device_addr}, src, len);
+    });
 }
 
 u64

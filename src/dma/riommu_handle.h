@@ -37,7 +37,16 @@ class RiommuDmaHandle : public DmaHandle
     riommu::RDevice &rdevice() { return rdevice_; }
 
   private:
+    /**
+     * Device access with the fault engine in the loop: optionally
+     * clears the target rPTE's valid bit (undone during recovery) and
+     * routes faulted accesses through the recovery policy.
+     */
+    Status deviceAccess(u64 device_addr,
+                        const std::function<Status()> &access);
+
     riommu::Riommu &riommu_;
+    mem::PhysicalMemory &pm_;
     riommu::RDevice rdevice_;
 };
 

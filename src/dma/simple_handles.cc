@@ -4,6 +4,33 @@
 
 namespace rio::dma {
 
+namespace {
+
+/**
+ * Fault-injection wrapper for the modes with no (modeled) translation
+ * to damage: an injected fault is a synthesized bus abort — the
+ * access never ran — and recovery decides whether it is replayed.
+ * SWpt also uses this path: its identity table self-heals (every
+ * device access re-installs missing PTEs), so persistent damage
+ * cannot bite there.
+ */
+Status
+injectedAccess(FaultEngine &fault, const std::function<Status()> &access)
+{
+    if (!fault.armed())
+        return access();
+    if (fault.shouldInject()) {
+        const Status fail(ErrorCode::kIoPageFault, "injected bus abort");
+        return fault.recover(fail, [] {}, access);
+    }
+    Status s = access();
+    if (!s.isOk())
+        return fault.recover(s, [] {}, access);
+    return s;
+}
+
+} // namespace
+
 // ---- NoneDmaHandle ------------------------------------------------------
 
 Result<DmaMapping>
@@ -25,15 +52,19 @@ NoneDmaHandle::unmap(const DmaMapping & /*mapping*/, bool /*end_of_burst*/)
 Status
 NoneDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
-    pm_.read(device_addr, dst, len);
-    return Status::ok();
+    return injectedAccess(fault_, [&] {
+        pm_.read(device_addr, dst, len);
+        return Status::ok();
+    });
 }
 
 Status
 NoneDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
 {
-    pm_.write(device_addr, src, len);
-    return Status::ok();
+    return injectedAccess(fault_, [&] {
+        pm_.write(device_addr, src, len);
+        return Status::ok();
+    });
 }
 
 // ---- HwPassthroughDmaHandle ---------------------------------------------
@@ -62,16 +93,20 @@ HwPassthroughDmaHandle::unmap(const DmaMapping & /*mapping*/,
 Status
 HwPassthroughDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
-    pm_.read(device_addr, dst, len);
-    return Status::ok();
+    return injectedAccess(fault_, [&] {
+        pm_.read(device_addr, dst, len);
+        return Status::ok();
+    });
 }
 
 Status
 HwPassthroughDmaHandle::deviceWrite(u64 device_addr, const void *src,
                                     u64 len)
 {
-    pm_.write(device_addr, src, len);
-    return Status::ok();
+    return injectedAccess(fault_, [&] {
+        pm_.write(device_addr, src, len);
+        return Status::ok();
+    });
 }
 
 // ---- SwPassthroughDmaHandle ---------------------------------------------
@@ -86,6 +121,7 @@ SwPassthroughDmaHandle::SwPassthroughDmaHandle(iommu::Iommu &iommu,
       // models a mapping of all memory made once at boot.
       table_(pm, /*coherent=*/false, cost, /*acct=*/nullptr)
 {
+    fault_.bind(&cost_, acct_);
     iommu_.attachDevice(bdf_, &table_);
 }
 
@@ -133,16 +169,20 @@ SwPassthroughDmaHandle::unmap(const DmaMapping & /*mapping*/,
 Status
 SwPassthroughDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
-    ensureIdentity(device_addr, len);
-    return iommu_.dmaRead(bdf_, device_addr, dst, len);
+    return injectedAccess(fault_, [&] {
+        ensureIdentity(device_addr, len);
+        return iommu_.dmaRead(bdf_, device_addr, dst, len);
+    });
 }
 
 Status
 SwPassthroughDmaHandle::deviceWrite(u64 device_addr, const void *src,
                                     u64 len)
 {
-    ensureIdentity(device_addr, len);
-    return iommu_.dmaWrite(bdf_, device_addr, src, len);
+    return injectedAccess(fault_, [&] {
+        ensureIdentity(device_addr, len);
+        return iommu_.dmaWrite(bdf_, device_addr, src, len);
+    });
 }
 
 } // namespace rio::dma

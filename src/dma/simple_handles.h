@@ -27,9 +27,14 @@ namespace rio::dma {
 class NoneDmaHandle : public DmaHandle
 {
   public:
-    NoneDmaHandle(mem::PhysicalMemory &pm, iommu::Bdf bdf)
+    /** @p cost / @p acct only feed the fault engine (there is no
+     * IOMMU to fault, but the injector can synthesize bus aborts). */
+    NoneDmaHandle(mem::PhysicalMemory &pm, iommu::Bdf bdf,
+                  const cycles::CostModel &cost,
+                  cycles::CycleAccount *acct)
         : pm_(pm), bdf_(bdf)
     {
+        fault_.bind(&cost, acct);
     }
 
     Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
@@ -55,6 +60,7 @@ class HwPassthroughDmaHandle : public DmaHandle
                            cycles::CycleAccount *acct)
         : pm_(pm), bdf_(bdf), cost_(cost), acct_(acct)
     {
+        fault_.bind(&cost_, acct_);
     }
 
     Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,

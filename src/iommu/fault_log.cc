@@ -1,0 +1,82 @@
+#include "iommu/fault_log.h"
+
+#include "base/logging.h"
+
+namespace rio::iommu {
+
+namespace {
+
+constexpr u64 kValidBit = u64{1} << 63;
+
+u64
+encodeWord1(const FaultRecord &rec)
+{
+    return kValidBit |
+           (static_cast<u64>(static_cast<u8>(rec.reason)) << 24) |
+           (static_cast<u64>(static_cast<u8>(rec.access)) << 16) |
+           rec.bdf.pack();
+}
+
+FaultRecord
+decode(u64 word0, u64 word1)
+{
+    FaultRecord rec;
+    rec.iova = word0;
+    rec.bdf = Bdf::unpack(static_cast<u16>(word1 & 0xffff));
+    rec.access = static_cast<Access>((word1 >> 16) & 0xff);
+    rec.reason = static_cast<FaultReason>((word1 >> 24) & 0xff);
+    return rec;
+}
+
+} // namespace
+
+FaultLog::FaultLog(mem::PhysicalMemory &pm, unsigned capacity)
+    : pm_(pm), capacity_(capacity)
+{
+    RIO_ASSERT(capacity_ > 0, "fault log needs at least one slot");
+    base_ = pm_.allocContiguous(u64{capacity_} * kRecordBytes);
+}
+
+FaultLog::~FaultLog()
+{
+    const u64 bytes = u64{capacity_} * kRecordBytes;
+    for (u64 off = 0; off < bytes; off += kPageSize)
+        pm_.freeFrame(base_ + off);
+}
+
+bool
+FaultLog::record(const FaultRecord &rec)
+{
+    if (live_ == capacity_) {
+        // Every slot still holds an undrained record: hardware sets
+        // the fault-overflow status bit and the record is lost.
+        overflow_ = true;
+        ++dropped_;
+        return false;
+    }
+    pm_.write64(slotAddr(head_), rec.iova);
+    pm_.write64(slotAddr(head_) + 8, encodeWord1(rec));
+    head_ = (head_ + 1) % capacity_;
+    ++live_;
+    ++recorded_;
+    return true;
+}
+
+std::vector<FaultRecord>
+FaultLog::drain()
+{
+    std::vector<FaultRecord> out;
+    out.reserve(live_);
+    while (live_ > 0) {
+        const u64 word0 = pm_.read64(slotAddr(tail_));
+        const u64 word1 = pm_.read64(slotAddr(tail_) + 8);
+        RIO_ASSERT(word1 & kValidBit, "fault log slot lost its valid bit");
+        out.push_back(decode(word0, word1));
+        pm_.write64(slotAddr(tail_) + 8, word1 & ~kValidBit);
+        tail_ = (tail_ + 1) % capacity_;
+        --live_;
+    }
+    return out;
+}
+
+} // namespace rio::iommu

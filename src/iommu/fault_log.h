@@ -1,0 +1,90 @@
+/**
+ * @file
+ * VT-d-style fault-recording model. Hardware appends one 16-byte
+ * record per unserviceable DMA into a small ring in simulated
+ * physical memory (the "primary fault log" / fault-recording
+ * registers of the VT-d spec); when every slot is still occupied the
+ * overflow bit is set and further records are dropped, exactly like
+ * hardware. The driver drains records — really reading the ring words
+ * back out of memory and clearing their valid bits — from its fault
+ * interrupt handler.
+ *
+ * Record layout (two 64-bit words):
+ *   word0: faulting IOVA
+ *   word1: bit 63 = valid, bits 24..31 = reason code,
+ *          bits 16..23 = access type, bits 0..15 = source id (BDF)
+ */
+#ifndef RIO_IOMMU_FAULT_LOG_H
+#define RIO_IOMMU_FAULT_LOG_H
+
+#include <vector>
+
+#include "base/types.h"
+#include "iommu/types.h"
+#include "mem/phys_mem.h"
+
+namespace rio::iommu {
+
+class FaultLog
+{
+  public:
+    static constexpr u64 kRecordBytes = 16;
+    static constexpr unsigned kDefaultCapacity = 64;
+
+    explicit FaultLog(mem::PhysicalMemory &pm,
+                      unsigned capacity = kDefaultCapacity);
+    ~FaultLog();
+
+    FaultLog(const FaultLog &) = delete;
+    FaultLog &operator=(const FaultLog &) = delete;
+
+    /**
+     * Hardware side: append @p rec. Returns false (and sets the
+     * overflow bit, dropping the record) when all slots are occupied.
+     */
+    bool record(const FaultRecord &rec);
+
+    /**
+     * Driver side: read out every pending record in arrival order and
+     * clear their valid bits, freeing the slots. Does NOT clear the
+     * overflow bit — like hardware, that takes an explicit write.
+     */
+    std::vector<FaultRecord> drain();
+
+    /** Fault-status overflow bit (PFO): set once a record was lost. */
+    bool overflow() const { return overflow_; }
+    void clearOverflow() { overflow_ = false; }
+
+    /** Records successfully written since construction. */
+    u64 recorded() const { return recorded_; }
+    /** Records lost to overflow since construction. */
+    u64 dropped() const { return dropped_; }
+
+    /** Records currently pending (written, not yet drained). */
+    unsigned pending() const { return live_; }
+
+    unsigned capacity() const { return capacity_; }
+
+    /** Physical base address of the ring (as programmed in hardware). */
+    PhysAddr base() const { return base_; }
+
+  private:
+    PhysAddr slotAddr(unsigned idx) const
+    {
+        return base_ + idx * kRecordBytes;
+    }
+
+    mem::PhysicalMemory &pm_;
+    unsigned capacity_;
+    PhysAddr base_;
+    unsigned head_ = 0; //!< next slot hardware writes
+    unsigned tail_ = 0; //!< next slot the driver drains
+    unsigned live_ = 0;
+    bool overflow_ = false;
+    u64 recorded_ = 0;
+    u64 dropped_ = 0;
+};
+
+} // namespace rio::iommu
+
+#endif // RIO_IOMMU_FAULT_LOG_H

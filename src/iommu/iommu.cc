@@ -18,7 +18,7 @@ constexpr u64 kCtxPresent = 1;
 
 Iommu::Iommu(mem::PhysicalMemory &pm, const cycles::CostModel &cost,
              IotlbConfig iotlb_config)
-    : pm_(pm), cost_(cost), iotlb_(iotlb_config)
+    : pm_(pm), cost_(cost), iotlb_(iotlb_config), fault_log_(pm)
 {
     root_table_ = pm_.allocFrame();
     context_tables_.assign(256, 0);
@@ -65,6 +65,19 @@ Iommu::detachDevice(Bdf bdf)
     iotlb_.invalidateDevice(bdf.pack());
 }
 
+void
+Iommu::recordFault(Bdf bdf, IovaAddr iova, Access access,
+                   FaultReason reason)
+{
+    // The debug vector is for tests; cap it so fault storms cannot
+    // grow memory without bound. The hardware log has its own
+    // fixed-size overflow semantics.
+    constexpr size_t kMaxDebugFaults = 65536;
+    if (faults_.size() < kMaxDebugFaults)
+        faults_.push_back({bdf, iova, access, reason});
+    fault_log_.record({bdf, iova, access, reason});
+}
+
 IoPageTable *
 Iommu::lookupContext(Bdf bdf)
 {
@@ -98,7 +111,7 @@ Iommu::translate(Bdf bdf, IovaAddr iova, Access access)
 
     if (auto pte = iotlb_.lookup(sid, iova_pfn)) {
         if (!pte->permits(access)) {
-            faults_.push_back({bdf, iova, access, FaultReason::kPermission});
+            recordFault(bdf, iova, access, FaultReason::kPermission);
             return Status(ErrorCode::kPermission, "DMA direction violation");
         }
         return Translation{pte->addr() + offset, true, 0, cost_.hw_tlb_hit};
@@ -106,7 +119,7 @@ Iommu::translate(Bdf bdf, IovaAddr iova, Access access)
 
     IoPageTable *table = lookupContext(bdf);
     if (!table) {
-        faults_.push_back({bdf, iova, access, FaultReason::kNoContext});
+        recordFault(bdf, iova, access, FaultReason::kNoContext);
         return Status(ErrorCode::kIoPageFault, "device has no context");
     }
 
@@ -115,11 +128,16 @@ Iommu::translate(Bdf bdf, IovaAddr iova, Access access)
     const Cycles hw =
         cost_.hw_tlb_hit + static_cast<Cycles>(levels) * cost_.hw_walk_level;
     if (!pte.isOk()) {
-        faults_.push_back({bdf, iova, access, FaultReason::kNotPresent});
+        if (pte.status().code() == ErrorCode::kCorrupted) {
+            recordFault(bdf, iova, access, FaultReason::kReservedBit);
+            return Status(ErrorCode::kCorrupted,
+                          "reserved bits set in PTE");
+        }
+        recordFault(bdf, iova, access, FaultReason::kNotPresent);
         return Status(ErrorCode::kIoPageFault, "translation not present");
     }
     if (!pte.value().permits(access)) {
-        faults_.push_back({bdf, iova, access, FaultReason::kPermission});
+        recordFault(bdf, iova, access, FaultReason::kPermission);
         return Status(ErrorCode::kPermission, "DMA direction violation");
     }
     iotlb_.insert(sid, iova_pfn, pte.value());

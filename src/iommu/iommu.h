@@ -21,6 +21,7 @@
 
 #include "base/status.h"
 #include "cycles/cost_model.h"
+#include "iommu/fault_log.h"
 #include "iommu/iotlb.h"
 #include "iommu/page_table.h"
 #include "iommu/types.h"
@@ -96,6 +97,11 @@ class Iommu
     const std::vector<FaultRecord> &faults() const { return faults_; }
     void clearFaults() { faults_.clear(); }
 
+    /** The fault-recording ring (memory-resident, drained by the
+     * driver's fault interrupt handler). */
+    FaultLog &faultLog() { return fault_log_; }
+    const FaultLog &faultLog() const { return fault_log_; }
+
     Iotlb &iotlb() { return iotlb_; }
     const Iotlb &iotlb() const { return iotlb_; }
 
@@ -107,6 +113,10 @@ class Iommu
     IoPageTable *lookupContext(Bdf bdf);
 
     PhysAddr contextSlot(Bdf bdf);
+
+    /** Record a fault in both the debug vector and the hardware log. */
+    void recordFault(Bdf bdf, IovaAddr iova, Access access,
+                     FaultReason reason);
 
     mem::PhysicalMemory &pm_;
     const cycles::CostModel &cost_;
@@ -120,6 +130,7 @@ class Iommu
     // located via this map, keyed by its root address.
     std::unordered_map<PhysAddr, IoPageTable *> tables_by_root_;
     std::vector<FaultRecord> faults_;
+    FaultLog fault_log_;
 };
 
 } // namespace rio::iommu

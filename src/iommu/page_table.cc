@@ -157,6 +157,12 @@ IoPageTable::walk(u64 iova_pfn, int *levels_touched) const
                 *levels_touched = touched;
             return Status(ErrorCode::kIoPageFault, "translation not present");
         }
+        if (entry.reservedBitsSet()) {
+            if (levels_touched)
+                *levels_touched = touched;
+            return Status(ErrorCode::kCorrupted,
+                          "reserved bits set in PTE");
+        }
         if (level == kLevels) {
             if (levels_touched)
                 *levels_touched = touched;
@@ -165,6 +171,19 @@ IoPageTable::walk(u64 iova_pfn, int *levels_touched) const
         table = entry.addr();
     }
     RIO_PANIC("unreachable");
+}
+
+PhysAddr
+IoPageTable::leafSlot(u64 iova_pfn) const
+{
+    PhysAddr table = root_;
+    for (int level = 1; level < kLevels; ++level) {
+        const Pte entry{pm_.read64(table + levelIndex(iova_pfn, level) * 8)};
+        if (!entry.present())
+            return 0;
+        table = entry.addr();
+    }
+    return table + levelIndex(iova_pfn, kLevels) * 8;
 }
 
 } // namespace rio::iommu

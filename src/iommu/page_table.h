@@ -31,11 +31,15 @@ struct Pte
 
     static constexpr u64 kRead = 1u << 0;
     static constexpr u64 kWrite = 1u << 1;
-    static constexpr u64 kAddrMask = ~u64{0xfff};
+    /** VT-d second-level entries hold a 52-bit address field; bits
+     * 52..63 are reserved and must be zero (checked by the walker). */
+    static constexpr u64 kAddrMask = u64{0x000ffffffffff000};
+    static constexpr u64 kReservedMask = u64{0xfff0000000000000};
 
     bool present() const { return (raw & (kRead | kWrite)) != 0; }
     bool allowsRead() const { return (raw & kRead) != 0; }
     bool allowsWrite() const { return (raw & kWrite) != 0; }
+    bool reservedBitsSet() const { return (raw & kReservedMask) != 0; }
     PhysAddr addr() const { return raw & kAddrMask; }
 
     bool
@@ -106,6 +110,14 @@ class IoPageTable
      * of dependent memory accesses an IOTLB miss costs.
      */
     Result<Pte> walk(u64 iova_pfn, int *levels_touched = nullptr) const;
+
+    /**
+     * Physical address of the leaf PTE slot for @p iova_pfn, or 0 if
+     * the hierarchy above it is not populated. Uncharged: used by the
+     * fault-injection harness to damage (and later repair) a live
+     * translation behind the driver's back.
+     */
+    PhysAddr leafSlot(u64 iova_pfn) const;
 
     /** Translations currently installed. */
     u64 mappedPages() const { return mapped_pages_; }

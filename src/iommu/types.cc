@@ -18,6 +18,7 @@ faultReasonName(FaultReason reason)
       case FaultReason::kPermission: return "permission";
       case FaultReason::kOutOfRange: return "out-of-range";
       case FaultReason::kNoContext: return "no-context";
+      case FaultReason::kReservedBit: return "reserved-bit";
     }
     return "unknown";
 }

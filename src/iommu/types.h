@@ -80,7 +80,8 @@ enum class FaultReason : u8 {
     kNotPresent,    //!< no valid translation installed
     kPermission,    //!< direction/permission bits forbid the access
     kOutOfRange,    //!< index/offset beyond structure bounds (rIOMMU)
-    kNoContext      //!< device not attached to the IOMMU
+    kNoContext,     //!< device not attached to the IOMMU
+    kReservedBit    //!< reserved bits set in a PTE/rPTE (corruption)
 };
 
 const char *faultReasonName(FaultReason reason);

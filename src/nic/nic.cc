@@ -337,9 +337,11 @@ Nic::txIrqHandler()
     // only the last unmap of the burst carries end_of_burst (§4).
     std::vector<u32> done;
     while (tx_completed_unclean_ > 0) {
-        const Descriptor desc = tx_ring_->read(tx_clean_idx_);
-        if (!desc.completed())
-            break;
+        // Head-write-back style cleanup: descriptors retire strictly
+        // in ring order and the IRQ accounting counts exactly the
+        // retired ones, so the counter identifies the burst even when
+        // a faulted DMA write dropped a descriptor's in-memory
+        // completion bit.
         done.push_back(tx_clean_idx_);
         tx_ring_->write(tx_clean_idx_, Descriptor{});
         tx_clean_idx_ = tx_ring_->next(tx_clean_idx_);

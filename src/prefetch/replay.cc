@@ -115,6 +115,10 @@ replayTrace(const trace::DmaTrace &trace, TlbPrefetcher &prefetcher,
             }
             break;
           }
+          case trace::TraceEvent::Kind::kFault:
+            // Faulted accesses install no translation; nothing to
+            // replay into the TLB model.
+            break;
         }
     }
     return result;

@@ -81,6 +81,10 @@ class RDevice
 
     PhysAddr rdeviceBase() const { return rdevice_base_; }
 
+    /** Physical address of ring @p rid's flat rPTE table (tests and
+     * the fault-injection harness). */
+    PhysAddr tableAddr(u16 rid) const { return rings_.at(rid).table; }
+
   private:
     struct RingState
     {

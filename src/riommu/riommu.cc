@@ -28,6 +28,34 @@ Riommu::detachDevice(Bdf bdf)
     devices_.erase(it);
 }
 
+void
+Riommu::fault(u16 sid, RIova iova, Access access,
+              iommu::FaultReason reason)
+{
+    const iommu::FaultRecord rec{Bdf::unpack(sid), iova.raw, access,
+                                 reason};
+    // Debug vector for tests, capped so fault storms stay bounded.
+    constexpr size_t kMaxDebugFaults = 65536;
+    if (faults_.size() < kMaxDebugFaults)
+        faults_.push_back(rec);
+    // First fault wins the per-ring latch; emplace keeps an existing
+    // record, matching a hardware latch register.
+    ring_faults_.emplace(latchKey(sid, iova.rid()), rec);
+}
+
+const iommu::FaultRecord *
+Riommu::ringFault(Bdf bdf, u16 rid) const
+{
+    auto it = ring_faults_.find(latchKey(bdf.pack(), rid));
+    return it == ring_faults_.end() ? nullptr : &it->second;
+}
+
+void
+Riommu::clearRingFault(Bdf bdf, u16 rid)
+{
+    ring_faults_.erase(latchKey(bdf.pack(), rid));
+}
+
 const Riommu::RDeviceInfo *
 Riommu::getDomain(u16 sid) const
 {
@@ -96,6 +124,10 @@ Riommu::tableWalk(u16 sid, RIova iova, Cycles *hw)
     if (!pte.valid) {
         fault(sid, iova, Access::kRead, iommu::FaultReason::kNotPresent);
         return Status(ErrorCode::kIoPageFault, "rPTE invalid");
+    }
+    if (pte.reserved_set) {
+        fault(sid, iova, Access::kRead, iommu::FaultReason::kReservedBit);
+        return Status(ErrorCode::kCorrupted, "reserved bits set in rPTE");
     }
 
     RiotlbEntry entry;

@@ -84,6 +84,22 @@ class Riommu
     const std::vector<iommu::FaultRecord> &faults() const { return faults_; }
     void clearFaults() { faults_.clear(); }
 
+    /**
+     * Per-ring fault latch. The flat table makes every fault
+     * attributable to a single ring, so instead of a shared fault log
+     * the rIOMMU latches the *first* fault of each (device, ring) in
+     * a per-ring register; later faults on the same ring are dropped
+     * until the driver clears the latch. Returns null if no fault is
+     * latched.
+     */
+    const iommu::FaultRecord *ringFault(Bdf bdf, u16 rid) const;
+
+    /** Driver acknowledges and clears the (bdf, rid) latch. */
+    void clearRingFault(Bdf bdf, u16 rid);
+
+    /** Number of rings with a currently-latched fault. */
+    size_t latchedRingFaults() const { return ring_faults_.size(); }
+
     Riotlb &riotlb() { return riotlb_; }
     const Riotlb &riotlb() const { return riotlb_; }
 
@@ -116,11 +132,13 @@ class Riommu
     Status entrySync(u16 sid, RIova iova, RiotlbEntry &entry, Cycles *hw,
                      bool *prefetch_hit);
 
-    void
-    fault(u16 sid, RIova iova, Access access, iommu::FaultReason reason)
+    void fault(u16 sid, RIova iova, Access access,
+               iommu::FaultReason reason);
+
+    static u32
+    latchKey(u16 sid, u16 rid)
     {
-        faults_.push_back(
-            {Bdf::unpack(sid), iova.raw, access, reason});
+        return (static_cast<u32>(sid) << 16) | rid;
     }
 
     mem::PhysicalMemory &pm_;
@@ -129,6 +147,7 @@ class Riommu
     Riotlb riotlb_;
     std::unordered_map<u16, RDeviceInfo> devices_;
     std::vector<iommu::FaultRecord> faults_;
+    std::unordered_map<u32, iommu::FaultRecord> ring_faults_;
 };
 
 } // namespace rio::riommu

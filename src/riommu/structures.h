@@ -103,8 +103,13 @@ struct RPte
     u32 size = 0;   // 30 bits used
     DmaDir dir = DmaDir::kNone;
     bool valid = false;
+    /** Decode-only flag: reserved word-1 bits (33..63) were nonzero.
+     * Never serialized — word1() always writes them as zero. */
+    bool reserved_set = false;
 
     static constexpr u64 kBytes = 16; //!< footprint in the flat table
+    /** Word-1 bits beyond size/dir/valid must be zero. */
+    static constexpr u64 kWord1ReservedMask = ~u64{0} << 33;
 
     /** Serialize to the two memory words. */
     u64 word0() const { return phys_addr; }
@@ -125,6 +130,7 @@ struct RPte
         pte.size = static_cast<u32>(w1 & kMaxOffset);
         pte.dir = static_cast<DmaDir>((w1 >> kOffsetBits) & 0x3);
         pte.valid = ((w1 >> (kOffsetBits + 2)) & 0x1) != 0;
+        pte.reserved_set = (w1 & kWord1ReservedMask) != 0;
         return pte;
     }
 };

@@ -29,6 +29,51 @@ Machine::nextBdf()
     return iommu::Bdf{0, next_dev_++, 0};
 }
 
+void
+Machine::applyFaultConfig(dma::DmaHandle &handle)
+{
+    handle.setFaultPolicy(fault_policy_);
+    dma::FaultInjectConfig cfg;
+    cfg.rate = fault_rate_;
+    // Per-handle stream: same machine seed, decorrelated by BDF, so
+    // attach order cannot change which accesses fault.
+    cfg.seed = fault_seed_ ^
+               (0x9e3779b97f4a7c15ULL * (handle.bdf().pack() + 1));
+    handle.setFaultInjection(cfg);
+}
+
+void
+Machine::setFaultPolicy(dma::FaultPolicy policy)
+{
+    fault_policy_ = policy;
+    for (auto &node : nodes_)
+        node->handle->setFaultPolicy(policy);
+    for (auto &handle : extra_handles_)
+        handle->setFaultPolicy(policy);
+}
+
+void
+Machine::setFaultInjection(double rate, u64 seed)
+{
+    fault_rate_ = rate;
+    fault_seed_ = seed;
+    for (auto &node : nodes_)
+        applyFaultConfig(*node->handle);
+    for (auto &handle : extra_handles_)
+        applyFaultConfig(*handle);
+}
+
+dma::FaultStats
+Machine::faultStats() const
+{
+    dma::FaultStats total;
+    for (const auto &node : nodes_)
+        total += node->handle->faultStats();
+    for (const auto &handle : extra_handles_)
+        total += handle->faultStats();
+    return total;
+}
+
 unsigned
 Machine::attachNic(const nic::NicProfile &profile, unsigned core_idx,
                    trace::DmaTrace *trace)
@@ -40,6 +85,7 @@ Machine::attachNic(const nic::NicProfile &profile, unsigned core_idx,
     node->handle =
         ctx_.makeHandle(mode_, nextBdf(), &core.acct(),
                         node->profile.riommuRingSizes(), &core);
+    applyFaultConfig(*node->handle);
     dma::DmaHandle *handle = node->handle.get();
     if (trace) {
         node->recorder = std::make_unique<trace::RecordingDmaHandle>(
@@ -61,6 +107,7 @@ Machine::attachDeviceHandle(unsigned core_idx, std::vector<u32> ring_sizes)
     extra_handles_.push_back(ctx_.makeHandle(mode_, nextBdf(),
                                              &core.acct(),
                                              std::move(ring_sizes), &core));
+    applyFaultConfig(*extra_handles_.back());
     return *extra_handles_.back();
 }
 

@@ -109,6 +109,21 @@ class Machine
         return ctx_.invalLock().stats();
     }
 
+    // ---- fault recovery & injection -----------------------------------
+    /** Recovery policy for every current and future device handle. */
+    void setFaultPolicy(dma::FaultPolicy policy);
+
+    /**
+     * Arm deterministic fault injection on every current and future
+     * handle at @p rate. Each handle's Rng stream is seeded from
+     * @p seed and its BDF, so multi-device runs stay deterministic
+     * regardless of attach order. rate = 0 disarms.
+     */
+    void setFaultInjection(double rate, u64 seed);
+
+    /** Aggregate fault/recovery counters across all handles. */
+    dma::FaultStats faultStats() const;
+
   private:
     struct Node
     {
@@ -128,6 +143,9 @@ class Machine
 
     iommu::Bdf nextBdf();
 
+    /** Push the machine-wide fault config down into one handle. */
+    void applyFaultConfig(dma::DmaHandle &handle);
+
     des::Simulator &sim_;
     dma::ProtectionMode mode_;
     dma::DmaContext ctx_;
@@ -135,6 +153,9 @@ class Machine
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<dma::DmaHandle>> extra_handles_;
     u8 next_dev_ = 3; //!< next PCI device number (bus 0, fn 0)
+    dma::FaultPolicy fault_policy_ = dma::FaultPolicy::kAbort;
+    double fault_rate_ = 0.0;
+    u64 fault_seed_ = 1;
 };
 
 } // namespace rio::sys

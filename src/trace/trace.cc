@@ -12,7 +12,7 @@ DmaTrace::saveText(const std::string &path) const
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return Status(ErrorCode::kInvalidArgument, "cannot open " + path);
-    static const char kKindChar[] = {'M', 'U', 'A'};
+    static const char kKindChar[] = {'M', 'U', 'A', 'F'};
     for (const TraceEvent &e : events_) {
         std::fprintf(f, "%c %llu\n",
                      kKindChar[static_cast<unsigned>(e.kind)],
@@ -37,6 +37,7 @@ DmaTrace::loadText(const std::string &path)
           case 'M': k = TraceEvent::Kind::kMap; break;
           case 'U': k = TraceEvent::Kind::kUnmap; break;
           case 'A': k = TraceEvent::Kind::kAccess; break;
+          case 'F': k = TraceEvent::Kind::kFault; break;
           default:
             std::fclose(f);
             return Status(ErrorCode::kInvalidArgument,
@@ -72,14 +73,20 @@ Status
 RecordingDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
     trace_.add(TraceEvent::Kind::kAccess, device_addr >> kPageShift);
-    return inner_.deviceRead(device_addr, dst, len);
+    Status s = inner_.deviceRead(device_addr, dst, len);
+    if (!s.isOk())
+        trace_.add(TraceEvent::Kind::kFault, device_addr >> kPageShift);
+    return s;
 }
 
 Status
 RecordingDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
 {
     trace_.add(TraceEvent::Kind::kAccess, device_addr >> kPageShift);
-    return inner_.deviceWrite(device_addr, src, len);
+    Status s = inner_.deviceWrite(device_addr, src, len);
+    if (!s.isOk())
+        trace_.add(TraceEvent::Kind::kFault, device_addr >> kPageShift);
+    return s;
 }
 
 } // namespace rio::trace

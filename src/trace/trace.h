@@ -20,7 +20,12 @@ namespace rio::trace {
 /** One event in a DMA trace. */
 struct TraceEvent
 {
-    enum class Kind : u8 { kMap = 0, kUnmap = 1, kAccess = 2 };
+    enum class Kind : u8 {
+        kMap = 0,
+        kUnmap = 1,
+        kAccess = 2,
+        kFault = 3 //!< a device access came back faulted
+    };
 
     Kind kind = Kind::kAccess;
     u64 iova_pfn = 0;
@@ -68,6 +73,31 @@ class RecordingDmaHandle : public dma::DmaHandle
     Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
     u64 liveMappings() const override { return inner_.liveMappings(); }
     iommu::Bdf bdf() const override { return inner_.bdf(); }
+
+    // Fault configuration/observation belongs to the inner handle,
+    // which owns the device path the engine instruments.
+    void
+    setFaultPolicy(dma::FaultPolicy policy) override
+    {
+        inner_.setFaultPolicy(policy);
+    }
+
+    dma::FaultPolicy
+    faultPolicy() const override
+    {
+        return inner_.faultPolicy();
+    }
+
+    void
+    setFaultInjection(const dma::FaultInjectConfig &cfg) override
+    {
+        inner_.setFaultInjection(cfg);
+    }
+
+    dma::FaultStats faultStats() const override
+    {
+        return inner_.faultStats();
+    }
 
   private:
     dma::DmaHandle &inner_;

@@ -1,6 +1,7 @@
 #include "workloads/netperf_rr.h"
 
 #include <algorithm>
+#include <functional>
 #include <string_view>
 
 #include "base/logging.h"
@@ -33,6 +34,13 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
     sys::Machine b(sim, mode, profile, cost); // netserver (echoer)
     a.bringUp();
     b.bringUp();
+    if (params.fault_rate > 0) {
+        a.setFaultPolicy(params.fault_policy);
+        a.setFaultInjection(params.fault_rate, params.fault_seed);
+        b.setFaultPolicy(params.fault_policy);
+        // Decorrelate the echoer's fault stream from the initiator's.
+        b.setFaultInjection(params.fault_rate, params.fault_seed + 1);
+    }
 
     // Wire: full-duplex point-to-point link.
     a.nic().setWireTxCallback([&](const net::Packet &pkt) {
@@ -82,6 +90,26 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
             send(a);
     });
 
+    // Retransmit timer, as in real netperf UDP RR: a request or echo
+    // dropped by a fault would otherwise stall the ping-pong forever.
+    // The timeout is far above any RTT, so it only fires on a genuine
+    // loss; never scheduled when injection is off.
+    const Nanos retransmit_ns = 1'000'000; // 1 ms >> worst-case RTT
+    u64 watchdog_seen = ~u64{0};
+    std::function<void()> watchdog = [&] {
+        if (stopped)
+            return;
+        if (transactions == watchdog_seen)
+            a.core().post([&] {
+                if (!stopped)
+                    send(a);
+            });
+        watchdog_seen = transactions;
+        sim.scheduleAfter(retransmit_ns, [&] { watchdog(); });
+    };
+    if (params.fault_rate > 0)
+        sim.scheduleAfter(retransmit_ns, [&] { watchdog(); });
+
     a.core().post([&] { send(a); });
     sim.run();
     RIO_ASSERT(stopped, "RR run ended early");
@@ -100,6 +128,7 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
                               static_cast<double>(t_end - t_start));
     r.throughput_gbps = r.transactions_per_sec *
                         static_cast<double>(params.payload) * 8 / 1e9;
+    r.fault = a.faultStats();
     return r;
 }
 

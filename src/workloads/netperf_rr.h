@@ -10,6 +10,7 @@
 #ifndef RIO_WORKLOADS_NETPERF_RR_H
 #define RIO_WORKLOADS_NETPERF_RR_H
 
+#include "dma/fault.h"
 #include "dma/protection_mode.h"
 #include "nic/profile.h"
 #include "workloads/result.h"
@@ -24,6 +25,15 @@ struct RrParams
     u32 payload = 1; //!< netperf RR default: one byte each way
     /** Per-message stack cost (UDP path + syscall + wakeup). */
     Cycles per_message_cycles = 2600;
+    /**
+     * Deterministic DMA fault injection (0 = off), armed on BOTH
+     * machines after bring-up. A dropped message would deadlock the
+     * ping-pong, so a netperf-style retransmit timer (active only
+     * while injecting) re-fires the request when no echo arrives.
+     */
+    double fault_rate = 0.0;
+    u64 fault_seed = 1;
+    dma::FaultPolicy fault_policy = dma::FaultPolicy::kRetryRemap;
 };
 
 /** Calibrated parameters (Table 3's none RTT anchors the wire). */

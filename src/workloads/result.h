@@ -9,6 +9,7 @@
 #define RIO_WORKLOADS_RESULT_H
 
 #include "cycles/cycle_account.h"
+#include "dma/fault.h"
 #include "nic/nic.h"
 
 namespace rio::workloads {
@@ -37,6 +38,12 @@ struct RunResult
     cycles::CycleAccount acct;
     /** NIC counter deltas over the window. */
     nic::NicStats nic;
+    /**
+     * Fault-injection/recovery counters of the measured machine over
+     * the whole run (injection arms after bring-up, so warmup faults
+     * are included; zero everywhere when injection is off).
+     */
+    dma::FaultStats fault;
 };
 
 /** a - b, field-wise, for NIC counter windows. */

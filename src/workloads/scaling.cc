@@ -31,8 +31,10 @@ struct Flow
     bool pump_posted = false;
     u64 data_on_wire = 0;
     u64 transactions = 0;
+    u64 watchdog_seen = ~u64{0};
     Snapshot start, end;
     std::function<void()> pump;
+    std::function<void()> watchdog;
 };
 
 Snapshot
@@ -85,6 +87,7 @@ aggregate(std::vector<RunResult> per_flow, sys::Machine &m,
     out.lock_wait_per_packet = static_cast<double>(lock_wait) / pkts;
     out.iova_lock = m.iovaLockStats();
     out.inval_lock = m.invalLockStats();
+    out.fault = m.faultStats();
     out.per_flow = std::move(per_flow);
     return out;
 }
@@ -102,6 +105,10 @@ runStreamScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
     for (unsigned i = 0; i < ncores; ++i)
         m.attachNic(profile, i, params.trace);
     m.bringUp();
+    if (params.fault_rate > 0) {
+        m.setFaultPolicy(params.fault_policy);
+        m.setFaultInjection(params.fault_rate, params.fault_seed);
+    }
 
     const u64 total_target =
         params.warmup_packets + params.measure_packets;
@@ -215,6 +222,13 @@ runRrScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
     }
     a.bringUp();
     b.bringUp();
+    if (params.fault_rate > 0) {
+        a.setFaultPolicy(params.fault_policy);
+        a.setFaultInjection(params.fault_rate, params.fault_seed);
+        b.setFaultPolicy(params.fault_policy);
+        // Decorrelate the echoer's fault streams from the initiator's.
+        b.setFaultInjection(params.fault_rate, params.fault_seed + 1);
+    }
 
     std::vector<std::unique_ptr<Flow>> flows;
     sys::Machine *ap = &a;
@@ -267,6 +281,25 @@ runRrScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
             if (!f->stopped)
                 send(ap, i);
         });
+        // Per-flow retransmit timer (see runNetperfRr): with fault
+        // injection a dropped request/echo would stall this flow's
+        // ping-pong forever. Never scheduled when injection is off.
+        if (params.fault_rate > 0) {
+            const Nanos retransmit_ns = 1'000'000; // >> worst-case RTT
+            f->watchdog = [ap, simp, f, i, send, retransmit_ns] {
+                if (f->stopped)
+                    return;
+                if (f->transactions == f->watchdog_seen)
+                    ap->nicCore(i).post([ap, f, i, send] {
+                        if (!f->stopped)
+                            send(ap, i);
+                    });
+                f->watchdog_seen = f->transactions;
+                simp->scheduleAfter(retransmit_ns,
+                                    [f] { f->watchdog(); });
+            };
+            simp->scheduleAfter(retransmit_ns, [f] { f->watchdog(); });
+        }
     }
 
     for (auto &f : flows) {

@@ -40,6 +40,9 @@ struct ScalingResult
     des::SimSpinlock::Stats iova_lock;
     des::SimSpinlock::Stats inval_lock;
 
+    /** Whole-run fault/recovery counters of the measured machine. */
+    dma::FaultStats fault;
+
     /** Per-flow window results (index == core index). */
     std::vector<RunResult> per_flow;
 };

@@ -66,6 +66,10 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
     des::Simulator sim;
     sys::Machine m(sim, mode, profile, cost, params.trace);
     m.bringUp();
+    if (params.fault_rate > 0) {
+        m.setFaultPolicy(params.fault_policy);
+        m.setFaultInjection(params.fault_rate, params.fault_seed);
+    }
 
     auto &nic = m.nic();
     auto &core = m.core();
@@ -174,6 +178,7 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
             ? static_cast<double>(r.nic.unmap_burst_len_sum) /
                   static_cast<double>(r.nic.unmap_bursts)
             : 0.0;
+    r.fault = m.faultStats();
     return r;
 }
 

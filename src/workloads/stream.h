@@ -8,6 +8,7 @@
 #ifndef RIO_WORKLOADS_STREAM_H
 #define RIO_WORKLOADS_STREAM_H
 
+#include "dma/fault.h"
 #include "dma/protection_mode.h"
 #include "nic/profile.h"
 #include "trace/trace.h"
@@ -36,6 +37,14 @@ struct StreamParams
     Cycles per_ack_cycles = 600;
     /** Optional DMA trace capture (§5.4). */
     trace::DmaTrace *trace = nullptr;
+    /**
+     * Deterministic DMA fault injection (0 = off). Armed after
+     * bring-up so initialization is always clean; faulted Tx packets
+     * are lost on the wire, faulted Rx packets are dropped.
+     */
+    double fault_rate = 0.0;
+    u64 fault_seed = 1;
+    dma::FaultPolicy fault_policy = dma::FaultPolicy::kRetryRemap;
 };
 
 /** Calibrated parameters for a NIC profile (see workloads/calibrate.cc). */

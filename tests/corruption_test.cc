@@ -53,6 +53,45 @@ TEST_F(CorruptionTest, ClearingALeafPteInMemoryKillsTheTranslation)
     u64 v = 0;
     EXPECT_FALSE(handle->deviceRead(m.value().device_addr, &v, 8).isOk())
         << "the walker reads the corrupted memory and faults";
+
+    // The fault is recorded: right reason, right faulting IOVA, and
+    // the record is retrievable from the memory-resident fault log.
+    ASSERT_FALSE(ctx.iommu().faults().empty());
+    const iommu::FaultRecord &rec = ctx.iommu().faults().back();
+    EXPECT_EQ(rec.reason, iommu::FaultReason::kNotPresent);
+    EXPECT_EQ(rec.iova, m.value().device_addr);
+    EXPECT_EQ(rec.bdf.pack(), bdf.pack());
+    EXPECT_EQ(rec.access, Access::kRead);
+    auto drained = ctx.iommu().faultLog().drain();
+    ASSERT_FALSE(drained.empty());
+    EXPECT_EQ(drained.back().iova, m.value().device_addr);
+    EXPECT_EQ(drained.back().reason, iommu::FaultReason::kNotPresent);
+}
+
+TEST_F(CorruptionTest, ReservedBitsInALeafPteFaultAsCorruption)
+{
+    auto handle = ctx.makeHandle(dma::ProtectionMode::kStrict, bdf, &acct);
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto m = handle->map(0, buf, 512, DmaDir::kBidir);
+    ASSERT_TRUE(m.isOk());
+
+    auto *baseline = static_cast<dma::BaselineDmaHandle *>(handle.get());
+    const u64 iova_pfn = m.value().device_addr >> kPageShift;
+    const PhysAddr slot = baseline->pageTable().leafSlot(iova_pfn);
+    ASSERT_NE(slot, 0u);
+    // Set a must-be-zero high bit (bits 52+ are reserved): hardware
+    // reports this as a malformed PTE, not as not-present.
+    ctx.memory().write64(slot, ctx.memory().read64(slot) |
+                                   (u64{1} << 55));
+
+    u64 v = 0;
+    Status s = handle->deviceRead(m.value().device_addr, &v, 8);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::kCorrupted);
+    ASSERT_FALSE(ctx.iommu().faults().empty());
+    EXPECT_EQ(ctx.iommu().faults().back().reason,
+              iommu::FaultReason::kReservedBit);
+    EXPECT_EQ(ctx.iommu().faults().back().iova, m.value().device_addr);
 }
 
 TEST_F(CorruptionTest, RedirectedLeafPteMisdirectsTheDma)
@@ -102,6 +141,39 @@ TEST_F(CorruptionTest, InvalidatingAnRPteInMemoryFaultsTheDevice)
 
     auto t = ctx.riommu().translate(bdf, iova, Access::kRead, 1);
     EXPECT_FALSE(t.isOk());
+
+    // The per-ring fault latch holds the first fault of ring 0, with
+    // the faulting rIOVA and reason; other rings are untouched.
+    const iommu::FaultRecord *latched = ctx.riommu().ringFault(bdf, 0);
+    ASSERT_NE(latched, nullptr);
+    EXPECT_EQ(latched->reason, iommu::FaultReason::kNotPresent);
+    EXPECT_EQ(latched->iova, iova.raw);
+    EXPECT_EQ(latched->bdf.pack(), bdf.pack());
+    EXPECT_EQ(ctx.riommu().ringFault(bdf, 1), nullptr);
+}
+
+TEST_F(CorruptionTest, ReservedBitsInAnRPteFaultAsCorruption)
+{
+    riommu::RDevice dev(ctx.riommu(), ctx.memory(), bdf,
+                        std::vector<u32>{8}, true, ctx.cost(), &acct);
+    const PhysAddr buf = ctx.memory().allocFrame();
+    auto iova = dev.map(0, buf, 64, DmaDir::kBidir).value();
+
+    // Set a must-be-zero bit above the rPTE's defined fields.
+    const PhysAddr slot =
+        ctx.memory().read64(dev.rdeviceBase()) +
+        static_cast<u64>(iova.rentry()) * riommu::RPte::kBytes;
+    ctx.memory().write64(slot + 8, ctx.memory().read64(slot + 8) |
+                                       (u64{1} << 40));
+    ctx.riommu().invalidateRing(bdf, 0);
+
+    auto t = ctx.riommu().translate(bdf, iova, Access::kRead, 1);
+    ASSERT_FALSE(t.isOk());
+    EXPECT_EQ(t.status().code(), ErrorCode::kCorrupted);
+    const iommu::FaultRecord *latched = ctx.riommu().ringFault(bdf, 0);
+    ASSERT_NE(latched, nullptr);
+    EXPECT_EQ(latched->reason, iommu::FaultReason::kReservedBit);
+    EXPECT_EQ(latched->iova, iova.raw);
 }
 
 TEST_F(CorruptionTest, ShrinkingAnRPteSizeInMemoryTightensTheBound)

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Golden-output regression for the core-scaling bench: rerun
+# bench_scaling_cores at 1 and 2 cores and require its --json output
+# to match the checked-in golden byte for byte. The simulation is a
+# deterministic discrete-event replay, so any diff is a real behavior
+# change — if it is intentional, regenerate with
+#
+#   RIO_BENCH_QUICK=1 bench_scaling_cores --cores 1,2 \
+#       --json tests/golden/scaling_cores_1_2.json
+#
+# Usage: golden_scaling.sh <bench_scaling_cores-binary> <golden.json>
+set -euo pipefail
+
+bench="$1"
+golden="$2"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+# The golden was produced under RIO_BENCH_QUICK; pin it so the test is
+# fast and insensitive to the caller's environment.
+RIO_BENCH_QUICK=1 "$bench" --cores 1,2 --json "$out" > /dev/null
+
+if ! diff -u "$golden" "$out"; then
+    echo "golden_scaling: bench output diverged from $golden" >&2
+    exit 1
+fi
+echo "golden_scaling: output matches $golden"

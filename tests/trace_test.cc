@@ -51,13 +51,19 @@ TEST(TraceTest, RecordingIsTransparent)
     auto m = handle.map(0, buf, 100, iommu::DmaDir::kBidir);
     ASSERT_TRUE(m.isOk());
     EXPECT_EQ(handle.liveMappings(), 1u);
-    // Failed accesses are still recorded but propagate the error.
+    // Failed accesses are recorded (access + fault marker) but still
+    // propagate the error.
     u64 v = 0;
     const u64 before = trace.size();
     EXPECT_FALSE(
         handle.deviceRead(m.value().device_addr, &v, 200).isOk())
         << "read beyond the 100-byte mapping must fault";
-    EXPECT_EQ(trace.size(), before + 1);
+    ASSERT_EQ(trace.size(), before + 2);
+    EXPECT_EQ(trace.events()[before].kind, TraceEvent::Kind::kAccess);
+    EXPECT_EQ(trace.events()[before + 1].kind,
+              TraceEvent::Kind::kFault);
+    EXPECT_EQ(trace.events()[before + 1].iova_pfn,
+              m.value().device_addr >> kPageShift);
 }
 
 TEST(TraceTest, SaveAndLoadTextRoundTrip)
