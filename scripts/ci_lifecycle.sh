@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Lifecycle churn soak: the surprise-unplug/replug campaign beyond the
+# default ctest run. Run from the repo root:
+#
+#   scripts/ci_lifecycle.sh [build-dir] [extra-seeds]
+#
+# extra-seeds is a comma-separated list appended (via
+# RIO_CHURN_EXTRA_SEEDS) to the compiled-in seeds of the LifecycleFuzz
+# campaign; the same list seeds extra bench_lifecycle_churn sweeps so
+# the full-stack churn path — quiesce, ITE time-out recovery, replug —
+# soaks under several independent event schedules.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+EXTRA_SEEDS="${2:-401,1201,9001}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target lifecycle_test fuzz_test bench_lifecycle_churn \
+    bench_fig7_cycles_per_packet
+
+# Unit + fuzz layers, widened by the extra seeds.
+export RIO_CHURN_EXTRA_SEEDS="$EXTRA_SEEDS"
+"$BUILD_DIR/tests/lifecycle_test"
+"$BUILD_DIR/tests/fuzz_test" --gtest_filter='*LifecycleFuzz*'
+
+# Full-stack soak: one churn sweep per extra seed, quick scale.
+for seed in ${EXTRA_SEEDS//,/ }; do
+    RIO_BENCH_QUICK=1 "$BUILD_DIR/bench/bench_lifecycle_churn" \
+        --rate 0.5,2 --seed "$seed" > /dev/null
+    echo "churn soak seed $seed passed"
+done
+
+# Rate-0 no-op pin: churn disarmed must replay bench_fig7 exactly.
+bash tests/golden_lifecycle.sh \
+    "$BUILD_DIR/bench/bench_lifecycle_churn" \
+    "$BUILD_DIR/bench/bench_fig7_cycles_per_packet"
+
+echo "lifecycle churn campaign passed (extra seeds: $EXTRA_SEEDS)"

@@ -28,4 +28,11 @@ export RIO_FUZZ_EXTRA_SEEDS="7001,7919,104729"
 "$BUILD_DIR/tests/fuzz_test" --gtest_filter='*FaultFuzz*:*IommuFuzz*:*RiommuFuzz*'
 "$BUILD_DIR/tests/fault_test"
 
+# Lifecycle churn under the sanitizers: surprise unplug/replug walks
+# teardown and recovery paths (orphaned-mapping unmap, ITE time-out
+# spin, head-skip) where use-after-free bugs would hide.
+export RIO_CHURN_EXTRA_SEEDS="5501,7703"
+"$BUILD_DIR/tests/fuzz_test" --gtest_filter='*LifecycleFuzz*'
+"$BUILD_DIR/tests/lifecycle_test"
+
 echo "sanitized tier-1 suite passed"

@@ -33,6 +33,8 @@ AhciDevice::issue(bool is_write, u64 lba, u32 nsectors, PhysAddr data_pa)
             break;
         }
     }
+    if (!up_)
+        return Status(ErrorCode::kDetached, "issue on an unplugged drive");
     if (idx == kSlots)
         return Status(ErrorCode::kOverflow, "all 32 NCQ slots busy");
     if (nsectors == 0)
@@ -47,7 +49,12 @@ AhciDevice::issue(bool is_write, u64 lba, u32 nsectors, PhysAddr data_pa)
     slots_[idx] = Slot{true, is_write, lba, nsectors, m.value()};
     const Nanos when =
         std::max(sim_.now(), core_.virtualNow()) + profile_.doorbell_ns;
-    sim_.scheduleAt(when, [this, idx] { deviceStart(idx); });
+    const u64 e = epoch_;
+    sim_.scheduleAt(when, [this, idx, e] {
+        if (e != epoch_)
+            return;
+        deviceStart(idx);
+    });
     return idx;
 }
 
@@ -87,7 +94,10 @@ AhciDevice::serviceNext()
         static_cast<double>(slot.nsectors * profile_.sector_bytes) * 8 /
         profile_.bandwidth_gbps);
 
-    sim_.scheduleAfter(service, [this, slot_idx] {
+    const u64 e = epoch_;
+    sim_.scheduleAfter(service, [this, slot_idx, e] {
+        if (e != epoch_)
+            return; // drive unplugged while the command was in flight
         // Data phase through translation.
         Slot &slot = slots_[slot_idx];
         bool bad = false;
@@ -108,8 +118,12 @@ AhciDevice::serviceNext()
             bytes_moved_ += slot.nsectors * profile_.sector_bytes;
         media_busy_ = false;
         serviceNext();
-        sim_.scheduleAfter(profile_.irq_ns, [this, slot_idx, bad] {
-            core_.post([this, slot_idx, bad] {
+        sim_.scheduleAfter(profile_.irq_ns, [this, slot_idx, bad, e] {
+            if (e != epoch_)
+                return;
+            core_.post([this, slot_idx, bad, e] {
+                if (e != epoch_)
+                    return;
                 complete(slot_idx);
                 if (completion_cb_) {
                     completion_cb_(slot_idx,
@@ -133,6 +147,35 @@ AhciDevice::complete(u32 slot_idx)
     RIO_ASSERT(s.isOk(), "ahci unmap failed: ", s.toString());
     slot.busy = false;
     ++completed_;
+}
+
+void
+AhciDevice::surpriseUnplug()
+{
+    RIO_ASSERT(up_, "surpriseUnplug while down");
+    up_ = false;
+    ++epoch_; // every scheduled device event dies on the epoch check
+    pending_.clear();
+    media_busy_ = false;
+}
+
+void
+AhciDevice::removeCleanup()
+{
+    RIO_ASSERT(!up_, "removeCleanup on a live drive");
+    for (Slot &slot : slots_) {
+        if (!slot.busy)
+            continue;
+        (void)handle_.unmap(slot.mapping, /*end_of_burst=*/true);
+        slot.busy = false;
+    }
+}
+
+void
+AhciDevice::replug()
+{
+    RIO_ASSERT(!up_, "replug while up");
+    up_ = true;
 }
 
 } // namespace rio::ahci

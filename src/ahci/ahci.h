@@ -68,6 +68,21 @@ class AhciDevice
         completion_cb_ = std::move(cb);
     }
 
+    // ---- lifecycle --------------------------------------------------------
+    /** Surprise hot-unplug: cancel scheduled device events (epoch
+     * bump) and forget the NCQ backlog; mappings stay busy for
+     * removeCleanup(). */
+    void surpriseUnplug();
+
+    /** Driver-side cleanup after a surprise removal: unmap every busy
+     * slot through the (detached) handle. */
+    void removeCleanup();
+
+    /** Replug a removed drive: the port accepts commands again. */
+    void replug();
+
+    bool isUp() const { return up_; }
+
     u64 completed() const { return completed_; }
     u64 bytesMoved() const { return bytes_moved_; }
 
@@ -94,6 +109,10 @@ class AhciDevice
 
     std::array<Slot, kSlots> slots_{};
     std::vector<u32> pending_; //!< queued for the (serial) media
+    bool up_ = true;
+    // Lifecycle epoch: scheduled device events capture it and bail on
+    // mismatch, so unplug cancels everything in flight.
+    u64 epoch_ = 0;
     bool media_busy_ = false;
     u64 last_lba_end_ = 0;
     u64 completed_ = 0;

@@ -16,6 +16,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
       case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
       case ErrorCode::kCorrupted: return "CORRUPTED";
+      case ErrorCode::kTimedOut: return "TIMED_OUT";
+      case ErrorCode::kDetached: return "DETACHED";
     }
     return "UNKNOWN";
 }

@@ -26,7 +26,9 @@ enum class ErrorCode {
     kNotFound,         //!< lookup failed
     kInvalidArgument,   //!< caller error
     kResourceExhausted, //!< out of simulated memory, ids, ...
-    kCorrupted          //!< reserved bits set / malformed structure
+    kCorrupted,         //!< reserved bits set / malformed structure
+    kTimedOut,          //!< hardware stopped responding (ITE analog)
+    kDetached           //!< operation on a detached/unplugged device
 };
 
 /** Human-readable name of @p code. */

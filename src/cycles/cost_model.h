@@ -159,6 +159,32 @@ struct CostModel
      */
     Cycles fault_backoff = 2000;
 
+    // ---- Device lifecycle & invalidation time-out ----------------------
+    /**
+     * Bounded spin on a queued-invalidation wait descriptor whose
+     * status write never lands (ITE analog: the target device stopped
+     * ack'ing, e.g. it was surprise-removed). Four full QI round
+     * trips before the driver declares a time-out.
+     */
+    Cycles qi_timeout_spin = 8600;
+    /**
+     * Back-off before retrying a timed-out invalidation: timer
+     * programming plus the modeled wait the driver sleeps through
+     * before re-ringing the doorbell.
+     */
+    Cycles lifecycle_backoff = 4000;
+    /**
+     * Abort-queue recovery: clear the sticky queue-error state, skip
+     * the head past the dead descriptor and restart the queue
+     * (fault-status read, head rewrite, doorbell).
+     */
+    Cycles lifecycle_abort_recovery = 1200;
+    /**
+     * Per-device quiesce/detach bookkeeping: walking driver state to
+     * stop posting, plus context-entry teardown writes.
+     */
+    Cycles lifecycle_quiesce = 400;
+
     /** Convert cycles to nanoseconds at this model's clock. */
     double toNanos(Cycles c) const
     {

@@ -19,6 +19,7 @@ catName(Cat cat)
       case Cat::kProcessing: return "processing";
       case Cat::kLockWait: return "lock wait";
       case Cat::kFaultHandling: return "fault handling";
+      case Cat::kLifecycle: return "lifecycle";
       case Cat::kNumCats: break;
     }
     RIO_PANIC("bad Cat");

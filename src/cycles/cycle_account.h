@@ -28,6 +28,7 @@ enum class Cat : unsigned {
     kProcessing,       //!< TCP/IP, interrupts, application logic
     kLockWait,         //!< spinning on a contended driver lock
     kFaultHandling,    //!< fault report read-out + recovery policy work
+    kLifecycle,        //!< quiesce/detach work + QI time-out recovery
     kNumCats
 };
 

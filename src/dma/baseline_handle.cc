@@ -41,13 +41,16 @@ BaselineDmaHandle::BaselineDmaHandle(ProtectionMode mode,
 
 BaselineDmaHandle::~BaselineDmaHandle()
 {
-    iommu_.detachDevice(bdf_);
+    if (!detached_)
+        iommu_.detachDevice(bdf_);
 }
 
 Result<DmaMapping>
-BaselineDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
+BaselineDmaHandle::map(u16 rid, PhysAddr pa, u32 size,
                        iommu::DmaDir dir)
 {
+    if (detached_)
+        return Status(ErrorCode::kDetached, "map through detached BDF");
     if (size == 0)
         return Status(ErrorCode::kInvalidArgument, "map of empty buffer");
     const u64 npages = pagesSpanned(pa, size);
@@ -69,6 +72,8 @@ BaselineDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
     m.device_addr = (range.value().pfn_lo << kPageShift) | (pa & kPageMask);
     m.pa = pa;
     m.size = size;
+    live_map_[range.value().pfn_lo] =
+        LiveMappingInfo{m.device_addr, size, rid};
     return m;
 }
 
@@ -101,8 +106,17 @@ BaselineDmaHandle::unmap(const DmaMapping &mapping, bool /*end_of_burst*/)
         for (u64 i = 0; i < range.npages(); ++i) {
             // Through the queued-invalidation interface: descriptor
             // submit + doorbell + hardware round trip + status spin.
-            inval_queue_.invalidateEntrySync(bdf_, range.pfn_lo + i,
-                                             acct_);
+            Status qs = inval_queue_.invalidateEntrySync(
+                bdf_, range.pfn_lo + i, acct_);
+            if (!qs.isOk()) {
+                // Invalidation timed out (ITE): run the recovery
+                // ladder; once it returns the IOTLB no longer holds
+                // this device's translations, so proceeding with the
+                // free is safe.
+                qs = recoverInvalidation();
+                if (!qs.isOk())
+                    return qs;
+            }
         }
         Status fs = allocator_->free(range.pfn_lo); // charged: iova free
         if (!fs)
@@ -111,13 +125,16 @@ BaselineDmaHandle::unmap(const DmaMapping &mapping, bool /*end_of_burst*/)
     }
     RIO_ASSERT(live_ > 0, "unmap with no live mappings");
     --live_;
+    live_map_.erase(range.pfn_lo);
     return Status::ok();
 }
 
 Result<std::vector<DmaMapping>>
-BaselineDmaHandle::mapSg(u16 /*rid*/, const std::vector<SgEntry> &sg,
+BaselineDmaHandle::mapSg(u16 rid, const std::vector<SgEntry> &sg,
                          iommu::DmaDir dir)
 {
+    if (detached_)
+        return Status(ErrorCode::kDetached, "map through detached BDF");
     if (sg.empty())
         return Status(ErrorCode::kInvalidArgument, "empty sg list");
     u64 total_pages = 0;
@@ -153,6 +170,11 @@ BaselineDmaHandle::mapSg(u16 /*rid*/, const std::vector<SgEntry> &sg,
     }
     charge(cycles::Cat::kMapOther, cost_.map_other);
     ++live_; // the list is one logical mapping (one range)
+    u64 total_bytes = 0;
+    for (const SgEntry &e : sg)
+        total_bytes += e.len;
+    live_map_[range.value().pfn_lo] = LiveMappingInfo{
+        out.front().device_addr, static_cast<u32>(total_bytes), rid};
     return out;
 }
 
@@ -175,12 +197,110 @@ BaselineDmaHandle::flushDeferred()
     // One global flush covers the whole batch; its cost lands in the
     // unmap/"other" row as amortized overhead (Table 1: defer other =
     // 205 vs. strict 26).
-    inval_queue_.flushAllSync(acct_, cycles::Cat::kUnmapOther);
+    Status qs = inval_queue_.flushAllSync(acct_, cycles::Cat::kUnmapOther);
+    if (!qs.isOk()) {
+        // The flush itself never stalls hardware; it timed out behind
+        // an already frozen queue. Recover, then the frees are safe.
+        qs = recoverInvalidation();
+        RIO_ASSERT(qs.isOk(), "deferred flush unrecoverable: ",
+                   qs.toString());
+    }
     for (u64 pfn_lo : defer_queue_) {
         Status s = allocator_->free(pfn_lo); // charged: unmap/iova free
         RIO_ASSERT(s.isOk(), "deferred free failed: ", s.toString());
     }
     defer_queue_.clear();
+}
+
+Status
+BaselineDmaHandle::quiesceFlush()
+{
+    flushDeferred();
+    return Status::ok();
+}
+
+Status
+BaselineDmaHandle::detach()
+{
+    if (detached_)
+        return Status::ok();
+    // Quiesce ordering: any deferred invalidations must hit hardware
+    // before the context entry disappears.
+    flushDeferred();
+    charge(cycles::Cat::kLifecycle, cost_.lifecycle_quiesce);
+    iommu_.detachDevice(bdf_);
+    detached_ = true;
+    return Status::ok();
+}
+
+void
+BaselineDmaHandle::surpriseRemove()
+{
+    if (detached_)
+        return;
+    // The instant the device vanishes it stops ack'ing invalidation
+    // descriptors — later strict invalidations for it hit the ITE
+    // path — and the hotplug interrupt tears down its context entry.
+    inval_queue_.setDeviceResponsive(bdf_.pack(), false);
+    iommu_.detachDevice(bdf_);
+    detached_ = true;
+}
+
+Status
+BaselineDmaHandle::reattach()
+{
+    if (!detached_)
+        return Status::ok();
+    inval_queue_.setDeviceResponsive(bdf_.pack(), true);
+    if (inval_queue_.queueError()) {
+        // The dead descriptor's target answers again; one retry
+        // drains everything that was stuck behind it.
+        Status s = inval_queue_.recoverRetry(acct_);
+        if (!s.isOk())
+            return s;
+    }
+    iommu_.attachDevice(bdf_, &table_);
+    detached_ = false;
+    return Status::ok();
+}
+
+std::vector<LiveMappingInfo>
+BaselineDmaHandle::liveMappingList() const
+{
+    std::vector<LiveMappingInfo> out;
+    out.reserve(live_map_.size());
+    for (const auto &[pfn_lo, info] : live_map_)
+        out.push_back(info);
+    return out;
+}
+
+Status
+BaselineDmaHandle::recoverInvalidation()
+{
+    // Bounded retry-with-backoff: two attempts cover a transiently
+    // stalled device (reset in progress) without unbounded spinning.
+    constexpr int kQiRetries = 2;
+    for (int i = 0; i < kQiRetries; ++i) {
+        Status s = inval_queue_.recoverRetry(acct_);
+        if (s.isOk())
+            return s;
+    }
+    // Permanent: abort the queue. Each skip steps over one dead
+    // descriptor; everything queued behind it executes. The skipped
+    // invalidations are replaced by a software purge of the device's
+    // whole IOTLB footprint.
+    Status s;
+    do {
+        s = inval_queue_.abortAndSkip(acct_);
+    } while (!s.isOk() && inval_queue_.queueError());
+    iommu_.iotlb().invalidateDevice(bdf_.pack());
+    return s;
+}
+
+void
+BaselineDmaHandle::onDetachedAccess(const iommu::FaultRecord &rec)
+{
+    iommu_.faultLog().record(rec);
 }
 
 void
@@ -239,6 +359,8 @@ BaselineDmaHandle::deviceAccess(u64 device_addr,
 Status
 BaselineDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kRead); !g)
+        return g;
     return deviceAccess(device_addr, [&] {
         return iommu_.dmaRead(bdf_, device_addr, dst, len);
     });
@@ -247,6 +369,8 @@ BaselineDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 Status
 BaselineDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kWrite); !g)
+        return g;
     return deviceAccess(device_addr, [&] {
         return iommu_.dmaWrite(bdf_, device_addr, src, len);
     });

@@ -10,6 +10,7 @@
 #define RIO_DMA_BASELINE_HANDLE_H
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cycles/cost_model.h"
@@ -56,6 +57,25 @@ class BaselineDmaHandle : public DmaHandle
     Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
     u64 liveMappings() const override { return live_; }
     iommu::Bdf bdf() const override { return bdf_; }
+
+    // ---- lifecycle ------------------------------------------------------
+    /** Push out the deferred queue so no invalidation survives. */
+    Status quiesceFlush() override;
+
+    /** Orderly detach: flush, then tear down the context entry. */
+    Status detach() override;
+
+    /**
+     * Surprise unplug: the device stops ack'ing invalidations (every
+     * later strict invalidation for it times out) and the hotplug
+     * path tears down its context entry immediately.
+     */
+    void surpriseRemove() override;
+
+    /** Revive: device answers again, context entry reinstated. */
+    Status reattach() override;
+
+    std::vector<LiveMappingInfo> liveMappingList() const override;
 
     /**
      * Force the deferred queue out now (device quiesce / teardown).
@@ -104,6 +124,18 @@ class BaselineDmaHandle : public DmaHandle
     /** Driver fault-interrupt work: drain the hardware fault log. */
     void acknowledgeFaults();
 
+    /** A detached-BDF DMA is a real fault: log it like hardware. */
+    void onDetachedAccess(const iommu::FaultRecord &rec) override;
+
+    /**
+     * Recovery ladder for a timed-out invalidation: bounded
+     * retry-with-backoff (a transiently stalled device resolves
+     * here), then abort-queue + head-skip and a software purge of the
+     * device's IOTLB footprint (safe: the device is gone, nothing
+     * translates through it anymore).
+     */
+    Status recoverInvalidation();
+
     ProtectionMode mode_;
     iommu::Iommu &iommu_;
     mem::PhysicalMemory &pm_;
@@ -115,6 +147,10 @@ class BaselineDmaHandle : public DmaHandle
     std::unique_ptr<iova::IovaAllocator> allocator_;
     std::vector<u64> defer_queue_; //!< pfn_lo of ranges to free at flush
     u64 live_ = 0;
+    // Host-side shadow of the live mappings, keyed by the range's
+    // pfn_lo, so the leak detector can name ring + IOVA of anything
+    // that survives a quiesce. Pure bookkeeping — never charged.
+    std::unordered_map<u64, LiveMappingInfo> live_map_;
 };
 
 } // namespace rio::dma

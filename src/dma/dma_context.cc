@@ -1,6 +1,7 @@
 #include "dma/dma_context.h"
 
 #include "base/logging.h"
+#include "base/strings.h"
 #include "dma/baseline_handle.h"
 #include "dma/riommu_handle.h"
 #include "dma/simple_handles.h"
@@ -61,6 +62,38 @@ DmaContext::makeHandleWithSpecs(ProtectionMode mode, iommu::Bdf bdf,
                                                         cost_, acct);
     }
     RIO_PANIC("bad protection mode");
+}
+
+std::string
+LeakReport::toString() const
+{
+    if (clean())
+        return "clean";
+    std::string s = strprintf(
+        "%llu leaked mapping(s), %llu stale IOTLB, %llu stale rIOTLB",
+        (unsigned long long)leaked, (unsigned long long)stale_iotlb,
+        (unsigned long long)stale_riotlb);
+    for (const LeakRecord &r : records) {
+        s += strprintf("\n  %s ring %u device_addr 0x%llx size %u",
+                       r.bdf.toString().c_str(), r.rid,
+                       (unsigned long long)r.device_addr, r.size);
+    }
+    return s;
+}
+
+LeakReport
+DmaContext::checkHandleLeaks(const DmaHandle &handle) const
+{
+    LeakReport report;
+    report.leaked = handle.liveMappings();
+    for (const LiveMappingInfo &m : handle.liveMappingList()) {
+        report.records.push_back(
+            LeakRecord{handle.bdf(), m.rid, m.device_addr, m.size});
+    }
+    const u16 sid = handle.bdf().pack();
+    report.stale_iotlb = iommu_.iotlb().validEntriesFor(sid);
+    report.stale_riotlb = riommu_.riotlb().entriesFor(sid);
+    return report;
 }
 
 } // namespace rio::dma

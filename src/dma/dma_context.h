@@ -9,6 +9,7 @@
 #define RIO_DMA_DMA_CONTEXT_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cycles/cost_model.h"
@@ -22,6 +23,33 @@
 #include "riommu/riommu.h"
 
 namespace rio::dma {
+
+/** One mapping that survived a quiesce/detach — always a bug. */
+struct LeakRecord
+{
+    iommu::Bdf bdf;
+    u16 rid = 0;
+    u64 device_addr = 0;
+    u32 size = 0;
+};
+
+/** Result of the stale-mapping leak detector. */
+struct LeakReport
+{
+    u64 leaked = 0; //!< live mappings surviving the teardown
+    std::vector<LeakRecord> records;
+    u64 stale_iotlb = 0;  //!< IOTLB entries still naming the sid
+    u64 stale_riotlb = 0; //!< rIOTLB entries still naming the sid
+
+    bool
+    clean() const
+    {
+        return leaked == 0 && stale_iotlb == 0 && stale_riotlb == 0;
+    }
+
+    /** Human-readable summary, one line per leaked mapping. */
+    std::string toString() const;
+};
 
 /** Memory, baseline IOMMU and rIOMMU of one simulated machine. */
 class DmaContext
@@ -73,6 +101,14 @@ class DmaContext
                         cycles::CycleAccount *acct,
                         std::vector<riommu::RingSpec> ring_specs,
                         des::Core *core = nullptr);
+
+    /**
+     * Stale-mapping leak detector, run after a quiesce or detach:
+     * every mapping still live through @p handle is an error (owner
+     * ring + device address reported), as is any IOTLB/rIOTLB entry
+     * still naming the handle's requester id.
+     */
+    LeakReport checkHandleLeaks(const DmaHandle &handle) const;
 
   private:
     const cycles::CostModel &cost_;

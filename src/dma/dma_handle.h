@@ -39,6 +39,18 @@ struct SgEntry
 };
 
 /**
+ * One surviving mapping, as reported by the stale-mapping leak
+ * detector: enough to name the owner ring and device address in the
+ * error message.
+ */
+struct LiveMappingInfo
+{
+    u64 device_addr = 0;
+    u32 size = 0;
+    u16 rid = 0;
+};
+
+/**
  * Per-device DMA-management handle. Driver-side calls (map/unmap)
  * charge the core's cycle account; device-side calls (deviceRead/
  * deviceWrite) are free for the core, per the paper's validated
@@ -116,8 +128,95 @@ class DmaHandle
 
     virtual FaultStats faultStats() const { return fault_.stats(); }
 
+    // ---- device lifecycle (quiesce protocol + surprise removal) -------
+    // Virtual for the same reason as the fault API: decorators must
+    // forward lifecycle calls to the handle that owns the real state.
+
+    /**
+     * Flush phase of the quiesce protocol (stop posting → drain ring
+     * → unmap all → flush → detach): push out deferred invalidations
+     * and drop any translation-cache state so nothing survives the
+     * mappings it guarded. Default: nothing is queued.
+     */
+    virtual Status quiesceFlush() { return Status::ok(); }
+
+    /**
+     * Orderly detach (last phase of quiesce): tear down the device's
+     * IOMMU attachment. The handle stays constructed — map() and
+     * device access now fail with kDetached — and can be revived
+     * with reattach().
+     */
+    virtual Status
+    detach()
+    {
+        detached_ = true;
+        return Status::ok();
+    }
+
+    /**
+     * Surprise hot-unplug: the device vanished mid-burst, no drain or
+     * flush happened first. Marks the handle detached and makes the
+     * device unresponsive to invalidations (the ITE trigger); the
+     * driver's removal path then unmaps through the detached handle.
+     */
+    virtual void surpriseRemove() { detached_ = true; }
+
+    /** Re-attach after an unplug or orderly detach. */
+    virtual Status
+    reattach()
+    {
+        detached_ = false;
+        return Status::ok();
+    }
+
+    virtual bool detached() const { return detached_; }
+
+    /**
+     * The live mappings, one record each, for the leak detector.
+     * Modes with no per-mapping state (None/HWpt/SWpt identity maps)
+     * report nothing; their liveMappings() counter still counts.
+     */
+    virtual std::vector<LiveMappingInfo> liveMappingList() const
+    {
+        return {};
+    }
+
+    /** Typed records of DMA attempts through the detached BDF. */
+    virtual const std::vector<iommu::FaultRecord> &detachFaults() const
+    {
+        return detach_faults_;
+    }
+
+    virtual void clearDetachFaults() { detach_faults_.clear(); }
+
   protected:
+    /**
+     * Use-after-detach guard, called at the top of every device
+     * access path: a DMA through a detached BDF yields one typed
+     * fault record (and, where an IOMMU exists, a FaultLog entry via
+     * onDetachedAccess) instead of undefined behaviour.
+     */
+    Status
+    guardDetached(u64 device_addr, iommu::Access access)
+    {
+        if (!detached_)
+            return Status::ok();
+        const iommu::FaultRecord rec{bdf(), device_addr, access,
+                                     iommu::FaultReason::kDetached};
+        constexpr size_t kMaxDetachFaults = 65536;
+        if (detach_faults_.size() < kMaxDetachFaults)
+            detach_faults_.push_back(rec);
+        onDetachedAccess(rec);
+        return Status(ErrorCode::kDetached,
+                      "DMA through detached BDF");
+    }
+
+    /** Hook for modes with a FaultLog to record the detached access. */
+    virtual void onDetachedAccess(const iommu::FaultRecord &) {}
+
     FaultEngine fault_;
+    bool detached_ = false;
+    std::vector<iommu::FaultRecord> detach_faults_;
 };
 
 } // namespace rio::dma

@@ -10,7 +10,7 @@ RiommuDmaHandle::RiommuDmaHandle(ProtectionMode mode,
                                  std::vector<riommu::RingSpec> rings,
                                  const cycles::CostModel &cost,
                                  cycles::CycleAccount *acct)
-    : riommu_(riommu), pm_(pm),
+    : riommu_(riommu), pm_(pm), cost_(cost), acct_(acct),
       rdevice_(riommu, pm, bdf, std::move(rings),
                /*coherent=*/mode == ProtectionMode::kRiommu, cost, acct)
 {
@@ -22,6 +22,8 @@ RiommuDmaHandle::RiommuDmaHandle(ProtectionMode mode,
 Result<DmaMapping>
 RiommuDmaHandle::map(u16 rid, PhysAddr pa, u32 size, iommu::DmaDir dir)
 {
+    if (detached_)
+        return Status(ErrorCode::kDetached, "map through detached BDF");
     auto iova = rdevice_.map(rid, pa, size, dir);
     if (!iova.isOk())
         return iova.status();
@@ -92,6 +94,8 @@ RiommuDmaHandle::deviceAccess(u64 device_addr,
 Status
 RiommuDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kRead); !g)
+        return g;
     return deviceAccess(device_addr, [&] {
         return riommu_.dmaRead(rdevice_.bdf(),
                                riommu::RIova{device_addr}, dst, len);
@@ -101,6 +105,8 @@ RiommuDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 Status
 RiommuDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kWrite); !g)
+        return g;
     return deviceAccess(device_addr, [&] {
         return riommu_.dmaWrite(rdevice_.bdf(),
                                 riommu::RIova{device_addr}, src, len);
@@ -114,6 +120,79 @@ RiommuDmaHandle::liveMappings() const
     for (u16 rid = 0; rid < rdevice_.nrings(); ++rid)
         live += rdevice_.nmapped(rid);
     return live;
+}
+
+Status
+RiommuDmaHandle::quiesceFlush()
+{
+    // Nothing is ever queued (rIOMMU needs no invalidation queue);
+    // the flush phase just drops the per-ring rIOTLB entries so no
+    // cached translation outlives the quiesce.
+    for (u16 rid = 0; rid < rdevice_.nrings(); ++rid) {
+        riommu_.invalidateRing(rdevice_.bdf(), rid);
+        if (acct_)
+            acct_->charge(cycles::Cat::kLifecycle,
+                          cost_.iotlb_invalidate_entry);
+    }
+    return Status::ok();
+}
+
+Status
+RiommuDmaHandle::detach()
+{
+    if (detached_)
+        return Status::ok();
+    if (acct_)
+        acct_->charge(cycles::Cat::kLifecycle, cost_.lifecycle_quiesce);
+    // Removing the rDEVICE drops every ring's rIOTLB entry with it.
+    riommu_.detachDevice(rdevice_.bdf());
+    detached_ = true;
+    return Status::ok();
+}
+
+void
+RiommuDmaHandle::surpriseRemove()
+{
+    if (detached_)
+        return;
+    riommu_.detachDevice(rdevice_.bdf());
+    detached_ = true;
+}
+
+Status
+RiommuDmaHandle::reattach()
+{
+    if (!detached_)
+        return Status::ok();
+    riommu_.attachDevice(rdevice_.bdf(), rdevice_.rdeviceBase(),
+                         rdevice_.nrings());
+    detached_ = false;
+    return Status::ok();
+}
+
+std::vector<LiveMappingInfo>
+RiommuDmaHandle::liveMappingList() const
+{
+    // Scan the flat tables for valid rPTEs; each one names its owner
+    // ring and reconstructs the rIOVA the driver handed out.
+    std::vector<LiveMappingInfo> out;
+    for (u16 rid = 0; rid < rdevice_.nrings(); ++rid) {
+        for (u32 rentry = 0; rentry < rdevice_.ringSize(rid); ++rentry) {
+            const riommu::RPte pte = rdevice_.readPte(rid, rentry);
+            if (!pte.valid)
+                continue;
+            out.push_back(LiveMappingInfo{
+                riommu::RIova::pack(0, rentry, rid).raw, pte.size, rid});
+        }
+    }
+    return out;
+}
+
+void
+RiommuDmaHandle::onDetachedAccess(const iommu::FaultRecord &rec)
+{
+    riommu_.recordDetachedFault(rec.bdf, riommu::RIova{rec.iova},
+                                rec.access);
 }
 
 } // namespace rio::dma

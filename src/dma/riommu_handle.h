@@ -34,9 +34,30 @@ class RiommuDmaHandle : public DmaHandle
     u64 liveMappings() const override;
     iommu::Bdf bdf() const override { return rdevice_.bdf(); }
 
+    // ---- lifecycle ------------------------------------------------------
+    /** Drop every ring's rIOTLB entry (nothing is queued in rIOMMU). */
+    Status quiesceFlush() override;
+
+    /** Orderly detach: remove the rDEVICE, dropping its rIOTLB state. */
+    Status detach() override;
+
+    /**
+     * Surprise unplug. rIOMMU has no shared invalidation queue to
+     * wedge — teardown is a per-device rDEVICE removal that drops the
+     * per-ring rIOTLB entries with it, one of the design's lifecycle
+     * advantages.
+     */
+    void surpriseRemove() override;
+
+    Status reattach() override;
+
+    /** Valid rPTEs across all rings, with owner ring + rIOVA. */
+    std::vector<LiveMappingInfo> liveMappingList() const override;
+
     riommu::RDevice &rdevice() { return rdevice_; }
 
   private:
+    void onDetachedAccess(const iommu::FaultRecord &rec) override;
     /**
      * Device access with the fault engine in the loop: optionally
      * clears the target rPTE's valid bit (undone during recovery) and
@@ -47,6 +68,8 @@ class RiommuDmaHandle : public DmaHandle
 
     riommu::Riommu &riommu_;
     mem::PhysicalMemory &pm_;
+    const cycles::CostModel &cost_;
+    cycles::CycleAccount *acct_;
     riommu::RDevice rdevice_;
 };
 

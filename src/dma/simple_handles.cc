@@ -37,6 +37,8 @@ Result<DmaMapping>
 NoneDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
                    iommu::DmaDir /*dir*/)
 {
+    if (detached_)
+        return Status(ErrorCode::kDetached, "map through detached BDF");
     ++live_;
     return DmaMapping{pa, pa, size};
 }
@@ -52,6 +54,8 @@ NoneDmaHandle::unmap(const DmaMapping & /*mapping*/, bool /*end_of_burst*/)
 Status
 NoneDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kRead); !g)
+        return g;
     return injectedAccess(fault_, [&] {
         pm_.read(device_addr, dst, len);
         return Status::ok();
@@ -61,6 +65,8 @@ NoneDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 Status
 NoneDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kWrite); !g)
+        return g;
     return injectedAccess(fault_, [&] {
         pm_.write(device_addr, src, len);
         return Status::ok();
@@ -73,6 +79,8 @@ Result<DmaMapping>
 HwPassthroughDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
                             iommu::DmaDir /*dir*/)
 {
+    if (detached_)
+        return Status(ErrorCode::kDetached, "map through detached BDF");
     if (acct_)
         acct_->charge(cycles::Cat::kMapOther, cost_.passthrough_call);
     ++live_;
@@ -93,6 +101,8 @@ HwPassthroughDmaHandle::unmap(const DmaMapping & /*mapping*/,
 Status
 HwPassthroughDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kRead); !g)
+        return g;
     return injectedAccess(fault_, [&] {
         pm_.read(device_addr, dst, len);
         return Status::ok();
@@ -103,6 +113,8 @@ Status
 HwPassthroughDmaHandle::deviceWrite(u64 device_addr, const void *src,
                                     u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kWrite); !g)
+        return g;
     return injectedAccess(fault_, [&] {
         pm_.write(device_addr, src, len);
         return Status::ok();
@@ -127,7 +139,45 @@ SwPassthroughDmaHandle::SwPassthroughDmaHandle(iommu::Iommu &iommu,
 
 SwPassthroughDmaHandle::~SwPassthroughDmaHandle()
 {
+    if (!detached_)
+        iommu_.detachDevice(bdf_);
+}
+
+Status
+SwPassthroughDmaHandle::detach()
+{
+    if (detached_)
+        return Status::ok();
+    if (acct_)
+        acct_->charge(cycles::Cat::kLifecycle, cost_.lifecycle_quiesce);
     iommu_.detachDevice(bdf_);
+    detached_ = true;
+    return Status::ok();
+}
+
+void
+SwPassthroughDmaHandle::surpriseRemove()
+{
+    if (detached_)
+        return;
+    iommu_.detachDevice(bdf_);
+    detached_ = true;
+}
+
+Status
+SwPassthroughDmaHandle::reattach()
+{
+    if (!detached_)
+        return Status::ok();
+    iommu_.attachDevice(bdf_, &table_);
+    detached_ = false;
+    return Status::ok();
+}
+
+void
+SwPassthroughDmaHandle::onDetachedAccess(const iommu::FaultRecord &rec)
+{
+    iommu_.faultLog().record(rec);
 }
 
 void
@@ -148,6 +198,8 @@ Result<DmaMapping>
 SwPassthroughDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
                             iommu::DmaDir /*dir*/)
 {
+    if (detached_)
+        return Status(ErrorCode::kDetached, "map through detached BDF");
     if (acct_)
         acct_->charge(cycles::Cat::kMapOther, cost_.passthrough_call);
     ensureIdentity(pa, size);
@@ -169,6 +221,8 @@ SwPassthroughDmaHandle::unmap(const DmaMapping & /*mapping*/,
 Status
 SwPassthroughDmaHandle::deviceRead(u64 device_addr, void *dst, u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kRead); !g)
+        return g;
     return injectedAccess(fault_, [&] {
         ensureIdentity(device_addr, len);
         return iommu_.dmaRead(bdf_, device_addr, dst, len);
@@ -179,6 +233,8 @@ Status
 SwPassthroughDmaHandle::deviceWrite(u64 device_addr, const void *src,
                                     u64 len)
 {
+    if (Status g = guardDetached(device_addr, iommu::Access::kWrite); !g)
+        return g;
     return injectedAccess(fault_, [&] {
         ensureIdentity(device_addr, len);
         return iommu_.dmaWrite(bdf_, device_addr, src, len);

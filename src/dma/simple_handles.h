@@ -100,9 +100,17 @@ class SwPassthroughDmaHandle : public DmaHandle
     u64 liveMappings() const override { return live_; }
     iommu::Bdf bdf() const override { return bdf_; }
 
+    // ---- lifecycle ------------------------------------------------------
+    /** Orderly detach: drop the identity attachment. */
+    Status detach() override;
+    void surpriseRemove() override;
+    Status reattach() override;
+
   private:
     /** Install identity PTEs for [addr, addr+len), uncharged. */
     void ensureIdentity(u64 addr, u64 len);
+
+    void onDetachedAccess(const iommu::FaultRecord &rec) override;
 
     iommu::Iommu &iommu_;
     iommu::Bdf bdf_;

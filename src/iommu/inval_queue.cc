@@ -82,8 +82,18 @@ Cycles
 InvalQueue::hardwareDrain()
 {
     Cycles hw = 0;
-    while (head_ != tail_) {
+    while (head_ != tail_ && !queue_error_) {
         const QiDescriptor desc = descriptorAt(head_);
+        // An entry invalidation needs the target device's ack (ATS
+        // semantics); a vanished device never answers, so the queue
+        // freezes *at* the descriptor — it stays at the head for
+        // abortAndSkip to step over. Global flushes and waits are
+        // IOMMU-internal and never stall.
+        if (desc.type() == QiDescriptor::Type::kIotlbEntry &&
+            unresponsive_sids_.count(desc.sid())) {
+            queue_error_ = true;
+            break;
+        }
         head_ = (head_ + 1) % entries_;
         hw += cost_.qi_hw_per_descriptor;
         switch (desc.type()) {
@@ -104,7 +114,7 @@ InvalQueue::hardwareDrain()
     return hw;
 }
 
-void
+Status
 InvalQueue::invalidateEntrySync(Bdf bdf, u64 iova_pfn,
                                 cycles::CycleAccount *acct)
 {
@@ -112,32 +122,103 @@ InvalQueue::invalidateEntrySync(Bdf bdf, u64 iova_pfn,
     Cycles c = submit(QiDescriptor::entry(bdf.pack(), iova_pfn));
     c += submit(QiDescriptor::wait(status_addr_));
     c += cost_.qi_doorbell;
-    const u64 expected = status_cookie_ + 1;
     c += hardwareDrain();
+    if (queue_error_ || head_ != tail_) {
+        // Bounded spin: the wait never landed. Give up instead of
+        // spinning forever in virtual time.
+        c += cost_.qi_timeout_spin;
+        ++stats_.timeouts;
+        if (acct)
+            acct->charge(cycles::Cat::kLifecycle, c);
+        return Status(ErrorCode::kTimedOut,
+                      "QI wait descriptor timed out (ITE)");
+    }
     // Spin on the status word the hardware writes back.
     c += cost_.qi_wait_latency;
-    RIO_ASSERT(pm_.read64(status_addr_) == expected,
+    RIO_ASSERT(pm_.read64(status_addr_) == status_cookie_,
                "QI wait did not complete");
     c += 2 * cost_.cached_access;
     if (acct)
         acct->charge(cycles::Cat::kUnmapIotlbInv, c);
+    return Status::ok();
 }
 
-void
+Status
 InvalQueue::flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat)
 {
     des::SpinGuard lock(lock_, lock_core_, acct);
     Cycles c = submit(QiDescriptor::global());
     c += submit(QiDescriptor::wait(status_addr_));
     c += cost_.qi_doorbell;
-    const u64 expected = status_cookie_ + 1;
     c += hardwareDrain();
+    if (queue_error_ || head_ != tail_) {
+        c += cost_.qi_timeout_spin;
+        ++stats_.timeouts;
+        if (acct)
+            acct->charge(cycles::Cat::kLifecycle, c);
+        return Status(ErrorCode::kTimedOut,
+                      "QI wait descriptor timed out (ITE)");
+    }
     c += cost_.qi_wait_latency;
-    RIO_ASSERT(pm_.read64(status_addr_) == expected,
+    RIO_ASSERT(pm_.read64(status_addr_) == status_cookie_,
                "QI wait did not complete");
     c += 2 * cost_.cached_access;
     if (acct)
         acct->chargeCont(cat, c);
+    return Status::ok();
+}
+
+void
+InvalQueue::setDeviceResponsive(u16 sid, bool responsive)
+{
+    if (responsive)
+        unresponsive_sids_.erase(sid);
+    else
+        unresponsive_sids_.insert(sid);
+}
+
+Status
+InvalQueue::recoverRetry(cycles::CycleAccount *acct)
+{
+    des::SpinGuard lock(lock_, lock_core_, acct);
+    Cycles c = cost_.lifecycle_backoff;
+    ++stats_.retries;
+    if (queue_error_) {
+        queue_error_ = false;
+        c += cost_.qi_doorbell;
+        c += hardwareDrain(); // re-freezes if the device is still dead
+    }
+    const bool drained = !queue_error_ && head_ == tail_;
+    if (acct)
+        acct->charge(cycles::Cat::kLifecycle, c);
+    if (!drained)
+        return Status(ErrorCode::kTimedOut,
+                      "QI retry timed out again (device unresponsive)");
+    return Status::ok();
+}
+
+Status
+InvalQueue::abortAndSkip(cycles::CycleAccount *acct)
+{
+    des::SpinGuard lock(lock_, lock_core_, acct);
+    Cycles c = cost_.lifecycle_abort_recovery;
+    if (queue_error_) {
+        // The dead descriptor is still at the head; step over it.
+        // Its invalidation never executed — the caller must purge
+        // the IOTLB in software for that device.
+        RIO_ASSERT(head_ != tail_, "queue error with empty queue");
+        head_ = (head_ + 1) % entries_;
+        ++stats_.head_skips;
+        queue_error_ = false;
+        c += hardwareDrain(); // may re-freeze on the next dead entry
+    }
+    const bool drained = !queue_error_ && head_ == tail_;
+    if (acct)
+        acct->charge(cycles::Cat::kLifecycle, c);
+    if (!drained)
+        return Status(ErrorCode::kTimedOut,
+                      "QI still frozen after head skip");
+    return Status::ok();
 }
 
 } // namespace rio::iommu

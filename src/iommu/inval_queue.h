@@ -16,6 +16,9 @@
 #ifndef RIO_IOMMU_INVAL_QUEUE_H
 #define RIO_IOMMU_INVAL_QUEUE_H
 
+#include <unordered_set>
+
+#include "base/status.h"
 #include "base/types.h"
 #include "cycles/cost_model.h"
 #include "cycles/cycle_account.h"
@@ -53,6 +56,9 @@ struct QiStats
     u64 global_flushes = 0;
     u64 waits = 0;
     u64 wraps = 0;
+    u64 timeouts = 0;   //!< sync ops whose wait never landed (ITE)
+    u64 retries = 0;    //!< recoverRetry attempts
+    u64 head_skips = 0; //!< dead descriptors skipped by abortAndSkip
 };
 
 /**
@@ -76,16 +82,60 @@ class InvalQueue
      * iotlb-entry descriptor plus a wait descriptor, process, and
      * spin until the status word flips. Charged to @p acct as
      * unmap/"iotlb inv" — this is the strict mode's 2,150 cycles.
+     *
+     * The spin is bounded: if the status word never lands (the queue
+     * froze on a descriptor targeting an unresponsive device — the
+     * VT-d ITE analog), the driver gives up after qi_timeout_spin
+     * cycles, charged to Cat::kLifecycle, and kTimedOut is returned.
+     * Recovery is recoverRetry() / abortAndSkip() below.
      */
-    void invalidateEntrySync(Bdf bdf, u64 iova_pfn,
-                             cycles::CycleAccount *acct);
+    Status invalidateEntrySync(Bdf bdf, u64 iova_pfn,
+                               cycles::CycleAccount *acct);
 
     /**
      * Synchronously flush the whole IOTLB (the deferred mode's
      * batched flush). Charges @p cat on @p acct without bumping its
      * op count (the cost is amortized bookkeeping of the batch).
+     * Same bounded-spin semantics as invalidateEntrySync; a global
+     * flush itself never stalls the hardware (it is IOMMU-internal,
+     * no device ack needed) but can time out behind an already
+     * frozen queue.
      */
-    void flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat);
+    Status flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat);
+
+    // ---- lifecycle robustness (ITE analog) ---------------------------
+
+    /**
+     * Mark @p sid (un)responsive. An iotlb-entry descriptor for an
+     * unresponsive device freezes the queue when the hardware reaches
+     * it — the ATS-style device ack never arrives — which is how a
+     * surprise-removed device manifests to every queue user.
+     */
+    void setDeviceResponsive(u16 sid, bool responsive);
+
+    /** Sticky queue-error state (VT-d ITE bit analog). */
+    bool queueError() const { return queue_error_; }
+
+    /**
+     * Retry-with-backoff recovery: sleep lifecycle_backoff cycles,
+     * clear the error and re-ring the doorbell. Succeeds (the queue
+     * drains fully, later descriptors from other devices execute) iff
+     * the offending device answered this time; otherwise the queue
+     * re-freezes and kTimedOut is returned again. Charged to
+     * Cat::kLifecycle.
+     */
+    Status recoverRetry(cycles::CycleAccount *acct);
+
+    /**
+     * Abort-queue recovery: skip the head past the dead descriptor,
+     * clear the error and restart the queue. The skipped
+     * invalidation is the caller's problem (it must purge the IOTLB
+     * in software); every descriptor queued behind it — other
+     * devices' invalidations included — executes normally. May
+     * return kTimedOut again if another dead descriptor follows;
+     * callers loop. Charged to Cat::kLifecycle.
+     */
+    Status abortAndSkip(cycles::CycleAccount *acct);
 
     /**
      * Serialize the synchronous operations on @p lock, modeling the
@@ -105,6 +155,7 @@ class InvalQueue
     PhysAddr base() const { return base_; }
     u32 entries() const { return entries_; }
     u32 tail() const { return tail_; }
+    u32 head() const { return head_; }
 
     /** Raw descriptor readback (tests). */
     QiDescriptor descriptorAt(u32 idx) const;
@@ -125,6 +176,8 @@ class InvalQueue
     u32 head_ = 0; //!< hardware's consumption point
     u32 tail_ = 0; //!< driver's submission point
     u64 status_cookie_ = 0;
+    bool queue_error_ = false; //!< sticky; set when the drain freezes
+    std::unordered_set<u16> unresponsive_sids_;
     QiStats stats_;
     des::SimSpinlock *lock_ = nullptr;
     des::Core *lock_core_ = nullptr;

@@ -52,6 +52,9 @@ Iommu::attachDevice(Bdf bdf, IoPageTable *table)
     RIO_ASSERT(table != nullptr, "attaching null page table");
     pm_.write64(contextSlot(bdf), table->rootAddr() | kCtxPresent);
     tables_by_root_[table->rootAddr()] = table;
+    // The context entry just changed in memory; any cached copy is
+    // stale (hardware requires a context invalidation here too).
+    invalidateContextCache(bdf);
 }
 
 void
@@ -63,6 +66,21 @@ Iommu::detachDevice(Bdf bdf)
         tables_by_root_.erase(entry & ~u64{0xfff});
     pm_.write64(slot, 0);
     iotlb_.invalidateDevice(bdf.pack());
+    invalidateContextCache(bdf);
+}
+
+void
+Iommu::invalidateContextCache(Bdf bdf)
+{
+    if (ctx_cache_.erase(bdf.pack()))
+        ++ctx_stats_.purges;
+}
+
+void
+Iommu::invalidateContextCacheAll()
+{
+    ctx_stats_.purges += ctx_cache_.size();
+    ctx_cache_.clear();
 }
 
 void
@@ -81,6 +99,14 @@ Iommu::recordFault(Bdf bdf, IovaAddr iova, Access access,
 IoPageTable *
 Iommu::lookupContext(Bdf bdf)
 {
+    // Context cache first: a hit skips the root/context memory reads
+    // entirely, exactly like VT-d's context-entry cache.
+    auto cached = ctx_cache_.find(bdf.pack());
+    if (cached != ctx_cache_.end()) {
+        ++ctx_stats_.hits;
+        return cached->second;
+    }
+    ++ctx_stats_.misses;
     // Walk the in-memory root and context tables the way hardware
     // does; the IoPageTable object is then recovered from the root
     // pointer found in memory.
@@ -94,7 +120,12 @@ Iommu::lookupContext(Bdf bdf)
     if (!(ctx_entry & kCtxPresent))
         return nullptr;
     auto it = tables_by_root_.find(ctx_entry & ~u64{0xfff});
-    return it == tables_by_root_.end() ? nullptr : it->second;
+    if (it == tables_by_root_.end())
+        return nullptr;
+    // Only present, resolvable entries are cached; negative results
+    // must keep re-reading memory so a later attach is seen.
+    ctx_cache_[bdf.pack()] = it->second;
+    return it->second;
 }
 
 Result<Translation>

@@ -29,6 +29,14 @@
 
 namespace rio::iommu {
 
+/** Context-cache counters (tests and the lifecycle bench). */
+struct CtxCacheStats
+{
+    u64 hits = 0;
+    u64 misses = 0; //!< memory walks of root + context tables
+    u64 purges = 0; //!< per-device invalidations (attach/detach)
+};
+
 /** Result of one hardware translation. */
 struct Translation
 {
@@ -57,8 +65,24 @@ class Iommu
      */
     void attachDevice(Bdf bdf, IoPageTable *table);
 
-    /** Clear the context entry and purge the device's IOTLB entries. */
+    /**
+     * Clear the context entry and purge the device's IOTLB entries
+     * *and* its context-cache entry — a detach that leaves either
+     * cached lets a stale or malicious device keep translating
+     * through structures the OS believes are gone.
+     */
     void detachDevice(Bdf bdf);
+
+    /**
+     * Drop @p bdf's cached context entry. The model's analog of a
+     * VT-d context-cache invalidation descriptor: required whenever
+     * software rewrites a context entry in memory behind the
+     * hardware's back.
+     */
+    void invalidateContextCache(Bdf bdf);
+
+    /** Drop every cached context entry (global context invalidation). */
+    void invalidateContextCacheAll();
 
     /**
      * Hardware pass-through (the paper's HWpt control mode):
@@ -105,6 +129,11 @@ class Iommu
     Iotlb &iotlb() { return iotlb_; }
     const Iotlb &iotlb() const { return iotlb_; }
 
+    const CtxCacheStats &ctxCacheStats() const { return ctx_stats_; }
+
+    /** Cached context entries (== attached devices that translated). */
+    u64 contextCacheSize() const { return ctx_cache_.size(); }
+
     /** Root-table physical address (as programmed into hardware). */
     PhysAddr rootTableAddr() const { return root_table_; }
 
@@ -129,6 +158,12 @@ class Iommu
     // the IoPageTable object (owner of driver-side charging state) is
     // located via this map, keyed by its root address.
     std::unordered_map<PhysAddr, IoPageTable *> tables_by_root_;
+    // Context cache (VT-d caches context entries separately from the
+    // IOTLB): successful walks are cached by requester id so repeat
+    // translations skip the two memory reads. Purged per device on
+    // attach/detach, like hardware requires.
+    std::unordered_map<u16, IoPageTable *> ctx_cache_;
+    CtxCacheStats ctx_stats_;
     std::vector<FaultRecord> faults_;
     FaultLog fault_log_;
 };

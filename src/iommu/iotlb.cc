@@ -112,6 +112,15 @@ Iotlb::validEntries() const
     return n;
 }
 
+u64
+Iotlb::validEntriesFor(u16 sid) const
+{
+    u64 n = 0;
+    for (const Entry &e : entries_)
+        n += (e.valid && e.sid == sid) ? 1 : 0;
+    return n;
+}
+
 bool
 Iotlb::contains(u16 sid, u64 iova_pfn) const
 {

@@ -59,6 +59,9 @@ class Iotlb
     /** Entries currently valid (for stale-entry vulnerability tests). */
     u64 validEntries() const;
 
+    /** Valid entries belonging to @p sid (stale-mapping leak checks). */
+    u64 validEntriesFor(u16 sid) const;
+
     /** True if (sid, pfn) is cached — used to probe stale entries. */
     bool contains(u16 sid, u64 iova_pfn) const;
 

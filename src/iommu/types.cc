@@ -19,6 +19,7 @@ faultReasonName(FaultReason reason)
       case FaultReason::kOutOfRange: return "out-of-range";
       case FaultReason::kNoContext: return "no-context";
       case FaultReason::kReservedBit: return "reserved-bit";
+      case FaultReason::kDetached: return "detached";
     }
     return "unknown";
 }

@@ -81,7 +81,8 @@ enum class FaultReason : u8 {
     kPermission,    //!< direction/permission bits forbid the access
     kOutOfRange,    //!< index/offset beyond structure bounds (rIOMMU)
     kNoContext,     //!< device not attached to the IOMMU
-    kReservedBit    //!< reserved bits set in a PTE/rPTE (corruption)
+    kReservedBit,   //!< reserved bits set in a PTE/rPTE (corruption)
+    kDetached       //!< DMA issued through a detached/unplugged BDF
 };
 
 const char *faultReasonName(FaultReason reason);

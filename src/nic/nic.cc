@@ -31,6 +31,10 @@ Nic::bringUp()
 {
     RIO_ASSERT(!up_, "bringUp twice");
     up_ = true;
+    ++epoch_;
+    tx_clean_idx_ = 0;
+    tx_completed_unclean_ = 0;
+    tx_completed_since_irq_ = 0;
 
     // Tx descriptor ring + its static mapping (first rRING of the
     // pair in the rIOMMU design: mapped at init, unmapped at bring
@@ -46,8 +50,10 @@ Nic::bringUp()
 
     // Tx buffer pools: separate header and data buffers, carved with
     // their natural stride so sub-page neighbours share pages as they
-    // do in a real kernel.
-    {
+    // do in a real kernel. Carved exactly once: teardown returns every
+    // buffer to its pool, so a replug reuses the same frames instead
+    // of leaking a fresh carve per lifecycle event.
+    if (!pools_carved_) {
         const u64 hbytes = static_cast<u64>(profile_.header_buf_bytes) *
                            profile_.tx_ring_entries;
         PhysAddr hbase = pm_.allocContiguous(hbytes);
@@ -75,9 +81,11 @@ Nic::bringUp()
 
         rr.meta.resize(profile_.rx_ring_entries);
         rr.buf_pa.resize(profile_.rx_ring_entries);
-        const PhysAddr base = pm_.allocContiguous(
-            static_cast<u64>(profile_.data_buf_bytes) *
-            profile_.rx_ring_entries);
+        if (r >= rx_buf_base_.size())
+            rx_buf_base_.push_back(pm_.allocContiguous(
+                static_cast<u64>(profile_.data_buf_bytes) *
+                profile_.rx_ring_entries));
+        const PhysAddr base = rx_buf_base_[r];
         for (u32 i = 0; i < profile_.rx_ring_entries; ++i) {
             rr.buf_pa[i] = base + static_cast<u64>(i) *
                                       profile_.data_buf_bytes;
@@ -91,6 +99,7 @@ Nic::bringUp()
                                      Descriptor::kOwnedByDevice});
         }
     }
+    pools_carved_ = true;
 }
 
 void
@@ -98,17 +107,32 @@ Nic::shutDown()
 {
     RIO_ASSERT(up_, "shutDown while down");
     up_ = false;
+    ++epoch_; // cancel in-flight device events
+    tx_busy_ = false;
+    tx_kick_scheduled_ = false;
+    tx_irq_pending_ = false;
+    tx_irq_timer_pending_ = false;
+    rx_irq_scheduled_ = false;
+    teardownMappings();
+}
 
+void
+Nic::teardownMappings()
+{
     // Recycle any completed-but-uncleaned and pending Tx mappings in
     // FIFO order, then the Rx buffers, then the static ring mappings.
-    u32 idx = tx_clean_idx_;
-    for (u32 n = 0; n < profile_.tx_ring_entries; ++n) {
-        TxMeta &meta = tx_meta_[idx];
-        if (meta.mapped) {
-            (void)handle_.unmap(meta.mapping, /*end_of_burst=*/true);
-            meta.mapped = false;
+    if (tx_ring_) {
+        u32 idx = tx_clean_idx_;
+        for (u32 n = 0; n < profile_.tx_ring_entries; ++n) {
+            TxMeta &meta = tx_meta_[idx];
+            if (meta.mapped) {
+                (void)handle_.unmap(meta.mapping, /*end_of_burst=*/true);
+                (meta.is_header ? header_pool_ : data_pool_)
+                    .push(meta.mapping.pa);
+                meta.mapped = false;
+            }
+            idx = tx_ring_->next(idx);
         }
-        idx = tx_ring_->next(idx);
     }
     for (unsigned r = 0; r < rx_rings_.size(); ++r) {
         RxRingState &rr = rx_rings_[r];
@@ -123,14 +147,57 @@ Nic::shutDown()
         rr.ring.reset();
     }
     rx_rings_.clear();
-    (void)handle_.unmap(tx_ring_mapping_, true);
-    tx_ring_.reset();
+    if (tx_ring_) {
+        (void)handle_.unmap(tx_ring_mapping_, true);
+        tx_ring_.reset();
+    }
+    tx_clean_idx_ = 0;
+    tx_completed_unclean_ = 0;
+    tx_completed_since_irq_ = 0;
+}
+
+void
+Nic::surpriseUnplug()
+{
+    RIO_ASSERT(up_, "surpriseUnplug while down");
+    up_ = false;
+    ++epoch_; // every scheduled device event dies on the epoch check
+    // The cancelled events can no longer clear the flags they were
+    // responsible for; reset the state machines so a later replug
+    // starts from a clean slate.
+    tx_busy_ = false;
+    tx_kick_scheduled_ = false;
+    tx_irq_pending_ = false;
+    tx_irq_timer_pending_ = false;
+    rx_irq_scheduled_ = false;
+    tx_completed_since_irq_ = 0;
+    ++stats_.surprise_unplugs;
+}
+
+void
+Nic::removeCleanup()
+{
+    RIO_ASSERT(!up_, "removeCleanup on a live NIC");
+    teardownMappings();
+}
+
+void
+Nic::replug()
+{
+    RIO_ASSERT(!up_ && !tx_ring_, "replug without cleanup");
+    ++stats_.replugs;
+    bringUp();
+    // A fresh empty ring means tx space opened up; restart the stack.
+    if (tx_space_cb_)
+        tx_space_cb_();
 }
 
 u32
 Nic::txSpacePackets(u32 payload_bytes) const
 {
-    if (!tx_ring_)
+    // A surprise-unplugged NIC has no tx space: the stack stalls here
+    // and replug()'s tx-space callback restarts it after the outage.
+    if (!up_ || !tx_ring_)
         return 0;
     // Descriptors popped by the device but not yet recycled by the
     // completion handler still pin their target buffers and metadata;
@@ -202,7 +269,10 @@ Nic::kickTx()
     // charged so far — expensive (un)map work delays the device.
     const Nanos when =
         std::max(sim_.now(), core_.virtualNow()) + profile_.doorbell_ns;
-    sim_.scheduleAt(when, [this] {
+    const u64 e = epoch_;
+    sim_.scheduleAt(when, [this, e] {
+        if (e != epoch_)
+            return;
         tx_kick_scheduled_ = false;
         deviceTxPump();
     });
@@ -282,8 +352,11 @@ Nic::deviceTxPump()
     tx_busy_ = true;
     const Nanos tx_ns = static_cast<Nanos>(
         net::wireTimeNs(pkt.payload_bytes, profile_.line_rate_gbps));
+    const u64 e = epoch_;
     sim_.scheduleAfter(std::max<Nanos>(tx_ns, 1), [this, idxs, pkt,
-                                                   fault] {
+                                                   fault, e] {
+        if (e != epoch_)
+            return; // NIC unplugged while the packet was in flight
         // Completion: write back status through translation, retire
         // the descriptors, maybe coalesce an interrupt.
         for (u32 i : idxs) {
@@ -306,7 +379,10 @@ Nic::deviceTxPump()
             // Interrupt moderation: signal a partial batch only after
             // the moderation delay.
             tx_irq_timer_pending_ = true;
-            sim_.scheduleAfter(profile_.tx_irq_delay_ns, [this] {
+            const u64 te = epoch_;
+            sim_.scheduleAfter(profile_.tx_irq_delay_ns, [this, te] {
+                if (te != epoch_)
+                    return;
                 tx_irq_timer_pending_ = false;
                 if (tx_completed_since_irq_ > 0)
                     raiseTxIrq();
@@ -324,7 +400,12 @@ Nic::raiseTxIrq()
         return;
     tx_irq_pending_ = true;
     ++stats_.tx_irqs;
-    core_.post([this] { txIrqHandler(); });
+    const u64 e = epoch_;
+    core_.post([this, e] {
+        if (e != epoch_)
+            return;
+        txIrqHandler();
+    });
 }
 
 void
@@ -430,10 +511,17 @@ Nic::scheduleRxIrq()
     if (rx_irq_scheduled_)
         return;
     rx_irq_scheduled_ = true;
-    sim_.scheduleAfter(profile_.rx_irq_delay_ns, [this] {
+    const u64 e = epoch_;
+    sim_.scheduleAfter(profile_.rx_irq_delay_ns, [this, e] {
+        if (e != epoch_)
+            return;
         rx_irq_scheduled_ = false;
         ++stats_.rx_irqs;
-        core_.post([this] { rxIrqHandler(); });
+        core_.post([this, e] {
+            if (e != epoch_)
+                return;
+            rxIrqHandler();
+        });
     });
 }
 

@@ -43,6 +43,8 @@ struct NicStats
     u64 dma_faults = 0;
     u64 unmap_bursts = 0;
     u64 unmap_burst_len_sum = 0;
+    u64 surprise_unplugs = 0;
+    u64 replugs = 0;
 };
 
 /** The NIC: driver API on one side, wire API on the other. */
@@ -70,6 +72,29 @@ class Nic
 
     /** Tear down: drain mappings, unmap rings. */
     void shutDown();
+
+    // ---- lifecycle --------------------------------------------------------
+    /**
+     * Device side of a surprise hot-unplug: the hardware vanishes
+     * mid-burst. Every scheduled device event is cancelled (epoch
+     * bump) and the posting/irq state machines reset; mappings are
+     * untouched — recovering those is removeCleanup()'s job.
+     */
+    void surpriseUnplug();
+
+    /**
+     * Driver-side cleanup after a surprise removal: unmap every live
+     * mapping (unmap still works through a detached handle — that is
+     * the teardown path), return buffers to their pools and free the
+     * rings. Requires the NIC to be down.
+     */
+    void removeCleanup();
+
+    /** Replug a removed NIC: bringUp() again (pools are carved only
+     * once) and restart the stack via the tx-space callback. */
+    void replug();
+
+    bool isUp() const { return up_; }
 
     // ---- driver API (call on the core) ---------------------------------
     /** Whole packets that still fit in the Tx ring. */
@@ -158,6 +183,9 @@ class Nic
     void scheduleRxIrq();
     void rxIrqHandler();
 
+    /** Shared unmap-all used by shutDown and removeCleanup. */
+    void teardownMappings();
+
     des::Simulator &sim_;
     des::Core &core_;
     mem::PhysicalMemory &pm_;
@@ -165,6 +193,14 @@ class Nic
     const NicProfile &profile_;
 
     bool up_ = false;
+
+    // Lifecycle epoch: bumped on every bringUp/shutDown/unplug; each
+    // scheduled device event captures it and bails on mismatch, so a
+    // stale timer cannot touch a NIC that was unplugged (or replugged)
+    // after it was scheduled.
+    u64 epoch_ = 0;
+    bool pools_carved_ = false; //!< tx pools + rx buffers: carve once
+    std::vector<PhysAddr> rx_buf_base_; //!< per-ring rx buffer carve
 
     // Tx state
     std::unique_ptr<ring::DescriptorRing> tx_ring_;

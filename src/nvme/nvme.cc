@@ -25,12 +25,16 @@ NvmeDevice::bringUp()
 {
     RIO_ASSERT(!up_, "bringUp twice");
     up_ = true;
+    ++epoch_;
     const u64 sq_bytes =
         static_cast<u64>(profile_.queue_entries) * sizeof(Command);
     const u64 cq_bytes =
         static_cast<u64>(profile_.queue_entries) * sizeof(Completion);
-    sq_base_ = pm_.allocContiguous(sq_bytes);
-    cq_base_ = pm_.allocContiguous(cq_bytes);
+    if (!queues_carved_) {
+        sq_base_ = pm_.allocContiguous(sq_bytes);
+        cq_base_ = pm_.allocContiguous(cq_bytes);
+        queues_carved_ = true;
+    }
 
     auto sm = handle_.map(kStaticRid, sq_base_, static_cast<u32>(sq_bytes),
                           iommu::DmaDir::kBidir);
@@ -49,6 +53,17 @@ NvmeDevice::shutDown()
 {
     RIO_ASSERT(up_, "shutDown while down");
     up_ = false;
+    ++epoch_; // cancel in-flight device events
+    device_busy_ = false;
+    kick_scheduled_ = false;
+    irq_pending_ = false;
+    irq_timer_ = false;
+    teardownMappings();
+}
+
+void
+NvmeDevice::teardownMappings()
+{
     u32 idx = sq_head_;
     for (u32 n = 0; n < profile_.queue_entries; ++n) {
         if (slots_[idx].busy) {
@@ -59,6 +74,40 @@ NvmeDevice::shutDown()
     }
     (void)handle_.unmap(sq_mapping_, true);
     (void)handle_.unmap(cq_mapping_, true);
+    cid_to_slot_.clear();
+    sq_tail_ = 0;
+    sq_head_ = 0;
+    sq_inflight_ = 0;
+    cq_tail_ = 0;
+    cq_head_ = 0;
+    completions_since_irq_ = 0;
+}
+
+void
+NvmeDevice::surpriseUnplug()
+{
+    RIO_ASSERT(up_, "surpriseUnplug while down");
+    up_ = false;
+    ++epoch_; // every scheduled device event dies on the epoch check
+    device_busy_ = false;
+    kick_scheduled_ = false;
+    irq_pending_ = false;
+    irq_timer_ = false;
+    completions_since_irq_ = 0;
+}
+
+void
+NvmeDevice::removeCleanup()
+{
+    RIO_ASSERT(!up_, "removeCleanup on a live device");
+    teardownMappings();
+}
+
+void
+NvmeDevice::replug()
+{
+    RIO_ASSERT(!up_, "replug while up");
+    bringUp();
 }
 
 u32
@@ -114,7 +163,10 @@ NvmeDevice::kick()
     kick_scheduled_ = true;
     const Nanos when =
         std::max(sim_.now(), core_.virtualNow()) + profile_.doorbell_ns;
-    sim_.scheduleAt(when, [this] {
+    const u64 e = epoch_;
+    sim_.scheduleAt(when, [this, e] {
+        if (e != epoch_)
+            return;
         kick_scheduled_ = false;
         devicePump();
     });
@@ -149,7 +201,10 @@ NvmeDevice::deviceExecute(u32 sq_idx)
     const Nanos done_at =
         sim_.now() + profile_.access_latency_ns + xfer_ns;
 
-    sim_.scheduleAt(done_at, [this, cmd, sq_idx, fault]() mutable {
+    const u64 e = epoch_;
+    sim_.scheduleAt(done_at, [this, cmd, sq_idx, fault, e]() mutable {
+        if (e != epoch_)
+            return; // device unplugged while the command was in flight
         bool bad = fault;
         if (!bad && cmd.opcode == static_cast<u8>(Opcode::kWrite)) {
             // Pull the data from memory into flash.
@@ -204,7 +259,10 @@ NvmeDevice::deviceExecute(u32 sq_idx)
             raiseIrq();
         } else if (!irq_timer_) {
             irq_timer_ = true;
-            sim_.scheduleAfter(profile_.irq_delay_ns, [this] {
+            const u64 te = epoch_;
+            sim_.scheduleAfter(profile_.irq_delay_ns, [this, te] {
+                if (te != epoch_)
+                    return;
                 irq_timer_ = false;
                 if (completions_since_irq_ > 0)
                     raiseIrq();
@@ -222,7 +280,12 @@ NvmeDevice::raiseIrq()
     if (irq_pending_)
         return;
     irq_pending_ = true;
-    core_.post([this] { irqHandler(); });
+    const u64 e = epoch_;
+    core_.post([this, e] {
+        if (e != epoch_)
+            return;
+        irqHandler();
+    });
 }
 
 void

@@ -92,6 +92,21 @@ class NvmeDevice
     void bringUp();
     void shutDown();
 
+    // ---- lifecycle --------------------------------------------------------
+    /** Surprise hot-unplug: cancel scheduled device events (epoch
+     * bump) and reset the engine; mappings stay for removeCleanup(). */
+    void surpriseUnplug();
+
+    /** Driver-side cleanup after a surprise removal: unmap every live
+     * mapping through the (detached) handle and reset the queues. */
+    void removeCleanup();
+
+    /** Replug a removed device: bringUp() again (queue frames are
+     * carved only once). */
+    void replug();
+
+    bool isUp() const { return up_; }
+
     /** rRING sizes an rIOMMU handle needs for this device:
      * rid 0 statics (SQ+CQ), rid 1 data buffers. */
     static std::vector<u32>
@@ -143,6 +158,9 @@ class NvmeDevice
     void raiseIrq();
     void irqHandler();
 
+    /** Shared unmap-all used by shutDown and removeCleanup. */
+    void teardownMappings();
+
     des::Simulator &sim_;
     des::Core &core_;
     mem::PhysicalMemory &pm_;
@@ -150,6 +168,10 @@ class NvmeDevice
     NvmeProfile profile_;
 
     bool up_ = false;
+    // Lifecycle epoch: scheduled device events capture it and bail on
+    // mismatch, so unplug cancels everything in flight.
+    u64 epoch_ = 0;
+    bool queues_carved_ = false; //!< SQ/CQ frames: carve once
     PhysAddr sq_base_ = 0;
     PhysAddr cq_base_ = 0;
     dma::DmaMapping sq_mapping_;

@@ -106,6 +106,24 @@ class Riommu
     bool prefetchEnabled() const { return prefetch_enabled_; }
     void setPrefetchEnabled(bool on) { prefetch_enabled_ = on; }
 
+    /** Is @p bdf currently attached (has an rDEVICE)? */
+    bool attached(Bdf bdf) const
+    {
+        return getDomain(bdf.pack()) != nullptr;
+    }
+
+    /**
+     * Record a use-after-detach DMA attempt: the lifecycle guard
+     * intercepts the access before it reaches translate(), but the
+     * fault still lands in the debug vector and the per-ring latch
+     * like any hardware-detected one.
+     */
+    void
+    recordDetachedFault(Bdf bdf, RIova iova, iommu::Access access)
+    {
+        fault(bdf.pack(), iova, access, iommu::FaultReason::kDetached);
+    }
+
   private:
     struct RDeviceInfo
     {

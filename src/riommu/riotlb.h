@@ -59,6 +59,16 @@ class Riotlb
     /** Entries currently cached == number of active rings. */
     u64 size() const { return entries_.size(); }
 
+    /** Entries cached for @p bdf (stale-mapping leak checks). */
+    u64
+    entriesFor(u16 bdf) const
+    {
+        u64 n = 0;
+        for (const auto &[k, e] : entries_)
+            n += ((k >> 16) == bdf) ? 1 : 0;
+        return n;
+    }
+
     /** Probe without stats side effects (for staleness tests). */
     const RiotlbEntry *peek(u16 bdf, u16 rid) const;
 

@@ -1,8 +1,27 @@
 #include "sys/machine.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
 
 namespace rio::sys {
+
+const char *
+lifecyclePhaseName(LifecyclePhase phase)
+{
+    switch (phase) {
+      case LifecyclePhase::kSurpriseUnplug: return "surprise_unplug";
+      case LifecyclePhase::kRemoveCleanup: return "remove_cleanup";
+      case LifecyclePhase::kReattach: return "reattach";
+      case LifecyclePhase::kReplug: return "replug";
+      case LifecyclePhase::kStopPosting: return "stop_posting";
+      case LifecyclePhase::kDrain: return "drain";
+      case LifecyclePhase::kUnmapAll: return "unmap_all";
+      case LifecyclePhase::kFlush: return "flush";
+      case LifecyclePhase::kDetach: return "detach";
+    }
+    return "?";
+}
 
 Machine::Machine(des::Simulator &sim, dma::ProtectionMode mode,
                  unsigned ncores, const cycles::CostModel &cost)
@@ -96,6 +115,134 @@ Machine::attachNic(const nic::NicProfile &profile, unsigned core_idx,
                                            *handle, node->profile);
     nodes_.push_back(std::move(node));
     return static_cast<unsigned>(nodes_.size() - 1);
+}
+
+void
+Machine::journal(unsigned nic_idx, LifecyclePhase phase)
+{
+    // Capped so churn soaks stay bounded; the stats keep counting.
+    constexpr size_t kMaxLog = 1u << 20;
+    if (lifecycle_log_.size() < kMaxLog)
+        lifecycle_log_.push_back({sim_.now(), nic_idx, phase});
+}
+
+void
+Machine::surpriseUnplugNic(unsigned i)
+{
+    nic::Nic &n = nic(i);
+    RIO_ASSERT(n.isUp(), "surprise unplug of a down NIC");
+    // Hardware side first: the device disappears mid-burst and stops
+    // answering invalidations; the bus then reports it gone.
+    n.surpriseUnplug();
+    nodes_[i]->handle->surpriseRemove();
+    ++lifecycle_stats_.surprise_unplugs;
+    journal(i, LifecyclePhase::kSurpriseUnplug);
+}
+
+void
+Machine::removeCleanupNic(unsigned i)
+{
+    nic(i).removeCleanup();
+    journal(i, LifecyclePhase::kRemoveCleanup);
+}
+
+Status
+Machine::replugNic(unsigned i)
+{
+    Status s = nodes_[i]->handle->reattach();
+    if (!s.isOk())
+        return s;
+    journal(i, LifecyclePhase::kReattach);
+    nic(i).replug();
+    ++lifecycle_stats_.replugs;
+    journal(i, LifecyclePhase::kReplug);
+    return Status::ok();
+}
+
+Status
+Machine::quiesceNic(unsigned i)
+{
+    RIO_ASSERT(nic(i).isUp(), "quiesce of a down NIC");
+    // The quiesce protocol, in order: stop posting, drain the rings,
+    // unmap everything, flush invalidations, detach. Nic::shutDown
+    // performs the first three at one instant; the journal serializes
+    // them in protocol order.
+    journal(i, LifecyclePhase::kStopPosting);
+    nic(i).shutDown();
+    journal(i, LifecyclePhase::kDrain);
+    journal(i, LifecyclePhase::kUnmapAll);
+    Status fs = nodes_[i]->handle->quiesceFlush();
+    if (!fs.isOk())
+        return fs;
+    journal(i, LifecyclePhase::kFlush);
+    Status ds = nodes_[i]->handle->detach();
+    if (!ds.isOk())
+        return ds;
+    journal(i, LifecyclePhase::kDetach);
+    ++lifecycle_stats_.quiesces;
+    return Status::ok();
+}
+
+void
+Machine::armLifecycleChurn(const LifecycleChurnConfig &cfg)
+{
+    churn_ = cfg;
+    if (cfg.events_per_ms <= 0.0)
+        return; // rate 0: no events, no RNG draws — bit-for-bit no-op
+    churn_rng_ = Rng(cfg.seed);
+    scheduleChurnEvent();
+}
+
+void
+Machine::scheduleChurnEvent()
+{
+    if (churn_.events_per_ms <= 0.0)
+        return; // disarmed mid-run
+    const double mean_gap_ns = 1e6 / churn_.events_per_ms;
+    const Nanos gap = std::max<Nanos>(
+        1, static_cast<Nanos>(churn_rng_.exponential(mean_gap_ns)));
+    if (churn_.until_ns != 0 && sim_.now() + gap >= churn_.until_ns)
+        return;
+    sim_.scheduleAfter(gap, [this] { churnEvent(); });
+}
+
+void
+Machine::churnEvent()
+{
+    if (churn_.events_per_ms <= 0.0)
+        return; // disarmed after this event was scheduled
+    const unsigned i =
+        numNics() <= 1
+            ? 0
+            : static_cast<unsigned>(churn_rng_.below(numNics()));
+    // Skip a NIC still mid-outage; the draw itself stays in the
+    // stream so the event schedule is independent of outcome.
+    if (nic(i).isUp() && !nodes_[i]->handle->detached()) {
+        surpriseUnplugNic(i);
+        // The hotplug notification reaches the driver on the NIC's
+        // core: orphaned mappings are recovered there (charged work —
+        // strict modes eat invalidation time-outs), and the device
+        // returns after the configured outage.
+        nicCore(i).post([this, i] { removeCleanupNic(i); });
+        sim_.scheduleAfter(churn_.down_ns, [this, i] {
+            nicCore(i).post([this, i] {
+                Status s = replugNic(i);
+                RIO_ASSERT(s.isOk(), "replug failed: ", s.toString());
+            });
+        });
+    }
+    scheduleChurnEvent();
+}
+
+u64
+Machine::detachFaultCount() const
+{
+    u64 n = 0;
+    for (const auto &node : nodes_)
+        n += node->handle->detachFaults().size();
+    for (const auto &handle : extra_handles_)
+        n += handle->detachFaults().size();
+    return n;
 }
 
 dma::DmaHandle &

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/rng.h"
 #include "des/core.h"
 #include "des/simulator.h"
 #include "dma/dma_context.h"
@@ -23,6 +24,53 @@
 #include "trace/trace.h"
 
 namespace rio::sys {
+
+/** One step of a device lifecycle transition, for the journal. */
+enum class LifecyclePhase : u8 {
+    kSurpriseUnplug = 0, //!< device vanished, handle force-detached
+    kRemoveCleanup,      //!< driver unmapped the orphaned mappings
+    kReattach,           //!< handle re-attached to the IOMMU
+    kReplug,             //!< device brought back up
+    kStopPosting,        //!< orderly quiesce: no new DMA posted
+    kDrain,              //!< orderly quiesce: in-flight work retired
+    kUnmapAll,           //!< orderly quiesce: every mapping unmapped
+    kFlush,              //!< orderly quiesce: invalidations flushed
+    kDetach              //!< orderly quiesce: handle detached
+};
+
+const char *lifecyclePhaseName(LifecyclePhase phase);
+
+/** One journal record: what happened to which NIC, and when. */
+struct LifecycleLogEntry
+{
+    Nanos t = 0;
+    unsigned nic_idx = 0;
+    LifecyclePhase phase = LifecyclePhase::kSurpriseUnplug;
+};
+
+/** Aggregate lifecycle counters. */
+struct LifecycleStats
+{
+    u64 surprise_unplugs = 0;
+    u64 replugs = 0;
+    u64 quiesces = 0;
+};
+
+/**
+ * Deterministic surprise-unplug/replug churn: events arrive as a
+ * Poisson process from a dedicated Rng stream, entirely in virtual
+ * time. A rate of zero arms nothing and draws nothing, so workloads
+ * run bit-for-bit identically to a build without churn.
+ */
+struct LifecycleChurnConfig
+{
+    double events_per_ms = 0.0; //!< mean surprise-unplug rate; 0 = off
+    u64 seed = 1;
+    Nanos down_ns = 20000; //!< outage between unplug and replug
+    Nanos until_ns = 0;    //!< stop scheduling events at this time
+                           //!< (0 = never; the workload should bound
+                           //!< it or the event queue never drains)
+};
 
 /** A host under a given protection mode: N cores x M devices. */
 class Machine
@@ -109,6 +157,51 @@ class Machine
         return ctx_.invalLock().stats();
     }
 
+    // ---- device lifecycle ----------------------------------------------
+    /**
+     * Surprise hot-unplug of NIC @p i: the device vanishes mid-burst
+     * (scheduled device events die), stops answering invalidations,
+     * and the bus reports it gone (handle force-detached). Mapping
+     * recovery is removeCleanupNic()'s job.
+     */
+    void surpriseUnplugNic(unsigned i);
+
+    /** Driver response to the hotplug notification: unmap all
+     * orphaned mappings through the detached handle (charged work —
+     * strict modes eat invalidation time-outs here). */
+    void removeCleanupNic(unsigned i);
+
+    /** Re-attach the handle (recovering the invalidation queue if the
+     * unplug wedged it) and bring the NIC back up. */
+    Status replugNic(unsigned i);
+
+    /**
+     * Orderly quiesce of NIC @p i, in protocol order: stop posting,
+     * drain, unmap all, flush invalidations, detach. Each completed
+     * phase is journaled.
+     */
+    Status quiesceNic(unsigned i);
+
+    /** Arm surprise-unplug churn (no-op at rate 0; see
+     * LifecycleChurnConfig). Call after bringUp(). */
+    void armLifecycleChurn(const LifecycleChurnConfig &cfg);
+
+    /** Stop generating churn events so the event queue can drain
+     * (workloads call this when their measurement target is hit). */
+    void disarmLifecycleChurn() { churn_.events_per_ms = 0.0; }
+
+    const std::vector<LifecycleLogEntry> &lifecycleLog() const
+    {
+        return lifecycle_log_;
+    }
+    const LifecycleStats &lifecycleStats() const
+    {
+        return lifecycle_stats_;
+    }
+
+    /** Use-after-detach fault records across all device handles. */
+    u64 detachFaultCount() const;
+
     // ---- fault recovery & injection -----------------------------------
     /** Recovery policy for every current and future device handle. */
     void setFaultPolicy(dma::FaultPolicy policy);
@@ -146,6 +239,10 @@ class Machine
     /** Push the machine-wide fault config down into one handle. */
     void applyFaultConfig(dma::DmaHandle &handle);
 
+    void journal(unsigned nic_idx, LifecyclePhase phase);
+    void scheduleChurnEvent();
+    void churnEvent();
+
     des::Simulator &sim_;
     dma::ProtectionMode mode_;
     dma::DmaContext ctx_;
@@ -156,6 +253,11 @@ class Machine
     dma::FaultPolicy fault_policy_ = dma::FaultPolicy::kAbort;
     double fault_rate_ = 0.0;
     u64 fault_seed_ = 1;
+
+    LifecycleChurnConfig churn_;
+    Rng churn_rng_;
+    std::vector<LifecycleLogEntry> lifecycle_log_;
+    LifecycleStats lifecycle_stats_;
 };
 
 } // namespace rio::sys

@@ -99,6 +99,27 @@ class RecordingDmaHandle : public dma::DmaHandle
         return inner_.faultStats();
     }
 
+    // Lifecycle state also belongs to the inner handle: the decorator
+    // must not keep its own detached_ flag, or the guard and the real
+    // IOMMU state would disagree.
+    Status quiesceFlush() override { return inner_.quiesceFlush(); }
+    Status detach() override { return inner_.detach(); }
+    void surpriseRemove() override { inner_.surpriseRemove(); }
+    Status reattach() override { return inner_.reattach(); }
+    bool detached() const override { return inner_.detached(); }
+
+    std::vector<dma::LiveMappingInfo> liveMappingList() const override
+    {
+        return inner_.liveMappingList();
+    }
+
+    const std::vector<iommu::FaultRecord> &detachFaults() const override
+    {
+        return inner_.detachFaults();
+    }
+
+    void clearDetachFaults() override { inner_.clearDetachFaults(); }
+
   private:
     dma::DmaHandle &inner_;
     DmaTrace &trace_;

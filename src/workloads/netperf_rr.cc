@@ -41,6 +41,13 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
         // Decorrelate the echoer's fault stream from the initiator's.
         b.setFaultInjection(params.fault_rate, params.fault_seed + 1);
     }
+    if (params.churn_per_ms > 0) {
+        sys::LifecycleChurnConfig churn;
+        churn.events_per_ms = params.churn_per_ms;
+        churn.seed = params.churn_seed;
+        churn.down_ns = params.churn_down_ns;
+        a.armLifecycleChurn(churn);
+    }
 
     // Wire: full-duplex point-to-point link.
     a.nic().setWireTxCallback([&](const net::Packet &pkt) {
@@ -59,6 +66,8 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
     cycles::CycleAccount acct_start, acct_end;
 
     auto send = [&](sys::Machine &machine) {
+        if (!machine.nic().isUp())
+            return; // mid-outage; the retransmit timer retries
         machine.core().acct().charge(cycles::Cat::kProcessing,
                                      params.per_message_cycles);
         net::Packet pkt;
@@ -84,6 +93,8 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
             t_end = sim.now();
             busy_end = a.core().busyCycles();
             acct_end = a.core().acct();
+            if (params.churn_per_ms > 0)
+                a.disarmLifecycleChurn(); // let the event queue drain
             return;
         }
         if (!stopped)
@@ -107,7 +118,7 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
         watchdog_seen = transactions;
         sim.scheduleAfter(retransmit_ns, [&] { watchdog(); });
     };
-    if (params.fault_rate > 0)
+    if (params.fault_rate > 0 || params.churn_per_ms > 0)
         sim.scheduleAfter(retransmit_ns, [&] { watchdog(); });
 
     a.core().post([&] { send(a); });
@@ -129,6 +140,9 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
     r.throughput_gbps = r.transactions_per_sec *
                         static_cast<double>(params.payload) * 8 / 1e9;
     r.fault = a.faultStats();
+    r.surprise_unplugs = a.lifecycleStats().surprise_unplugs;
+    r.replugs = a.lifecycleStats().replugs;
+    r.detach_faults = a.detachFaultCount();
     return r;
 }
 

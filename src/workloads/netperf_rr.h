@@ -34,6 +34,12 @@ struct RrParams
     double fault_rate = 0.0;
     u64 fault_seed = 1;
     dma::FaultPolicy fault_policy = dma::FaultPolicy::kRetryRemap;
+    /** Surprise-unplug/replug churn on the measured machine
+     * (events/ms of virtual time, 0 = off). The retransmit timer
+     * restarts the ping-pong after each outage. */
+    double churn_per_ms = 0.0;
+    u64 churn_seed = 1;
+    Nanos churn_down_ns = 20000;
 };
 
 /** Calibrated parameters (Table 3's none RTT anchors the wire). */

@@ -44,6 +44,12 @@ struct RunResult
      * are included; zero everywhere when injection is off).
      */
     dma::FaultStats fault;
+
+    /** Lifecycle-churn counters over the whole run (all zero when
+     * churn is off). */
+    u64 surprise_unplugs = 0;
+    u64 replugs = 0;
+    u64 detach_faults = 0;
 };
 
 /** a - b, field-wise, for NIC counter windows. */

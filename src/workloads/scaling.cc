@@ -109,6 +109,13 @@ runStreamScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
         m.setFaultPolicy(params.fault_policy);
         m.setFaultInjection(params.fault_rate, params.fault_seed);
     }
+    if (params.churn_per_ms > 0) {
+        sys::LifecycleChurnConfig churn;
+        churn.events_per_ms = params.churn_per_ms;
+        churn.seed = params.churn_seed;
+        churn.down_ns = params.churn_down_ns;
+        m.armLifecycleChurn(churn);
+    }
 
     const u64 total_target =
         params.warmup_packets + params.measure_packets;
@@ -123,6 +130,8 @@ runStreamScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
     std::vector<std::unique_ptr<Flow>> flows;
     sys::Machine *mp = &m;
     des::Simulator *simp = &sim;
+    unsigned stopped_flows = 0;
+    unsigned *stopped_flows_p = &stopped_flows;
     for (unsigned i = 0; i < ncores; ++i) {
         flows.push_back(std::make_unique<Flow>());
         Flow *f = flows.back().get();
@@ -166,7 +175,8 @@ runStreamScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
         // Remote sink: consume data, ACK every ack_every packets
         // after a round-trip wire delay.
         nic->setWireTxCallback([mp, simp, f, nic, params, total_target,
-                                rtt_ns](const net::Packet &) {
+                                rtt_ns, stopped_flows_p,
+                                ncores](const net::Packet &) {
             ++f->data_on_wire;
             if (!f->started &&
                 nic->stats().tx_packets >= params.warmup_packets) {
@@ -177,6 +187,9 @@ runStreamScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
                 nic->stats().tx_packets >= total_target) {
                 f->stopped = true;
                 f->end = snapFlow(*mp, f->idx);
+                if (++*stopped_flows_p == ncores &&
+                    params.churn_per_ms > 0)
+                    mp->disarmLifecycleChurn(); // let the queue drain
             }
             if (!f->stopped &&
                 f->data_on_wire % params.ack_every == 0) {
@@ -229,13 +242,24 @@ runRrScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
         // Decorrelate the echoer's fault streams from the initiator's.
         b.setFaultInjection(params.fault_rate, params.fault_seed + 1);
     }
+    if (params.churn_per_ms > 0) {
+        sys::LifecycleChurnConfig churn;
+        churn.events_per_ms = params.churn_per_ms;
+        churn.seed = params.churn_seed;
+        churn.down_ns = params.churn_down_ns;
+        a.armLifecycleChurn(churn);
+    }
 
     std::vector<std::unique_ptr<Flow>> flows;
     sys::Machine *ap = &a;
     sys::Machine *bp = &b;
     des::Simulator *simp = &sim;
+    unsigned stopped_flows = 0;
+    unsigned *stopped_flows_p = &stopped_flows;
 
     auto send = [params](sys::Machine *machine, unsigned i) {
+        if (!machine->nic(i).isUp())
+            return; // mid-outage; the retransmit timer retries
         machine->nicCore(i).acct().charge(cycles::Cat::kProcessing,
                                           params.per_message_cycles);
         net::Packet pkt;
@@ -267,8 +291,8 @@ runRrScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
         b.nic(i).setRxCallback(
             [bp, i, send](const net::Packet &) { send(bp, i); });
         // Initiator: count a transaction per echo, fire the next one.
-        a.nic(i).setRxCallback([ap, f, i, send,
-                                params](const net::Packet &) {
+        a.nic(i).setRxCallback([ap, f, i, send, params, stopped_flows_p,
+                                ncores](const net::Packet &) {
             ++f->transactions;
             if (f->transactions == params.warmup_transactions)
                 f->start = snapFlow(*ap, i);
@@ -276,15 +300,19 @@ runRrScaling(dma::ProtectionMode mode, const nic::NicProfile &profile,
                                        params.measure_transactions) {
                 f->stopped = true;
                 f->end = snapFlow(*ap, i);
+                if (++*stopped_flows_p == ncores &&
+                    params.churn_per_ms > 0)
+                    ap->disarmLifecycleChurn(); // let the queue drain
                 return;
             }
             if (!f->stopped)
                 send(ap, i);
         });
         // Per-flow retransmit timer (see runNetperfRr): with fault
-        // injection a dropped request/echo would stall this flow's
-        // ping-pong forever. Never scheduled when injection is off.
-        if (params.fault_rate > 0) {
+        // injection a dropped request/echo — or a churn outage —
+        // would stall this flow's ping-pong forever. Never scheduled
+        // when both are off.
+        if (params.fault_rate > 0 || params.churn_per_ms > 0) {
             const Nanos retransmit_ns = 1'000'000; // >> worst-case RTT
             f->watchdog = [ap, simp, f, i, send, retransmit_ns] {
                 if (f->stopped)

@@ -35,6 +35,8 @@ statsDelta(const nic::NicStats &a, const nic::NicStats &b)
     d.dma_faults = a.dma_faults - b.dma_faults;
     d.unmap_bursts = a.unmap_bursts - b.unmap_bursts;
     d.unmap_burst_len_sum = a.unmap_burst_len_sum - b.unmap_burst_len_sum;
+    d.surprise_unplugs = a.surprise_unplugs - b.surprise_unplugs;
+    d.replugs = a.replugs - b.replugs;
     return d;
 }
 
@@ -69,6 +71,13 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
     if (params.fault_rate > 0) {
         m.setFaultPolicy(params.fault_policy);
         m.setFaultInjection(params.fault_rate, params.fault_seed);
+    }
+    if (params.churn_per_ms > 0) {
+        sys::LifecycleChurnConfig churn;
+        churn.events_per_ms = params.churn_per_ms;
+        churn.seed = params.churn_seed;
+        churn.down_ns = params.churn_down_ns;
+        m.armLifecycleChurn(churn);
     }
 
     auto &nic = m.nic();
@@ -140,6 +149,8 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
             nic.stats().tx_packets >= total_target) {
             stopped = true;
             end = snap();
+            if (params.churn_per_ms > 0)
+                m.disarmLifecycleChurn(); // let the event queue drain
         }
         if (!stopped && data_on_wire % params.ack_every == 0) {
             sim.scheduleAfter(2 * profile.wire_ns, [&] {
@@ -179,6 +190,9 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
                   static_cast<double>(r.nic.unmap_bursts)
             : 0.0;
     r.fault = m.faultStats();
+    r.surprise_unplugs = m.lifecycleStats().surprise_unplugs;
+    r.replugs = m.lifecycleStats().replugs;
+    r.detach_faults = m.detachFaultCount();
     return r;
 }
 

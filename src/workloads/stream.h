@@ -45,6 +45,14 @@ struct StreamParams
     double fault_rate = 0.0;
     u64 fault_seed = 1;
     dma::FaultPolicy fault_policy = dma::FaultPolicy::kRetryRemap;
+    /**
+     * Surprise-unplug/replug churn (events/ms of virtual time, 0 =
+     * off). Events hit mid-burst; the NIC comes back after
+     * churn_down_ns and the run still reaches its packet target.
+     */
+    double churn_per_ms = 0.0;
+    u64 churn_seed = 1;
+    Nanos churn_down_ns = 20000;
 };
 
 /** Calibrated parameters for a NIC profile (see workloads/calibrate.cc). */

@@ -18,6 +18,7 @@
 #include "base/rng.h"
 #include "dma/dma_context.h"
 #include "riommu/rdevice.h"
+#include "sys/machine.h"
 
 namespace rio {
 namespace {
@@ -185,29 +186,37 @@ struct FaultFuzzParam
     int ops;
 };
 
+/** Append seeds from @p env ("101,102,...") to @p seeds — the CI
+ * lanes widen fuzz campaigns without a rebuild. */
+void
+appendExtraSeeds(std::vector<u64> &seeds, const char *env)
+{
+    const char *extra = std::getenv(env);
+    if (!extra)
+        return;
+    u64 v = 0;
+    bool have = false;
+    for (const char *p = extra;; ++p) {
+        if (*p >= '0' && *p <= '9') {
+            v = v * 10 + static_cast<u64>(*p - '0');
+            have = true;
+        } else {
+            if (have)
+                seeds.push_back(v);
+            v = 0;
+            have = false;
+            if (!*p)
+                break;
+        }
+    }
+}
+
 std::vector<FaultFuzzParam>
 faultFuzzParams()
 {
-    // 8 base seeds; RIO_FUZZ_EXTRA_SEEDS="101,102,..." (the sanitize
-    // CI lane) appends more without a rebuild.
+    // 8 base seeds; RIO_FUZZ_EXTRA_SEEDS appends more (sanitize CI).
     std::vector<u64> seeds = {3, 7, 31, 64, 129, 1023, 4096, 65537};
-    if (const char *extra = std::getenv("RIO_FUZZ_EXTRA_SEEDS")) {
-        u64 v = 0;
-        bool have = false;
-        for (const char *p = extra;; ++p) {
-            if (*p >= '0' && *p <= '9') {
-                v = v * 10 + static_cast<u64>(*p - '0');
-                have = true;
-            } else {
-                if (have)
-                    seeds.push_back(v);
-                v = 0;
-                have = false;
-                if (!*p)
-                    break;
-            }
-        }
-    }
+    appendExtraSeeds(seeds, "RIO_FUZZ_EXTRA_SEEDS");
     const std::array<dma::ProtectionMode, 9> all = {
         dma::ProtectionMode::kStrict,    dma::ProtectionMode::kStrictPlus,
         dma::ProtectionMode::kDefer,     dma::ProtectionMode::kDeferPlus,
@@ -344,6 +353,143 @@ TEST_P(FaultFuzz, RetryRemapDeliversEveryAccess)
 INSTANTIATE_TEST_SUITE_P(
     ModesAndSeeds, FaultFuzz, ::testing::ValuesIn(faultFuzzParams()),
     [](const ::testing::TestParamInfo<FaultFuzzParam> &info) {
+        std::string name = dma::modeName(info.param.mode);
+        for (char &c : name)
+            if (c == '-' || c == '+')
+                c = '_';
+        return name + "_s" + std::to_string(info.param.seed);
+    });
+
+// ---- lifecycle churn fuzz ------------------------------------------------------
+
+/**
+ * Randomized device-lifecycle interleavings: a seeded Rng drives a
+ * NIC through bursts of mapped sends, surprise unplugs, detached DMA
+ * attempts, and replugs, in every protection mode, with fault
+ * injection disarmed. After every removal cleanup the leak detector
+ * must come back clean, every detached access must produce exactly
+ * one typed record, and the final quiesce must leave nothing behind.
+ * RIO_CHURN_EXTRA_SEEDS appends seeds (the lifecycle CI soak).
+ */
+struct LifecycleFuzzParam
+{
+    dma::ProtectionMode mode;
+    u64 seed;
+    int steps;
+};
+
+std::vector<LifecycleFuzzParam>
+lifecycleFuzzParams()
+{
+    std::vector<u64> seeds = {2, 17, 301};
+    appendExtraSeeds(seeds, "RIO_CHURN_EXTRA_SEEDS");
+    const std::array<dma::ProtectionMode, 7> modes = {
+        dma::ProtectionMode::kStrict,   dma::ProtectionMode::kStrictPlus,
+        dma::ProtectionMode::kDefer,    dma::ProtectionMode::kDeferPlus,
+        dma::ProtectionMode::kRiommuNc, dma::ProtectionMode::kRiommu,
+        dma::ProtectionMode::kNone};
+    std::vector<LifecycleFuzzParam> params;
+    for (dma::ProtectionMode mode : modes)
+        for (u64 seed : seeds)
+            params.push_back({mode, seed, 60});
+    return params;
+}
+
+class LifecycleFuzz : public ::testing::TestWithParam<LifecycleFuzzParam>
+{
+};
+
+TEST_P(LifecycleFuzz, RandomUnplugReplugPointsLeakNothing)
+{
+    const auto [mode, seed, steps] = GetParam();
+    Rng rng(seed);
+    des::Simulator sim;
+    nic::NicProfile profile; // small rings for fast runs
+    profile.name = "fuzz";
+    profile.tx_buffers_per_packet = 1;
+    profile.rx_rings = 1;
+    profile.rx_ring_entries = 8;
+    profile.tx_ring_entries = 64;
+    profile.tx_completion_batch = 8;
+    sys::Machine m(sim, mode, profile);
+    m.bringUp();
+
+    u64 expected_detach_faults = 0;
+    u64 unplugs = 0, replugs = 0;
+    for (int i = 0; i < steps; ++i) {
+        if (m.nic().isUp()) {
+            if (rng.chance(0.3)) {
+                // Surprise unplug mid-burst, at a random ring point.
+                const u64 pre = rng.below(24);
+                m.core().post([&, pre] {
+                    for (u64 j = 0;
+                         j < pre && m.nic().txSpacePackets(1000) > 0;
+                         ++j) {
+                        net::Packet pkt;
+                        pkt.payload_bytes = 1000;
+                        ASSERT_TRUE(m.nic().sendPacket(pkt).isOk());
+                    }
+                    m.surpriseUnplugNic(0);
+                    m.removeCleanupNic(0);
+                });
+                sim.run();
+                ++unplugs;
+                const dma::LeakReport rep =
+                    m.ctx().checkHandleLeaks(m.handle());
+                ASSERT_TRUE(rep.clean())
+                    << "step " << i << ": " << rep.toString();
+            } else {
+                const u64 burst = rng.below(16);
+                m.core().post([&, burst] {
+                    for (u64 j = 0;
+                         j < burst && m.nic().txSpacePackets(1000) > 0;
+                         ++j) {
+                        net::Packet pkt;
+                        pkt.payload_bytes = 1000;
+                        ASSERT_TRUE(m.nic().sendPacket(pkt).isOk());
+                    }
+                });
+                sim.run();
+            }
+        } else {
+            if (rng.chance(0.4)) {
+                // DMA through the detached BDF: one typed record per
+                // attempt, never undefined behaviour.
+                u64 v = 0;
+                Status s = m.handle().deviceRead(0x4000, &v, 8);
+                EXPECT_EQ(s.code(), ErrorCode::kDetached);
+                ++expected_detach_faults;
+            } else {
+                m.core().post([&] {
+                    Status rs = m.replugNic(0);
+                    ASSERT_TRUE(rs.isOk()) << rs.toString();
+                });
+                sim.run();
+                ++replugs;
+            }
+        }
+    }
+    EXPECT_EQ(m.handle().detachFaults().size(), expected_detach_faults);
+    for (const auto &rec : m.handle().detachFaults())
+        EXPECT_EQ(rec.reason, iommu::FaultReason::kDetached);
+    EXPECT_EQ(m.lifecycleStats().surprise_unplugs, unplugs);
+    EXPECT_EQ(m.lifecycleStats().replugs, replugs);
+
+    // Orderly exit from whatever state the walk ended in.
+    if (!m.nic().isUp()) {
+        m.core().post([&] { ASSERT_TRUE(m.replugNic(0).isOk()); });
+        sim.run();
+    }
+    ASSERT_TRUE(m.quiesceNic(0).isOk());
+    const dma::LeakReport final_rep = m.ctx().checkHandleLeaks(m.handle());
+    EXPECT_TRUE(final_rep.clean()) << final_rep.toString();
+    EXPECT_EQ(m.handle().liveMappings(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, LifecycleFuzz,
+    ::testing::ValuesIn(lifecycleFuzzParams()),
+    [](const ::testing::TestParamInfo<LifecycleFuzzParam> &info) {
         std::string name = dma::modeName(info.param.mode);
         for (char &c : name)
             if (c == '-' || c == '+')

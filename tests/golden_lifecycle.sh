@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Bit-for-bit regression for the lifecycle subsystem: at churn rate 0
+# the lifecycle layer must be a perfect no-op, so bench_lifecycle_churn
+# --rate 0 and bench_fig7_cycles_per_packet — the same workload, same
+# window — must produce identical JSON (modulo the bench name line).
+# Any diff means the lifecycle wiring perturbed the deterministic
+# replay: an extra RNG draw, a changed allocation order, a stray event.
+#
+# Usage: golden_lifecycle.sh <bench_lifecycle_churn> <bench_fig7>
+set -euo pipefail
+
+churn="$1"
+fig7="$2"
+churn_out="$(mktemp)"
+fig7_out="$(mktemp)"
+trap 'rm -f "$churn_out" "$fig7_out"' EXIT
+
+RIO_BENCH_QUICK=1 "$churn" --rate 0 --json "$churn_out" > /dev/null
+RIO_BENCH_QUICK=1 "$fig7" --json "$fig7_out" > /dev/null
+
+strip_name() { sed 's/"bench": "[^"]*"/"bench": ""/' "$1"; }
+
+if ! diff -u <(strip_name "$fig7_out") <(strip_name "$churn_out"); then
+    echo "golden_lifecycle: rate-0 churn diverged from bench_fig7" >&2
+    exit 1
+fi
+echo "golden_lifecycle: rate-0 output matches bench_fig7"
