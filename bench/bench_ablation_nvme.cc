@@ -17,8 +17,10 @@
 using namespace rio;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bench::JsonWriter json("ablation_nvme");
     for (bool extreme : {false, true}) {
         workloads::StorageParams p;
         p.measure_ios = bench::scaled(15000);
@@ -44,8 +46,12 @@ main()
                      1);
         }
         std::printf("%s\n", t.toString().c_str());
+        json.addTable(t, "device", extreme ? "extreme" : "flash");
     }
     std::printf("NVMe queues impose ring order (Sec. 4), so the rIOMMU "
                 "serves SSDs exactly as it serves NICs.\n");
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

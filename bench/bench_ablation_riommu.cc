@@ -22,7 +22,7 @@ using namespace rio;
 namespace {
 
 void
-ablationPrefetch()
+ablationPrefetch(bench::JsonWriter &json)
 {
     bench::printHeader("A: rIOTLB next-rPTE prefetch on/off");
     Table t({"prefetch", "tput (Gbps)", "C (cycles/pkt)",
@@ -74,10 +74,11 @@ ablationPrefetch()
                  2);
     }
     std::printf("%s\n", t.toString().c_str());
+    json.addTable(t, "ablation", "prefetch");
 }
 
 void
-ablationCoherence()
+ablationCoherence(bench::JsonWriter &json)
 {
     bench::printHeader("B: coherent vs non-coherent walks "
                        "(riommu vs riommu-)");
@@ -98,12 +99,13 @@ ablationCoherence()
                  1);
     }
     std::printf("%s\n", t.toString().c_str());
+    json.addTable(t, "ablation", "coherence");
     std::printf("paper: riommu- pays ~1.1K extra cycles/packet (4 "
                 "barriers + 4 flushes)\n\n");
 }
 
 void
-ablationBurst()
+ablationBurst(bench::JsonWriter &json)
 {
     bench::printHeader("C: end-of-burst invalidation vs invalidate on "
                        "every unmap");
@@ -141,10 +143,11 @@ ablationBurst()
         }
     }
     std::printf("%s\n", t.toString().c_str());
+    json.addTable(t, "ablation", "burst");
 }
 
 void
-ablationRingSize()
+ablationRingSize(bench::JsonWriter &json)
 {
     bench::printHeader("D: rRING sizing — overflow is legal "
                        "backpressure (N >= L, Sec. 4)");
@@ -185,16 +188,22 @@ ablationRingSize()
         }
     }
     std::printf("%s\n", t.toString().c_str());
+    json.addTable(t, "ablation", "ring_size");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    ablationPrefetch();
-    ablationCoherence();
-    ablationBurst();
-    ablationRingSize();
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bench::JsonWriter json("ablation_riommu");
+    ablationPrefetch(json);
+    ablationCoherence(json);
+    ablationBurst(json);
+    ablationRingSize(json);
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

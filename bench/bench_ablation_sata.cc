@@ -63,8 +63,9 @@ runSequentialIo(dma::ProtectionMode mode, bool hdd)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("SATA/AHCI: strict vs none on sequential I/O "
                        "(Bonnie++-style)");
     Table t({"drive", "strict (MB/s)", "none (MB/s)", "ratio"});
@@ -80,5 +81,10 @@ main()
     std::printf("paper: \"indistinguishable performance results ... "
                 "regardless of whether we use a SATA HDD or a SATA "
                 "SSD\" (Sec. 4)\n");
+    bench::JsonWriter json("ablation_sata");
+    json.addTable(t);
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

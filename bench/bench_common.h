@@ -7,6 +7,7 @@
 #ifndef RIO_BENCH_BENCH_COMMON_H
 #define RIO_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +18,7 @@
 #include "base/table.h"
 #include "dma/protection_mode.h"
 #include "nic/profile.h"
+#include "obs/timeline.h"
 #include "workloads/netperf_rr.h"
 #include "workloads/request_load.h"
 #include "workloads/result.h"
@@ -55,14 +57,47 @@ printHeader(const std::string &title)
     std::printf("\n=== %s ===\n\n", title.c_str());
 }
 
-/** The `--json <path>` argument, or null when absent. */
-inline const char *
-jsonPathFromArgs(int argc, char **argv)
+/** Arguments every bench binary understands. */
+struct BenchArgs
 {
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::string_view(argv[i]) == "--json")
-            return argv[i + 1];
-    return nullptr;
+    const char *json_path = nullptr;     //!< --json <path>
+    const char *timeline_path = nullptr; //!< --timeline <path>
+};
+
+/**
+ * Parse the uniform bench arguments (bench-specific flags like
+ * --cores are parsed by the bench itself and ignored here). Passing
+ * --timeline turns the event timeline's recording gate on for the
+ * whole run; pair with finishBench() to write the trace at exit.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i + 1 < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--json")
+            args.json_path = argv[i + 1];
+        else if (arg == "--timeline")
+            args.timeline_path = argv[i + 1];
+    }
+    if (args.timeline_path) {
+        if (!obs::kObsCompiled)
+            std::fprintf(stderr,
+                         "warning: --timeline requested but "
+                         "observability is compiled out (RIO_OBS=OFF); "
+                         "the trace will be empty\n");
+        obs::timeline().setRecording(true);
+    }
+    return args;
+}
+
+/** Export the Chrome trace if --timeline was given. Call at exit. */
+inline void
+finishBench(const BenchArgs &args)
+{
+    if (args.timeline_path)
+        obs::timeline().writeChromeTrace(args.timeline_path);
 }
 
 /**
@@ -82,7 +117,7 @@ class JsonWriter
     void beginRow() { rows_.emplace_back(); }
     void add(const std::string &key, const std::string &value)
     {
-        rows_.back().push_back(
+        sink().push_back(
             strprintf("\"%s\": \"%s\"", key.c_str(), value.c_str()));
     }
     void add(const std::string &key, const char *value)
@@ -91,17 +126,67 @@ class JsonWriter
     }
     void add(const std::string &key, double value)
     {
-        rows_.back().push_back(
-            strprintf("\"%s\": %.6g", key.c_str(), value));
+        sink().push_back(strprintf("\"%s\": %.6g", key.c_str(), value));
     }
     void add(const std::string &key, u64 value)
     {
-        rows_.back().push_back(strprintf("\"%s\": %llu", key.c_str(),
-                                         (unsigned long long)value));
+        sink().push_back(strprintf("\"%s\": %llu", key.c_str(),
+                                   (unsigned long long)value));
     }
     void add(const std::string &key, unsigned value)
     {
         add(key, static_cast<u64>(value));
+    }
+
+    /** Open a nested object inside the current row; subsequent add()
+     * calls land in it until the matching endObject(). Nests. */
+    void beginObject(const std::string &key)
+    {
+        open_.push_back({key, {}});
+    }
+    void
+    endObject()
+    {
+        OpenObject obj = std::move(open_.back());
+        open_.pop_back();
+        std::string joined;
+        for (size_t i = 0; i < obj.fields.size(); ++i) {
+            if (i)
+                joined += ", ";
+            joined += obj.fields[i];
+        }
+        sink().push_back(strprintf("\"%s\": {%s}", obj.key.c_str(),
+                                   joined.c_str()));
+    }
+
+    /** Mirror a formatted Table: one JSON row per table row (separator
+     * rows skipped), keys from the header, cells that parse fully as
+     * numbers emitted as numbers. A non-empty @p tag_key prepends a
+     * constant field to every row — use it to tell multiple tables in
+     * one bench apart. */
+    void
+    addTable(const Table &t, const std::string &tag_key = {},
+             const std::string &tag_value = {})
+    {
+        for (const auto &row : t.rows()) {
+            if (row.empty())
+                continue; // separator
+            beginRow();
+            if (!tag_key.empty())
+                add(tag_key, tag_value);
+            const size_t n = std::min(row.size(), t.header().size());
+            for (size_t j = 0; j < n; ++j) {
+                const std::string &cell = row[j];
+                char *end = nullptr;
+                std::strtod(cell.c_str(), &end);
+                if (!cell.empty() && end && *end == '\0')
+                    sink().push_back(strprintf(
+                        "\"%s\": %s", t.header()[j].c_str(),
+                        cell.c_str()));
+                else
+                    add(t.header()[j], cell);
+            }
+        }
     }
 
     /** Write to @p path; returns false (with a message) on I/O error.
@@ -131,8 +216,22 @@ class JsonWriter
     }
 
   private:
+    struct OpenObject
+    {
+        std::string key;
+        std::vector<std::string> fields;
+    };
+
+    /** Where the next field goes: deepest open object, else the row. */
+    std::vector<std::string> &
+    sink()
+    {
+        return open_.empty() ? rows_.back() : open_.back().fields;
+    }
+
     std::string bench_;
     std::vector<std::vector<std::string>> rows_;
+    std::vector<OpenObject> open_;
 };
 
 } // namespace rio::bench

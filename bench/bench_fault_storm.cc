@@ -94,6 +94,7 @@ printRows(const std::vector<Row> &rows, bool with_policy)
 int
 main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::printHeader(
         "Fault storm: cycles/packet vs injected DMA fault rate, "
         "Netperf stream + RR (mlx)");
@@ -179,7 +180,8 @@ main(int argc, char **argv)
                 "pays the remap but saves the packet); no mode "
                 "aborts\n");
 
-    if (!json.writeTo(bench::jsonPathFromArgs(argc, argv)))
+    if (!json.writeTo(args.json_path))
         return 1;
+    bench::finishBench(args);
     return 0;
 }

@@ -83,8 +83,10 @@ metricName(const std::string &bench)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bench::JsonWriter json("fig12_performance");
     const std::vector<std::string> benches = {"stream", "rr", "apache 1M",
                                               "apache 1K", "memcached"};
     for (const nic::NicProfile *profile :
@@ -101,7 +103,12 @@ main()
                          {c.metric, c.cpu * 100.0}, 2);
             }
             std::printf("%s", t.toString().c_str());
+            json.addTable(t, "cell",
+                          std::string(profile->name) + "/" + bench);
         }
     }
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

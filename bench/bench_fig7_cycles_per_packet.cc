@@ -20,6 +20,7 @@ using cycles::Cat;
 int
 main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("Figure 7: cycles per packet by component, "
                        "Netperf stream on mlx (paper C_none = 1816)");
 
@@ -83,7 +84,8 @@ main(int argc, char **argv)
         json.add("total", row.total);
         json.add("ratio_vs_none", row.total / c_none);
     }
-    if (!json.writeTo(bench::jsonPathFromArgs(argc, argv)))
+    if (!json.writeTo(args.json_path))
         return 1;
+    bench::finishBench(args);
     return 0;
 }

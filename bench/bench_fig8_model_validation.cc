@@ -14,8 +14,9 @@
 using namespace rio;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("Figure 8: throughput vs. cycles per packet "
                        "(model validation)");
 
@@ -63,5 +64,11 @@ main()
     std::printf("the model column should track the measured column "
                 "within a few percent (paper: the thick line, thin "
                 "line and crosses coincide)\n");
+    bench::JsonWriter json("fig8_model_validation");
+    json.addTable(sweep, "series", "busywait_sweep");
+    json.addTable(modes, "series", "modes");
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

@@ -60,6 +60,7 @@ parseRates(const char *spec)
 int
 main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const char *rate_spec = "0,0.5,2";
     u64 churn_seed = 1;
     Nanos down_ns = 20000;
@@ -168,7 +169,8 @@ main(int argc, char **argv)
             json.add("throughput_gbps", row.r.throughput_gbps);
         }
     }
-    if (!json.writeTo(bench::jsonPathFromArgs(argc, argv)))
+    if (!json.writeTo(args.json_path))
         return 1;
+    bench::finishBench(args);
     return 0;
 }

@@ -23,6 +23,7 @@ using namespace rio;
 int
 main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::printHeader(
         "Scaling: cycles/packet vs core count, Netperf stream x K "
         "flows on one DmaContext (mlx)");
@@ -106,7 +107,8 @@ main(int argc, char **argv)
         json.add("inval_lock_contended", row.r.inval_lock.contended);
         json.add("inval_lock_wait_cycles", row.r.inval_lock.wait_cycles);
     }
-    if (!json.writeTo(bench::jsonPathFromArgs(argc, argv)))
+    if (!json.writeTo(args.json_path))
         return 1;
+    bench::finishBench(args);
     return 0;
 }

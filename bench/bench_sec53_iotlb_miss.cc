@@ -18,8 +18,9 @@
 using namespace rio;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("Sec 5.3: IOTLB miss penalty (poll-mode rig)");
 
     const u64 iterations = bench::scaled(200000);
@@ -88,12 +89,23 @@ main()
             rhw += t.value().hw_cycles;
         }
     }
+    const double riommu_hw =
+        static_cast<double>(rhw) / static_cast<double>(rn);
     std::printf("rIOMMU sequential translation: %.1f hw cycles avg "
                 "(prefetch hit rate %.1f%%)\n",
-                static_cast<double>(rhw) / static_cast<double>(rn),
+                riommu_hw,
                 100.0 *
                     static_cast<double>(
                         ctx.riommu().riotlb().stats().prefetch_hits) /
                     static_cast<double>(std::max<u64>(rn, 1)));
+    bench::JsonWriter json("sec53_iotlb_miss");
+    json.addTable(t);
+    json.beginRow();
+    json.add("experiment", "riommu sequential");
+    json.add("avg hw cycles / translation", riommu_hw);
+    json.add("us @3.1GHz", riommu_hw / 3100.0);
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

@@ -19,8 +19,9 @@
 using namespace rio;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("Sec 5.4: TLB prefetchers vs. the rIOTLB on a "
                        "Netperf-stream DMA trace");
 
@@ -104,5 +105,10 @@ main()
     std::printf("%s\n", table.toString().c_str());
     std::printf("ring size for reference: %llu descriptors\n",
                 static_cast<unsigned long long>(ring_size));
+    bench::JsonWriter json("sec54_prefetchers");
+    json.addTable(table);
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

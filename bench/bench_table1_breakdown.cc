@@ -28,8 +28,9 @@ using namespace rio;
 using cycles::Cat;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::printHeader(
         "Table 1: average cycles of the (un)map functions, "
         "Netperf stream on mlx");
@@ -102,6 +103,9 @@ main()
     }
     std::printf("%s\n", t.toString().c_str());
 
+    bench::JsonWriter json("table1_breakdown");
+    json.addTable(t);
+
     std::printf("map ops / unmap ops per mode:\n");
     for (size_t i = 0; i < modes.size(); ++i) {
         std::printf("  %-8s maps=%llu unmaps=%llu avg-burst=%.0f "
@@ -113,6 +117,17 @@ main()
                         results[i].acct.ops(Cat::kUnmapIovaFree)),
                     results[i].avg_unmap_burst,
                     results[i].throughput_gbps);
+        json.beginRow();
+        json.add("mode", dma::modeName(modes[i]));
+        json.beginObject("ops");
+        json.add("maps", results[i].acct.ops(Cat::kMapIovaAlloc));
+        json.add("unmaps", results[i].acct.ops(Cat::kUnmapIovaFree));
+        json.endObject();
+        json.add("avg_unmap_burst", results[i].avg_unmap_burst);
+        json.add("throughput_gbps", results[i].throughput_gbps);
     }
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

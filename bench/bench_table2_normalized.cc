@@ -65,8 +65,10 @@ runCell(const std::string &bench, dma::ProtectionMode mode,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bench::JsonWriter json("table2_normalized");
     bench::printHeader("Table 2: riommu-/riommu divided by the other "
                        "modes (throughput and CPU)");
 
@@ -104,10 +106,14 @@ main()
             }
         }
         std::printf("%s", t.toString().c_str());
+        json.addTable(t, "nic", profile->name);
     }
     std::printf("\npaper anchors (mlx/stream): riommu- 5.12x strict / "
                 "0.52x none; riommu 7.56x strict / 0.77x none.\n"
                 "paper anchors (brcm/stream CPU): riommu- 0.40x strict, "
                 "riommu 0.36x strict, 1.09-1.21x none.\n");
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

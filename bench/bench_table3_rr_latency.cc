@@ -14,8 +14,10 @@
 using namespace rio;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bench::JsonWriter json("table3_rr_latency");
     bench::printHeader("Table 3: Netperf RR round-trip time (microseconds)");
 
     const double paper_mlx[] = {17.3, 15.1, 14.9, 14.4, 14.1, 13.9, 13.4};
@@ -40,6 +42,10 @@ main()
         }
         std::printf("-- %s --\n%s\n", profile->name,
                     t.toString().c_str());
+        json.addTable(t, "nic", profile->name);
     }
+    if (!json.writeTo(args.json_path))
+        return 1;
+    bench::finishBench(args);
     return 0;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Observability lane: build with the obs layer explicitly ON, prove
+# the zero-cost invariant (golden benches byte-identical with full
+# instrumentation), and validate the Chrome-trace export end to end:
+# a fault-storm run must produce parseable trace_event JSON with
+# paired QI async spans and at least one flight-recorder dump marker.
+#
+# Run from the repo root:
+#
+#   scripts/ci_obs.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-obs}"
+
+cmake -B "$BUILD_DIR" -S . -DRIO_OBS=ON -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# The obs-specific suites plus every golden byte-for-byte check.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'obs_test|golden_obs|golden_scaling|golden_lifecycle'
+
+# End-to-end timeline export: the fault storm exercises QI spans, DMA
+# fault recovery and the flight recorder in one run.
+TRACE="$BUILD_DIR/fault_storm_timeline.json"
+RIO_BENCH_QUICK=1 "$BUILD_DIR/bench/bench_fault_storm" \
+    --timeline "$TRACE" > /dev/null
+
+python3 - "$TRACE" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+phases = {}
+for e in events:
+    phases[e["ph"]] = phases.get(e["ph"], 0) + 1
+
+# Paired async QI spans: every begin has an end with the same id.
+begins = {(e["pid"], e["id"]) for e in events if e["ph"] == "b"}
+ends = {(e["pid"], e["id"]) for e in events if e["ph"] == "e"}
+assert begins, "no QI async spans recorded"
+unmatched = begins - ends
+assert not unmatched, f"unpaired QI spans: {sorted(unmatched)[:5]}"
+
+dumps = [e for e in events if e.get("name") == "flight_dump"]
+assert dumps, "no flight-recorder dump marker in the timeline"
+
+print(f"timeline OK: {len(events)} events, phases {phases}, "
+      f"{len(begins)} QI spans, {len(dumps)} flight dumps")
+EOF
+
+echo "observability lane passed"

@@ -35,4 +35,8 @@ export RIO_CHURN_EXTRA_SEEDS="5501,7703"
 "$BUILD_DIR/tests/fuzz_test" --gtest_filter='*LifecycleFuzz*'
 "$BUILD_DIR/tests/lifecycle_test"
 
+# Observability lane: zero-cost goldens + timeline export validation
+# (its own build dir; obs is ON by default but the lane pins it).
+scripts/ci_obs.sh
+
 echo "sanitized tier-1 suite passed"

@@ -39,6 +39,15 @@ class Table
     /** Format @p v with fixed @p precision; trims to integers cleanly. */
     static std::string num(double v, int precision = 2);
 
+    /** Column names (for machine-readable mirrors of the table). */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Raw rows in insertion order; an empty row is a separator. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_; // empty row == separator

@@ -73,6 +73,21 @@ class Core
     /** Work items executed. */
     u64 itemsRun() const { return items_run_; }
 
+    /**
+     * Timeline track of this core: (machine ordinal, core ordinal),
+     * assigned by sys::Machine via obs::Timeline::allocPid(). Purely
+     * observability — never read by simulation logic.
+     */
+    void
+    setObsTrack(u16 pid, u16 tid)
+    {
+        obs_pid_ = pid;
+        obs_tid_ = tid;
+    }
+
+    u16 obsPid() const { return obs_pid_; }
+    u16 obsTid() const { return obs_tid_; }
+
     /** Utilization over [t0, t1], given busy cycles at t0. */
     double
     utilization(Nanos t0, Nanos t1, Cycles busy_at_t0) const
@@ -99,6 +114,8 @@ class Core
     Nanos free_at_ = 0;
     Cycles busy_cycles_ = 0;
     u64 items_run_ = 0;
+    u16 obs_pid_ = 0;
+    u16 obs_tid_ = 0;
 };
 
 } // namespace rio::des

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.h"
+#include "obs/timeline.h"
 
 namespace rio::des {
 
@@ -16,8 +17,10 @@ SimSpinlock::acquire(Core *core, cycles::CycleAccount *acct)
         return 0;
 
     const Nanos now = core->virtualNow();
-    if (now >= free_at_)
+    if (now >= free_at_) {
+        obs_wait_.observe(0);
         return 0;
+    }
 
     // Spin until the previous critical section's virtual end. Charging
     // the wait advances the core's virtualNow() to (at least) the
@@ -30,6 +33,15 @@ SimSpinlock::acquire(Core *core, cycles::CycleAccount *acct)
         acct->charge(cycles::Cat::kLockWait, wait);
     ++stats_.contended;
     stats_.wait_cycles += wait;
+    obs_wait_.observe(wait);
+    obs::Event e;
+    e.kind = obs::Ev::kLockAcquire;
+    e.t = core->virtualNow(); // the charge above advanced it to grant
+    e.dur_ns = free_at_ - now;
+    e.arg = wait;
+    e.pid = core->obsPid();
+    e.tid = core->obsTid();
+    obs::timeline().emit(e);
     return wait;
 }
 
@@ -43,6 +55,12 @@ SimSpinlock::release(Core *core)
     const Nanos now = core->virtualNow();
     if (now > free_at_)
         free_at_ = now;
+    obs::Event e;
+    e.kind = obs::Ev::kLockRelease;
+    e.t = now;
+    e.pid = core->obsPid();
+    e.tid = core->obsTid();
+    obs::timeline().emit(e);
 }
 
 } // namespace rio::des

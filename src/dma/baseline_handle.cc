@@ -46,7 +46,7 @@ BaselineDmaHandle::~BaselineDmaHandle()
 }
 
 Result<DmaMapping>
-BaselineDmaHandle::map(u16 rid, PhysAddr pa, u32 size,
+BaselineDmaHandle::mapImpl(u16 rid, PhysAddr pa, u32 size,
                        iommu::DmaDir dir)
 {
     if (detached_)
@@ -78,7 +78,7 @@ BaselineDmaHandle::map(u16 rid, PhysAddr pa, u32 size,
 }
 
 Status
-BaselineDmaHandle::unmap(const DmaMapping &mapping, bool /*end_of_burst*/)
+BaselineDmaHandle::unmapImpl(const DmaMapping &mapping, bool /*end_of_burst*/)
 {
     const u64 iova_pfn = mapping.device_addr >> kPageShift;
 

@@ -36,9 +36,9 @@ class BaselineDmaHandle : public DmaHandle
                       cycles::CycleAccount *acct);
     ~BaselineDmaHandle() override;
 
-    Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
-                           iommu::DmaDir dir) override;
-    Status unmap(const DmaMapping &mapping, bool end_of_burst) override;
+    Result<DmaMapping> mapImpl(u16 rid, PhysAddr pa, u32 size,
+                               iommu::DmaDir dir) override;
+    Status unmapImpl(const DmaMapping &mapping, bool end_of_burst) override;
 
     /**
      * intel-iommu's dma_map_sg: ONE IOVA range covers the whole list

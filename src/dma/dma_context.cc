@@ -5,6 +5,7 @@
 #include "dma/baseline_handle.h"
 #include "dma/riommu_handle.h"
 #include "dma/simple_handles.h"
+#include "obs/flight.h"
 
 namespace rio::dma {
 
@@ -34,34 +35,42 @@ DmaContext::makeHandleWithSpecs(ProtectionMode mode, iommu::Bdf bdf,
                                 std::vector<riommu::RingSpec> ring_specs,
                                 des::Core *core)
 {
+    std::unique_ptr<DmaHandle> handle;
     switch (mode) {
       case ProtectionMode::kStrict:
       case ProtectionMode::kStrictPlus:
       case ProtectionMode::kDefer:
       case ProtectionMode::kDeferPlus: {
-        auto handle = std::make_unique<BaselineDmaHandle>(mode, iommu_,
-                                                          pm_, bdf,
-                                                          cost_, acct);
+        auto baseline = std::make_unique<BaselineDmaHandle>(mode, iommu_,
+                                                            pm_, bdf,
+                                                            cost_, acct);
         if (core)
-            handle->setContention(&iova_lock_, &inval_lock_, core);
-        return handle;
+            baseline->setContention(&iova_lock_, &inval_lock_, core);
+        handle = std::move(baseline);
+        break;
       }
       case ProtectionMode::kRiommuNc:
       case ProtectionMode::kRiommu:
         RIO_ASSERT(!ring_specs.empty(),
                    "rIOMMU modes need ring sizes at handle creation");
-        return std::make_unique<RiommuDmaHandle>(
+        handle = std::make_unique<RiommuDmaHandle>(
             mode, riommu_, pm_, bdf, std::move(ring_specs), cost_, acct);
+        break;
       case ProtectionMode::kNone:
-        return std::make_unique<NoneDmaHandle>(pm_, bdf, cost_, acct);
+        handle = std::make_unique<NoneDmaHandle>(pm_, bdf, cost_, acct);
+        break;
       case ProtectionMode::kHwPassthrough:
-        return std::make_unique<HwPassthroughDmaHandle>(pm_, bdf, cost_,
-                                                        acct);
+        handle = std::make_unique<HwPassthroughDmaHandle>(pm_, bdf, cost_,
+                                                          acct);
+        break;
       case ProtectionMode::kSwPassthrough:
-        return std::make_unique<SwPassthroughDmaHandle>(iommu_, pm_, bdf,
-                                                        cost_, acct);
+        handle = std::make_unique<SwPassthroughDmaHandle>(iommu_, pm_, bdf,
+                                                          cost_, acct);
+        break;
     }
-    RIO_PANIC("bad protection mode");
+    RIO_ASSERT(handle != nullptr, "bad protection mode");
+    handle->bindObs(modeName(mode), acct, core);
+    return handle;
 }
 
 std::string
@@ -93,6 +102,8 @@ DmaContext::checkHandleLeaks(const DmaHandle &handle) const
     const u16 sid = handle.bdf().pack();
     report.stale_iotlb = iommu_.iotlb().validEntriesFor(sid);
     report.stale_riotlb = riommu_.riotlb().entriesFor(sid);
+    if (!report.clean())
+        obs::flightDump("handle_leak");
     return report;
 }
 

@@ -21,6 +21,16 @@
 #include "dma/fault.h"
 #include "iommu/types.h"
 
+namespace rio::cycles {
+class CycleAccount;
+}
+namespace rio::des {
+class Core;
+}
+namespace rio::obs {
+class Histogram;
+}
+
 namespace rio::dma {
 
 /** A live mapping returned by map() and consumed by unmap(). */
@@ -67,16 +77,31 @@ class DmaHandle
      * @param rid ring hint: selects the rRING for rIOMMU modes;
      *        ignored by the baseline modes (one hierarchy per
      *        device).
+     *
+     * Non-virtual: the public call wraps the mode's mapImpl() so the
+     * per-mode map-latency histogram and timeline span are recorded
+     * at one choke point (when bindObs() armed them).
      */
-    virtual Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
-                                   iommu::DmaDir dir) = 0;
+    Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
+                           iommu::DmaDir dir);
 
     /**
      * Tear down a mapping. @p end_of_burst marks the last unmap of a
      * completion burst: rIOMMU invalidates its single rIOTLB entry
-     * only then; other modes ignore the flag.
+     * only then; other modes ignore the flag. Non-virtual wrapper
+     * over unmapImpl(), same observability contract as map().
      */
-    virtual Status unmap(const DmaMapping &mapping, bool end_of_burst) = 0;
+    Status unmap(const DmaMapping &mapping, bool end_of_burst);
+
+    /**
+     * Arm map/unmap observability: cycle-latency histograms labeled
+     * {mode=@p mode} fed from @p acct's deltas, timeline spans on
+     * @p core's track. Any argument may be null/absent; recording
+     * degrades gracefully. Called by DmaContext::makeHandleWithSpecs
+     * — decorators stay unbound so nothing double-counts.
+     */
+    void bindObs(const char *mode, cycles::CycleAccount *acct,
+                 des::Core *core);
 
     /**
      * Map a scatter-gather list (the Linux dma_map_sg path). The
@@ -190,6 +215,14 @@ class DmaHandle
     virtual void clearDetachFaults() { detach_faults_.clear(); }
 
   protected:
+    /** Mode-specific body of map(); see the public wrapper. */
+    virtual Result<DmaMapping> mapImpl(u16 rid, PhysAddr pa, u32 size,
+                                       iommu::DmaDir dir) = 0;
+
+    /** Mode-specific body of unmap(); see the public wrapper. */
+    virtual Status unmapImpl(const DmaMapping &mapping,
+                             bool end_of_burst) = 0;
+
     /**
      * Use-after-detach guard, called at the top of every device
      * access path: a DMA through a detached BDF yields one typed
@@ -217,6 +250,13 @@ class DmaHandle
     FaultEngine fault_;
     bool detached_ = false;
     std::vector<iommu::FaultRecord> detach_faults_;
+
+  private:
+    // Observability bindings (bindObs); never read by mode logic.
+    obs::Histogram *obs_map_cycles_ = nullptr;
+    obs::Histogram *obs_unmap_cycles_ = nullptr;
+    cycles::CycleAccount *obs_acct_ = nullptr;
+    des::Core *obs_core_ = nullptr;
 };
 
 } // namespace rio::dma

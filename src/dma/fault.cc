@@ -1,6 +1,9 @@
 #include "dma/fault.h"
 
 #include "base/logging.h"
+#include "obs/flight.h"
+#include "obs/registry.h"
+#include "obs/timeline.h"
 
 namespace rio::dma {
 
@@ -32,6 +35,14 @@ FaultEngine::recover(Status fail, const std::function<void()> &repair,
 {
     RIO_ASSERT(!fail.isOk(), "recover() on a successful access");
     ++stats_.faults_seen;
+    obs::registry()
+        .counter("fault.recoveries", {{"policy", faultPolicyName(policy_)}})
+        .inc();
+    obs::Event ev;
+    ev.kind = obs::Ev::kFault;
+    ev.arg = static_cast<u64>(policy_);
+    obs::timeline().emit(ev);
+    obs::flightDump("dma_fault");
     // Every recovery starts with the fault interrupt: read the fault
     // status and drain the record(s). One op per handled fault.
     charge(cost_ ? cost_->fault_report : 0, /*first=*/true);

@@ -20,7 +20,7 @@ RiommuDmaHandle::RiommuDmaHandle(ProtectionMode mode,
 }
 
 Result<DmaMapping>
-RiommuDmaHandle::map(u16 rid, PhysAddr pa, u32 size, iommu::DmaDir dir)
+RiommuDmaHandle::mapImpl(u16 rid, PhysAddr pa, u32 size, iommu::DmaDir dir)
 {
     if (detached_)
         return Status(ErrorCode::kDetached, "map through detached BDF");
@@ -35,7 +35,7 @@ RiommuDmaHandle::map(u16 rid, PhysAddr pa, u32 size, iommu::DmaDir dir)
 }
 
 Status
-RiommuDmaHandle::unmap(const DmaMapping &mapping, bool end_of_burst)
+RiommuDmaHandle::unmapImpl(const DmaMapping &mapping, bool end_of_burst)
 {
     return rdevice_.unmap(riommu::RIova{mapping.device_addr},
                           end_of_burst);

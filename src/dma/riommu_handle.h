@@ -26,9 +26,9 @@ class RiommuDmaHandle : public DmaHandle
                     const cycles::CostModel &cost,
                     cycles::CycleAccount *acct);
 
-    Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
-                           iommu::DmaDir dir) override;
-    Status unmap(const DmaMapping &mapping, bool end_of_burst) override;
+    Result<DmaMapping> mapImpl(u16 rid, PhysAddr pa, u32 size,
+                               iommu::DmaDir dir) override;
+    Status unmapImpl(const DmaMapping &mapping, bool end_of_burst) override;
     Status deviceRead(u64 device_addr, void *dst, u64 len) override;
     Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
     u64 liveMappings() const override;

@@ -34,7 +34,7 @@ injectedAccess(FaultEngine &fault, const std::function<Status()> &access)
 // ---- NoneDmaHandle ------------------------------------------------------
 
 Result<DmaMapping>
-NoneDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
+NoneDmaHandle::mapImpl(u16 /*rid*/, PhysAddr pa, u32 size,
                    iommu::DmaDir /*dir*/)
 {
     if (detached_)
@@ -44,7 +44,7 @@ NoneDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
 }
 
 Status
-NoneDmaHandle::unmap(const DmaMapping & /*mapping*/, bool /*end_of_burst*/)
+NoneDmaHandle::unmapImpl(const DmaMapping & /*mapping*/, bool /*end_of_burst*/)
 {
     RIO_ASSERT(live_ > 0, "unmap with no live mappings");
     --live_;
@@ -76,7 +76,7 @@ NoneDmaHandle::deviceWrite(u64 device_addr, const void *src, u64 len)
 // ---- HwPassthroughDmaHandle ---------------------------------------------
 
 Result<DmaMapping>
-HwPassthroughDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
+HwPassthroughDmaHandle::mapImpl(u16 /*rid*/, PhysAddr pa, u32 size,
                             iommu::DmaDir /*dir*/)
 {
     if (detached_)
@@ -88,7 +88,7 @@ HwPassthroughDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
 }
 
 Status
-HwPassthroughDmaHandle::unmap(const DmaMapping & /*mapping*/,
+HwPassthroughDmaHandle::unmapImpl(const DmaMapping & /*mapping*/,
                               bool /*end_of_burst*/)
 {
     if (acct_)
@@ -195,7 +195,7 @@ SwPassthroughDmaHandle::ensureIdentity(u64 addr, u64 len)
 }
 
 Result<DmaMapping>
-SwPassthroughDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
+SwPassthroughDmaHandle::mapImpl(u16 /*rid*/, PhysAddr pa, u32 size,
                             iommu::DmaDir /*dir*/)
 {
     if (detached_)
@@ -208,7 +208,7 @@ SwPassthroughDmaHandle::map(u16 /*rid*/, PhysAddr pa, u32 size,
 }
 
 Status
-SwPassthroughDmaHandle::unmap(const DmaMapping & /*mapping*/,
+SwPassthroughDmaHandle::unmapImpl(const DmaMapping & /*mapping*/,
                               bool /*end_of_burst*/)
 {
     if (acct_)

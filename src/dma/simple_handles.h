@@ -37,9 +37,9 @@ class NoneDmaHandle : public DmaHandle
         fault_.bind(&cost, acct);
     }
 
-    Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
-                           iommu::DmaDir dir) override;
-    Status unmap(const DmaMapping &mapping, bool end_of_burst) override;
+    Result<DmaMapping> mapImpl(u16 rid, PhysAddr pa, u32 size,
+                               iommu::DmaDir dir) override;
+    Status unmapImpl(const DmaMapping &mapping, bool end_of_burst) override;
     Status deviceRead(u64 device_addr, void *dst, u64 len) override;
     Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
     u64 liveMappings() const override { return live_; }
@@ -63,9 +63,9 @@ class HwPassthroughDmaHandle : public DmaHandle
         fault_.bind(&cost_, acct_);
     }
 
-    Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
-                           iommu::DmaDir dir) override;
-    Status unmap(const DmaMapping &mapping, bool end_of_burst) override;
+    Result<DmaMapping> mapImpl(u16 rid, PhysAddr pa, u32 size,
+                               iommu::DmaDir dir) override;
+    Status unmapImpl(const DmaMapping &mapping, bool end_of_burst) override;
     Status deviceRead(u64 device_addr, void *dst, u64 len) override;
     Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
     u64 liveMappings() const override { return live_; }
@@ -92,9 +92,9 @@ class SwPassthroughDmaHandle : public DmaHandle
                            cycles::CycleAccount *acct);
     ~SwPassthroughDmaHandle() override;
 
-    Result<DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
-                           iommu::DmaDir dir) override;
-    Status unmap(const DmaMapping &mapping, bool end_of_burst) override;
+    Result<DmaMapping> mapImpl(u16 rid, PhysAddr pa, u32 size,
+                               iommu::DmaDir dir) override;
+    Status unmapImpl(const DmaMapping &mapping, bool end_of_burst) override;
     Status deviceRead(u64 device_addr, void *dst, u64 len) override;
     Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
     u64 liveMappings() const override { return live_; }

@@ -1,12 +1,42 @@
 #include "iommu/inval_queue.h"
 
 #include "base/logging.h"
+#include "obs/flight.h"
+#include "obs/timeline.h"
 
 namespace rio::iommu {
 
 namespace {
 
 constexpr u64 kDescBytes = 16;
+
+/** Issue-side half of the QI timeline span. */
+obs::Event
+qiIssueEvent(des::Core *core, u16 bdf)
+{
+    obs::Event e;
+    e.kind = obs::Ev::kQiIssue;
+    e.id = obs::timeline().nextSpanId();
+    e.bdf = bdf;
+    if (core) {
+        e.t = core->virtualNow();
+        e.pid = core->obsPid();
+        e.tid = core->obsTid();
+    }
+    return e;
+}
+
+/** Completion (or timeout) half, @p c cycles after the issue. */
+obs::Event
+qiEndEvent(const obs::Event &issue, Cycles c, double core_ghz, bool ok)
+{
+    obs::Event e = issue;
+    e.kind = ok ? obs::Ev::kQiComplete : obs::Ev::kQiTimeout;
+    e.t = issue.t + static_cast<Nanos>(static_cast<double>(c) / core_ghz);
+    e.dur_ns = e.t - issue.t;
+    e.arg = c;
+    return e;
+}
 
 } // namespace
 
@@ -39,7 +69,10 @@ QiDescriptor::wait(PhysAddr status_addr)
 
 InvalQueue::InvalQueue(mem::PhysicalMemory &pm, Iommu &iommu,
                        const cycles::CostModel &cost, u32 entries)
-    : pm_(pm), iommu_(iommu), cost_(cost), entries_(entries)
+    : pm_(pm), iommu_(iommu), cost_(cost), entries_(entries),
+      obs_depth_(obs::registry().gauge("qi.depth")),
+      obs_sync_(obs::registry().histogram("qi.sync_cycles")),
+      obs_timeouts_(obs::registry().counter("qi.timeouts"))
 {
     RIO_ASSERT(entries_ >= 4, "QI ring too small");
     base_ = pm_.allocContiguous(static_cast<u64>(entries_) * kDescBytes);
@@ -119,15 +152,22 @@ InvalQueue::invalidateEntrySync(Bdf bdf, u64 iova_pfn,
                                 cycles::CycleAccount *acct)
 {
     des::SpinGuard lock(lock_, lock_core_, acct);
+    const obs::Event issue = qiIssueEvent(lock_core_, bdf.pack());
+    obs::timeline().emit(issue);
     Cycles c = submit(QiDescriptor::entry(bdf.pack(), iova_pfn));
     c += submit(QiDescriptor::wait(status_addr_));
     c += cost_.qi_doorbell;
+    obs_depth_.set((tail_ + entries_ - head_) % entries_);
     c += hardwareDrain();
     if (queue_error_ || head_ != tail_) {
         // Bounded spin: the wait never landed. Give up instead of
         // spinning forever in virtual time.
         c += cost_.qi_timeout_spin;
         ++stats_.timeouts;
+        obs_timeouts_.inc();
+        obs_depth_.set((tail_ + entries_ - head_) % entries_);
+        obs::timeline().emit(qiEndEvent(issue, c, cost_.core_ghz, false));
+        obs::flightDump("qi_timeout");
         if (acct)
             acct->charge(cycles::Cat::kLifecycle, c);
         return Status(ErrorCode::kTimedOut,
@@ -138,6 +178,9 @@ InvalQueue::invalidateEntrySync(Bdf bdf, u64 iova_pfn,
     RIO_ASSERT(pm_.read64(status_addr_) == status_cookie_,
                "QI wait did not complete");
     c += 2 * cost_.cached_access;
+    obs_sync_.observe(c);
+    obs_depth_.set(0);
+    obs::timeline().emit(qiEndEvent(issue, c, cost_.core_ghz, true));
     if (acct)
         acct->charge(cycles::Cat::kUnmapIotlbInv, c);
     return Status::ok();
@@ -147,13 +190,20 @@ Status
 InvalQueue::flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat)
 {
     des::SpinGuard lock(lock_, lock_core_, acct);
+    const obs::Event issue = qiIssueEvent(lock_core_, 0);
+    obs::timeline().emit(issue);
     Cycles c = submit(QiDescriptor::global());
     c += submit(QiDescriptor::wait(status_addr_));
     c += cost_.qi_doorbell;
+    obs_depth_.set((tail_ + entries_ - head_) % entries_);
     c += hardwareDrain();
     if (queue_error_ || head_ != tail_) {
         c += cost_.qi_timeout_spin;
         ++stats_.timeouts;
+        obs_timeouts_.inc();
+        obs_depth_.set((tail_ + entries_ - head_) % entries_);
+        obs::timeline().emit(qiEndEvent(issue, c, cost_.core_ghz, false));
+        obs::flightDump("qi_timeout");
         if (acct)
             acct->charge(cycles::Cat::kLifecycle, c);
         return Status(ErrorCode::kTimedOut,
@@ -163,6 +213,9 @@ InvalQueue::flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat)
     RIO_ASSERT(pm_.read64(status_addr_) == status_cookie_,
                "QI wait did not complete");
     c += 2 * cost_.cached_access;
+    obs_sync_.observe(c);
+    obs_depth_.set(0);
+    obs::timeline().emit(qiEndEvent(issue, c, cost_.core_ghz, true));
     if (acct)
         acct->chargeCont(cat, c);
     return Status::ok();

@@ -25,6 +25,7 @@
 #include "des/spinlock.h"
 #include "iommu/iommu.h"
 #include "mem/phys_mem.h"
+#include "obs/registry.h"
 
 namespace rio::iommu {
 
@@ -181,6 +182,9 @@ class InvalQueue
     QiStats stats_;
     des::SimSpinlock *lock_ = nullptr;
     des::Core *lock_core_ = nullptr;
+    obs::Gauge &obs_depth_;       //!< descriptors pending, peak-tracked
+    obs::Histogram &obs_sync_;    //!< sync-op completion latency, cycles
+    obs::Counter &obs_timeouts_;
 };
 
 } // namespace rio::iommu

@@ -14,6 +14,7 @@
 #include "base/types.h"
 #include "iommu/page_table.h"
 #include "iommu/types.h"
+#include "obs/registry.h"
 
 namespace rio::iommu {
 
@@ -88,6 +89,10 @@ class Iotlb
     std::vector<Entry> entries_; // sets * ways, row-major by set
     u64 tick_ = 0;
     IotlbStats stats_;
+    // Process-wide mirrors of the hot counters (all IOTLBs aggregate).
+    obs::Counter &obs_hits_;
+    obs::Counter &obs_misses_;
+    obs::Counter &obs_evictions_;
 };
 
 } // namespace rio::iommu

@@ -1,0 +1,101 @@
+#include "obs/flight.h"
+
+#include <cstdio>
+
+#include "base/strings.h"
+#include "obs/registry.h"
+
+namespace rio::obs {
+
+std::string
+eventLine(const Event &e)
+{
+    std::string s = strprintf(
+        "t=%llu machine=%u core=%u %s bdf=0x%04x rid=%u arg=%llu",
+        (unsigned long long)e.t, e.pid, e.tid, evName(e.kind), e.bdf,
+        e.rid, (unsigned long long)e.arg);
+    if (e.dur_ns)
+        s += strprintf(" dur_ns=%llu", (unsigned long long)e.dur_ns);
+    if (e.id)
+        s += strprintf(" span=%u", e.id);
+    return s;
+}
+
+std::string
+FlightRecorder::renderText() const
+{
+    std::string out;
+    for (const Event &e : ring_.inOrder()) {
+        out += eventLine(e);
+        out += '\n';
+    }
+    if (ring_.dropped())
+        out += strprintf("(%llu older events overwritten)\n",
+                         (unsigned long long)ring_.dropped());
+    return out;
+}
+
+u64
+FlightRecorder::dump(const std::string &reason)
+{
+    const u64 seq = ++dump_seq_;
+    if (seq <= dump_limit_) {
+        FlightDump d;
+        d.seq = seq;
+        d.reason = reason;
+        d.text = renderText();
+        std::fprintf(stderr,
+                     "=== flight recorder dump #%llu (%s), last %zu "
+                     "events ===\n%s=== end of dump ===\n",
+                     (unsigned long long)seq, reason.c_str(),
+                     ring_.size(), d.text.c_str());
+        dumps_.push_back(std::move(d));
+    }
+    return seq;
+}
+
+void
+FlightRecorder::setCapacity(size_t n)
+{
+    ring_ = EventRing(n);
+}
+
+void
+FlightRecorder::clear()
+{
+    ring_.clear();
+    dump_seq_ = 0;
+    dumps_.clear();
+}
+
+FlightRecorder &
+flightRecorder()
+{
+    static FlightRecorder fr;
+    return fr;
+}
+
+u64
+flightDump(const std::string &reason)
+{
+    if (!kObsCompiled)
+        return 0;
+    registry().counter("flight.dumps").inc();
+    const u64 seq = flightRecorder().dump(reason);
+    // Mirror the dump into the timeline so `--timeline` output shows
+    // where in virtual time the failure hit. Timestamp: the newest
+    // event the ring saw (the dump has no clock of its own).
+    Event marker;
+    marker.kind = Ev::kFlightDump;
+    marker.arg = seq;
+    const auto events = flightRecorder().ring().inOrder();
+    if (!events.empty()) {
+        marker.t = events.back().t;
+        marker.pid = events.back().pid;
+        marker.tid = events.back().tid;
+    }
+    timeline().emit(marker);
+    return seq;
+}
+
+} // namespace rio::obs

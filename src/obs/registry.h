@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and fixed-bucket
+ * histograms the simulation layers update as they run, so a bench or
+ * test can ask *when and where* cycles went (IOTLB churn, QI depth,
+ * lock waits) instead of only reading end-of-run CycleAccount totals.
+ *
+ * Two invariants carried by every metric:
+ *  - zero simulated cost: updating a metric never charges cycles,
+ *    never draws RNG, never touches simulated memory — golden benches
+ *    replay bit-for-bit with instrumentation compiled in;
+ *  - determinism: metrics live in registration order, and a
+ *    deterministic run produces an identical snapshot() every time.
+ *
+ * Metrics are identified by name + labels (e.g. "dma.map_cycles"
+ * {mode=strict}); registering the same identity twice returns the
+ * same object, so per-mode/per-device instances aggregate naturally.
+ * Each metric's hot state is alignas(kCachelineSize) so one update
+ * touches one line.
+ */
+#ifndef RIO_OBS_REGISTRY_H
+#define RIO_OBS_REGISTRY_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rio::obs {
+
+/** Metric labels, e.g. {{"mode", "strict"}, {"bdf", "0:3.0"}}. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonic event count. */
+struct alignas(kCachelineSize) Counter
+{
+    u64 value = 0;
+
+    void inc(u64 n = 1) { value += n; }
+};
+
+/** Instantaneous level plus its high-water mark. */
+struct alignas(kCachelineSize) Gauge
+{
+    i64 value = 0;
+    i64 high = 0;
+
+    void
+    set(i64 v)
+    {
+        value = v;
+        if (v > high)
+            high = v;
+    }
+
+    void add(i64 d) { set(value + d); }
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations with
+ * v <= bounds[i] (first matching bucket); one extra overflow bucket
+ * catches everything above the last bound.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<u64> bounds);
+
+    void observe(u64 v);
+
+    u64 count() const { return count_; }
+    u64 sum() const { return sum_; }
+    double avg() const;
+    const std::vector<u64> &bounds() const { return bounds_; }
+    /** bounds().size() + 1 entries; last is the overflow bucket. */
+    const std::vector<u64> &buckets() const { return buckets_; }
+
+    /**
+     * Upper bound of the bucket holding quantile @p q (0..1], using
+     * the overflow bucket's own bound as "max". Coarse by design —
+     * good enough for "p99 landed in the timeout bucket" assertions.
+     */
+    u64 quantileBound(double q) const;
+
+  private:
+    std::vector<u64> bounds_; //!< ascending upper bounds
+    std::vector<u64> buckets_;
+    u64 count_ = 0;
+    u64 sum_ = 0;
+};
+
+/** Default bucket ladder for cycle-valued histograms (1..64K, x4). */
+std::vector<u64> cycleBuckets();
+
+/** One registered metric and everything needed to print it. */
+struct MetricEntry
+{
+    enum class Type : u8 { kCounter, kGauge, kHistogram };
+
+    Type type;
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+
+    /** "name{k=v,...}" — the canonical identity string. */
+    std::string key() const;
+};
+
+/** One metric's values, flattened for comparisons. */
+struct SnapshotEntry
+{
+    std::string key;
+    std::vector<u64> values;
+
+    bool operator==(const SnapshotEntry &o) const
+    {
+        return key == o.key && values == o.values;
+    }
+};
+
+/**
+ * The process-wide metric table. Components register on first use and
+ * keep the returned pointer; the registry owns the storage for the
+ * life of the process (or until clear(), which only tests call — any
+ * cached pointer dangles after that).
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name, Labels labels = {});
+    Gauge &gauge(const std::string &name, Labels labels = {});
+    /** @p bounds used only on first registration of this identity. */
+    Histogram &histogram(const std::string &name, Labels labels = {},
+                         std::vector<u64> bounds = cycleBuckets());
+
+    /** Metrics in registration order. */
+    const std::vector<std::unique_ptr<MetricEntry>> &metrics() const
+    {
+        return entries_;
+    }
+
+    /** Flattened values in registration order (determinism checks). */
+    std::vector<SnapshotEntry> snapshot() const;
+
+    /** Zero every value, keep registrations (between bench runs). */
+    void resetValues();
+
+    /** Drop everything — invalidates cached metric pointers; tests
+     * only, between fixtures that re-create their components. */
+    void clear();
+
+    /** Prometheus-flavored text dump, one "key value..." per line. */
+    std::string textDump() const;
+
+  private:
+    MetricEntry &findOrCreate(MetricEntry::Type type,
+                              const std::string &name,
+                              Labels labels);
+
+    std::vector<std::unique_ptr<MetricEntry>> entries_;
+    std::map<std::string, size_t> index_; //!< key -> entries_ index
+};
+
+/** The global registry every instrumentation point uses. */
+Registry &registry();
+
+} // namespace rio::obs
+
+#endif // RIO_OBS_REGISTRY_H

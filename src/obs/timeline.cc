@@ -1,0 +1,208 @@
+#include "obs/timeline.h"
+
+#include <cstdio>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "obs/flight.h"
+
+namespace rio::obs {
+
+const char *
+evName(Ev ev)
+{
+    switch (ev) {
+      case Ev::kMap: return "map";
+      case Ev::kUnmap: return "unmap";
+      case Ev::kQiIssue: return "qi_issue";
+      case Ev::kQiComplete: return "qi_complete";
+      case Ev::kQiTimeout: return "qi_timeout";
+      case Ev::kFault: return "fault";
+      case Ev::kQuiescePhase: return "quiesce_phase";
+      case Ev::kLockAcquire: return "lock_acquire";
+      case Ev::kLockRelease: return "lock_release";
+      case Ev::kFlightDump: return "flight_dump";
+      case Ev::kNumEvents: break;
+    }
+    RIO_PANIC("bad Ev");
+}
+
+std::vector<Event>
+EventRing::inOrder() const
+{
+    std::vector<Event> out;
+    out.reserve(buf_.size());
+    for (size_t i = 0; i < buf_.size(); ++i)
+        out.push_back(buf_[(next_ + i) % buf_.size()]);
+    return out;
+}
+
+void
+Timeline::setCapacity(size_t per_track)
+{
+    RIO_ASSERT(per_track > 0, "timeline capacity must be positive");
+    capacity_ = per_track;
+}
+
+void
+Timeline::emit(const Event &e)
+{
+    if (!kObsCompiled)
+        return;
+    flightRecorder().record(e);
+    if (!recording_)
+        return;
+    const u32 key = (static_cast<u32>(e.pid) << 16) | e.tid;
+    auto it = rings_.find(key);
+    if (it == rings_.end())
+        it = rings_.emplace(key, EventRing(capacity_)).first;
+    it->second.push(e);
+}
+
+std::map<u32, std::vector<Event>>
+Timeline::tracks() const
+{
+    std::map<u32, std::vector<Event>> out;
+    for (const auto &[key, ring] : rings_)
+        out.emplace(key, ring.inOrder());
+    return out;
+}
+
+u64
+Timeline::recorded() const
+{
+    u64 n = 0;
+    for (const auto &[key, ring] : rings_)
+        n += ring.pushed();
+    return n;
+}
+
+u64
+Timeline::dropped() const
+{
+    u64 n = 0;
+    for (const auto &[key, ring] : rings_)
+        n += ring.dropped();
+    return n;
+}
+
+void
+Timeline::clear()
+{
+    rings_.clear();
+    next_pid_ = 1;
+    next_span_ = 0;
+}
+
+namespace {
+
+/** One trace_event object. @p first tracks comma placement. */
+void
+emitJson(std::FILE *f, bool *first, const std::string &obj)
+{
+    std::fprintf(f, "%s\n  %s", *first ? "" : ",", obj.c_str());
+    *first = false;
+}
+
+std::string
+argsJson(const Event &e)
+{
+    return strprintf("{\"bdf\": %u, \"rid\": %u, \"arg\": %llu}", e.bdf,
+                     e.rid, (unsigned long long)e.arg);
+}
+
+} // namespace
+
+bool
+Timeline::writeChromeTrace(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+    bool first = true;
+    // Track naming so Perfetto shows "machine N" / "core N" labels.
+    for (const auto &[key, ring] : rings_) {
+        const u16 pid = static_cast<u16>(key >> 16);
+        const u16 tid = static_cast<u16>(key & 0xffff);
+        emitJson(f, &first,
+                 strprintf("{\"name\": \"process_name\", \"ph\": \"M\", "
+                           "\"pid\": %u, \"args\": {\"name\": "
+                           "\"machine %u\"}}",
+                           pid, pid));
+        emitJson(f, &first,
+                 strprintf("{\"name\": \"thread_name\", \"ph\": \"M\", "
+                           "\"pid\": %u, \"tid\": %u, \"args\": "
+                           "{\"name\": \"core %u\"}}",
+                           pid, tid, tid));
+        (void)ring;
+    }
+    for (const auto &[key, ring] : rings_) {
+        (void)key;
+        for (const Event &e : ring.inOrder()) {
+            const double end_us = static_cast<double>(e.t) / 1000.0;
+            const double dur_us =
+                static_cast<double>(e.dur_ns) / 1000.0;
+            std::string obj;
+            switch (e.kind) {
+              case Ev::kMap:
+              case Ev::kUnmap:
+              case Ev::kLockAcquire:
+                // Complete spans: ts is the span start.
+                obj = strprintf(
+                    "{\"name\": \"%s\", \"cat\": \"dma\", \"ph\": "
+                    "\"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": %u, "
+                    "\"tid\": %u, \"args\": %s}",
+                    evName(e.kind), end_us - dur_us, dur_us, e.pid,
+                    e.tid, argsJson(e).c_str());
+                break;
+              case Ev::kQiIssue:
+              case Ev::kQiComplete:
+                // Async span: Perfetto draws the issue→complete arrow
+                // from the matching (cat, id, name) pair.
+                obj = strprintf(
+                    "{\"name\": \"qi\", \"cat\": \"qi\", \"ph\": "
+                    "\"%s\", \"id\": %u, \"ts\": %.3f, \"pid\": %u, "
+                    "\"tid\": %u, \"args\": %s}",
+                    e.kind == Ev::kQiIssue ? "b" : "e", e.id, end_us,
+                    e.pid, e.tid, argsJson(e).c_str());
+                break;
+              default:
+                obj = strprintf(
+                    "{\"name\": \"%s\", \"cat\": \"event\", \"ph\": "
+                    "\"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": %u, "
+                    "\"tid\": %u, \"args\": %s}",
+                    evName(e.kind), end_us, e.pid, e.tid,
+                    argsJson(e).c_str());
+                break;
+            }
+            emitJson(f, &first, obj);
+        }
+    }
+    // Flight-recorder dumps ride along as named instants so a
+    // `--timeline` artifact is self-contained evidence of failures.
+    for (const FlightDump &d : flightRecorder().dumps()) {
+        emitJson(
+            f, &first,
+            strprintf("{\"name\": \"flight_dump\", \"cat\": \"flight\", "
+                      "\"ph\": \"i\", \"s\": \"g\", \"ts\": 0, \"pid\": "
+                      "0, \"tid\": 0, \"args\": {\"seq\": %llu, "
+                      "\"reason\": \"%s\"}}",
+                      (unsigned long long)d.seq, d.reason.c_str()));
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+Timeline &
+timeline()
+{
+    static Timeline t;
+    return t;
+}
+
+} // namespace rio::obs

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Virtual-time event timeline: typed trace events pushed into
+ * per-core bounded rings as the simulation runs, exported as Chrome
+ * trace_event JSON so a run opens directly in Perfetto — one track
+ * per (machine, core), async arrows for QI issue→complete spans.
+ *
+ * Gating, from cheapest to most detailed:
+ *  - compiled out entirely with -DRIO_OBS=OFF (RIO_OBS_ENABLED=0):
+ *    emit() collapses to nothing;
+ *  - compiled in, recording off (the default): every event still
+ *    lands in the small always-on flight-recorder ring (see
+ *    flight.h), but the big per-core rings stay empty;
+ *  - recording on (`--timeline out.json` on any bench, or
+ *    setRecording(true)): events are kept per core and exported.
+ *
+ * Like the metrics registry, emitting an event charges zero simulated
+ * cycles and draws zero RNG values; timelines are a pure projection
+ * of the deterministic replay.
+ */
+#ifndef RIO_OBS_TIMELINE_H
+#define RIO_OBS_TIMELINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+#ifndef RIO_OBS_ENABLED
+#define RIO_OBS_ENABLED 1
+#endif
+
+namespace rio::obs {
+
+/** Compile-time master switch (the RIO_OBS CMake option). */
+inline constexpr bool kObsCompiled = RIO_OBS_ENABLED != 0;
+
+/** What happened. Keep in sync with evName()/evPhase(). */
+enum class Ev : u8 {
+    kMap = 0,      //!< DMA map completed (span; dur = driver cycles)
+    kUnmap,        //!< DMA unmap completed (span)
+    kQiIssue,      //!< invalidation submitted (async span begin)
+    kQiComplete,   //!< invalidation wait landed (async span end)
+    kQiTimeout,    //!< invalidation wait never landed (instant)
+    kFault,        //!< device access faulted (instant)
+    kQuiescePhase, //!< lifecycle phase journaled (instant; arg=phase)
+    kLockAcquire,  //!< contended lock granted (span; dur = spin wait)
+    kLockRelease,  //!< lock released (instant)
+    kFlightDump,   //!< flight recorder fired (instant; arg=dump #)
+    kNumEvents
+};
+
+/** Short stable name ("map", "qi_issue", ...). */
+const char *evName(Ev ev);
+
+/** One timeline event (compact POD; rings hold millions). */
+struct Event
+{
+    Nanos t = 0;   //!< virtual end time of the event
+    u64 arg = 0;   //!< pfn / phase / wait cycles / reason-specific
+    u64 dur_ns = 0; //!< span length; 0 for instants
+    u32 id = 0;    //!< async span id pairing kQiIssue/kQiComplete
+    u16 pid = 0;   //!< track group: machine ordinal
+    u16 tid = 0;   //!< track: core ordinal within the machine
+    u16 bdf = 0;   //!< packed requester id, 0 if n/a
+    u16 rid = 0;   //!< ring id, 0 if n/a
+    Ev kind = Ev::kMap;
+};
+
+/** Bounded ring: keeps the newest @p capacity events, counts drops. */
+class EventRing
+{
+  public:
+    explicit EventRing(size_t capacity) : capacity_(capacity) {}
+
+    void
+    push(const Event &e)
+    {
+        if (buf_.size() < capacity_) {
+            buf_.push_back(e);
+        } else {
+            buf_[next_] = e;
+            next_ = (next_ + 1) % capacity_;
+            ++dropped_;
+        }
+        ++pushed_;
+    }
+
+    /** Events oldest-first. */
+    std::vector<Event> inOrder() const;
+
+    u64 pushed() const { return pushed_; }
+    u64 dropped() const { return dropped_; }
+    size_t size() const { return buf_.size(); }
+    void clear() { buf_.clear(); next_ = 0; pushed_ = dropped_ = 0; }
+
+  private:
+    size_t capacity_;
+    size_t next_ = 0; //!< overwrite cursor once full
+    u64 pushed_ = 0;
+    u64 dropped_ = 0;
+    std::vector<Event> buf_;
+};
+
+/**
+ * The process-wide timeline: one bounded ring per (machine, core)
+ * track, populated only while recording. Track ids are handed out by
+ * allocPid() so independent Machines in one bench do not collide.
+ */
+class Timeline
+{
+  public:
+    bool recording() const { return kObsCompiled && recording_; }
+    void setRecording(bool on) { recording_ = on; }
+
+    /** Ring capacity per (pid, tid) track (newest events win). */
+    void setCapacity(size_t per_track);
+    size_t capacity() const { return capacity_; }
+
+    /** Next unused track-group id (one per Machine). */
+    u16 allocPid() { return next_pid_++; }
+
+    /** Unique id for pairing async issue/complete events. */
+    u32 nextSpanId() { return ++next_span_; }
+
+    /** Record @p e (flight ring always; per-core ring if recording).
+     * Defined in flight.cc to avoid a header cycle. */
+    void emit(const Event &e);
+
+    /** All recorded events, grouped per track, oldest-first. */
+    std::map<u32, std::vector<Event>> tracks() const;
+
+    /** Total events recorded into (and dropped from) track rings. */
+    u64 recorded() const;
+    u64 dropped() const;
+
+    /** Drop all recorded events and reset track/span ids. */
+    void clear();
+
+    /**
+     * Export everything recorded (plus any flight-recorder dumps) as
+     * Chrome trace_event JSON for Perfetto. False on I/O error.
+     */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    bool recording_ = false;
+    size_t capacity_ = 1u << 16;
+    u16 next_pid_ = 1;
+    u32 next_span_ = 0;
+    std::map<u32, EventRing> rings_; //!< key = pid<<16 | tid
+};
+
+/** The global timeline every instrumentation point uses. */
+Timeline &timeline();
+
+} // namespace rio::obs
+
+#endif // RIO_OBS_TIMELINE_H

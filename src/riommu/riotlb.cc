@@ -12,7 +12,14 @@ Riotlb::find(u16 bdf, u16 rid)
 void
 Riotlb::insert(const RiotlbEntry &entry)
 {
-    entries_[key(entry.bdf, entry.rid)] = entry;
+    auto [it, fresh] = entries_.emplace(key(entry.bdf, entry.rid), entry);
+    if (!fresh) {
+        // Replacing the ring's single entry implicitly invalidates the
+        // previous translation (§4) — the count the rIOMMU design
+        // trades explicit QI descriptors against.
+        obs_implicit_.inc();
+        it->second = entry;
+    }
 }
 
 bool

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "base/types.h"
+#include "obs/registry.h"
 #include "riommu/structures.h"
 
 namespace rio::riommu {
@@ -85,6 +86,8 @@ class Riotlb
 
     std::unordered_map<u32, RiotlbEntry> entries_;
     RiotlbStats stats_;
+    obs::Counter &obs_implicit_ =
+        obs::registry().counter("riotlb.implicit_invalidations");
 };
 
 } // namespace rio::riommu

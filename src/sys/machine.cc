@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "obs/registry.h"
+#include "obs/timeline.h"
 
 namespace rio::sys {
 
@@ -29,8 +31,12 @@ Machine::Machine(des::Simulator &sim, dma::ProtectionMode mode,
 {
     RIO_ASSERT(ncores > 0, "machine with no cores");
     cores_.reserve(ncores);
-    for (unsigned i = 0; i < ncores; ++i)
+    // One timeline track group per machine, one track per core.
+    const u16 obs_pid = obs::timeline().allocPid();
+    for (unsigned i = 0; i < ncores; ++i) {
         cores_.push_back(std::make_unique<des::Core>(sim_, cost));
+        cores_.back()->setObsTrack(obs_pid, static_cast<u16>(i));
+    }
 }
 
 Machine::Machine(des::Simulator &sim, dma::ProtectionMode mode,
@@ -120,6 +126,19 @@ Machine::attachNic(const nic::NicProfile &profile, unsigned core_idx,
 void
 Machine::journal(unsigned nic_idx, LifecyclePhase phase)
 {
+    obs::registry()
+        .counter("lifecycle.events",
+                 {{"phase", lifecyclePhaseName(phase)}})
+        .inc();
+    des::Core &core = *cores_[nodes_[nic_idx]->core_idx];
+    obs::Event e;
+    e.kind = obs::Ev::kQuiescePhase;
+    e.t = sim_.now();
+    e.arg = static_cast<u64>(phase);
+    e.bdf = nodes_[nic_idx]->handle->bdf().pack();
+    e.pid = core.obsPid();
+    e.tid = core.obsTid();
+    obs::timeline().emit(e);
     // Capped so churn soaks stay bounded; the stats keep counting.
     constexpr size_t kMaxLog = 1u << 20;
     if (lifecycle_log_.size() < kMaxLog)

@@ -1,8 +1,11 @@
 #include "trace/trace.h"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "base/logging.h"
+#include "base/strings.h"
 
 namespace rio::trace {
 
@@ -25,13 +28,21 @@ DmaTrace::saveText(const std::string &path) const
 Status
 DmaTrace::loadText(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "r");
-    if (!f)
+    std::ifstream in(path);
+    if (!in)
         return Status(ErrorCode::kNotFound, "cannot open " + path);
+    // Parse line by line so a malformed line is an error naming its
+    // number, not a silent truncation of the trace (the old fscanf
+    // loop stopped at the first bad pfn and reported success).
     events_.clear();
-    char kind = 0;
-    unsigned long long pfn = 0;
-    while (std::fscanf(f, " %c %llu", &kind, &pfn) == 2) {
+    std::string line;
+    u64 lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::istringstream ls(line);
+        char kind = 0;
+        if (!(ls >> kind))
+            continue; // blank line
         TraceEvent::Kind k;
         switch (kind) {
           case 'M': k = TraceEvent::Kind::kMap; break;
@@ -39,18 +50,28 @@ DmaTrace::loadText(const std::string &path)
           case 'A': k = TraceEvent::Kind::kAccess; break;
           case 'F': k = TraceEvent::Kind::kFault; break;
           default:
-            std::fclose(f);
             return Status(ErrorCode::kInvalidArgument,
-                          "bad trace line kind");
+                          strprintf("%s:%llu: bad trace event kind '%c'",
+                                    path.c_str(),
+                                    (unsigned long long)lineno, kind));
+        }
+        unsigned long long pfn = 0;
+        std::string rest;
+        if (!(ls >> pfn) || (ls >> rest)) {
+            return Status(
+                ErrorCode::kInvalidArgument,
+                strprintf("%s:%llu: malformed trace line \"%s\"",
+                          path.c_str(), (unsigned long long)lineno,
+                          line.c_str()));
         }
         events_.push_back({k, pfn});
     }
-    std::fclose(f);
     return Status::ok();
 }
 
 Result<dma::DmaMapping>
-RecordingDmaHandle::map(u16 rid, PhysAddr pa, u32 size, iommu::DmaDir dir)
+RecordingDmaHandle::mapImpl(u16 rid, PhysAddr pa, u32 size,
+                            iommu::DmaDir dir)
 {
     auto m = inner_.map(rid, pa, size, dir);
     if (m.isOk())
@@ -60,7 +81,8 @@ RecordingDmaHandle::map(u16 rid, PhysAddr pa, u32 size, iommu::DmaDir dir)
 }
 
 Status
-RecordingDmaHandle::unmap(const dma::DmaMapping &mapping, bool end_of_burst)
+RecordingDmaHandle::unmapImpl(const dma::DmaMapping &mapping,
+                              bool end_of_burst)
 {
     Status s = inner_.unmap(mapping, end_of_burst);
     if (s.isOk())

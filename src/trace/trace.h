@@ -65,10 +65,6 @@ class RecordingDmaHandle : public dma::DmaHandle
     {
     }
 
-    Result<dma::DmaMapping> map(u16 rid, PhysAddr pa, u32 size,
-                                iommu::DmaDir dir) override;
-    Status unmap(const dma::DmaMapping &mapping,
-                 bool end_of_burst) override;
     Status deviceRead(u64 device_addr, void *dst, u64 len) override;
     Status deviceWrite(u64 device_addr, const void *src, u64 len) override;
     u64 liveMappings() const override { return inner_.liveMappings(); }
@@ -119,6 +115,14 @@ class RecordingDmaHandle : public dma::DmaHandle
     }
 
     void clearDetachFaults() override { inner_.clearDetachFaults(); }
+
+  protected:
+    // The decorator stays obs-unbound (see DmaHandle::bindObs), so the
+    // inner handle's instrumentation records each op exactly once.
+    Result<dma::DmaMapping> mapImpl(u16 rid, PhysAddr pa, u32 size,
+                                    iommu::DmaDir dir) override;
+    Status unmapImpl(const dma::DmaMapping &mapping,
+                     bool end_of_burst) override;
 
   private:
     dma::DmaHandle &inner_;

@@ -5,6 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "cycles/cost_model.h"
 #include "cycles/cycle_account.h"
 
@@ -87,6 +90,20 @@ TEST(CycleAccount, EveryCategoryHasAName)
 {
     for (unsigned i = 0; i < kNumCats; ++i)
         EXPECT_NE(catName(static_cast<Cat>(i)), nullptr);
+}
+
+TEST(CycleAccount, CategoryNamesAreUnique)
+{
+    // Duplicate (or fallback) names would silently merge categories
+    // in every breakdown table and JSON mirror keyed on catName.
+    std::set<std::string> seen;
+    for (unsigned i = 0; i < kNumCats; ++i) {
+        const char *name = catName(static_cast<Cat>(i));
+        ASSERT_NE(name, nullptr) << i;
+        EXPECT_NE(std::string(name), "?") << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate category name: " << name;
+    }
 }
 
 TEST(CostModel, UnitConversions)

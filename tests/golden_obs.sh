@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Observability zero-cost regression: with the obs layer compiled in
+# (metrics registry + flight recorder live on every hot path),
+# bench_fig7 must still reproduce the checked-in golden JSON byte for
+# byte. Instrumentation charges no simulated cycles and draws no RNG,
+# so any diff here means an instrumentation point leaked into the
+# simulation. If the bench itself changed intentionally, regenerate:
+#
+#   RIO_BENCH_QUICK=1 bench_fig7_cycles_per_packet \
+#       --json tests/golden/fig7_quick.json
+#
+# Usage: golden_obs.sh <bench_fig7-binary> <golden.json>
+set -euo pipefail
+
+bench="$1"
+golden="$2"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+RIO_BENCH_QUICK=1 "$bench" --json "$out" > /dev/null
+
+if ! diff -u "$golden" "$out"; then
+    echo "golden_obs: instrumented bench diverged from $golden" >&2
+    exit 1
+fi
+echo "golden_obs: output matches $golden"

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Observability tests: metrics-registry identity and determinism,
+ * histogram bucket boundaries, the event timeline's bounded rings and
+ * Chrome-trace export, and the flight recorder's dump-on-fault path.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dma/fault.h"
+#include "obs/flight.h"
+#include "obs/registry.h"
+#include "obs/timeline.h"
+
+namespace rio::obs {
+namespace {
+
+/** Global obs state is process-wide; start each test from scratch. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        registry().clear();
+        timeline().clear();
+        timeline().setRecording(false);
+        flightRecorder().clear();
+    }
+
+    void TearDown() override { SetUp(); }
+};
+
+// Timeline/flight paths collapse under -DRIO_OBS=OFF; only the
+// registry (the always-available tier) is testable there. Must be
+// expanded in the test body itself: GTEST_SKIP() in a helper would
+// only return from the helper.
+#define RIO_REQUIRE_OBS_COMPILED()                                     \
+    do {                                                               \
+        if (!kObsCompiled)                                             \
+            GTEST_SKIP() << "observability compiled out (RIO_OBS=OFF)"; \
+    } while (0)
+
+// ---- registry ---------------------------------------------------------------
+
+TEST_F(ObsTest, SameIdentityReturnsSameMetric)
+{
+    Counter &a = registry().counter("iotlb.hits");
+    Counter &b = registry().counter("iotlb.hits");
+    EXPECT_EQ(&a, &b);
+    Counter &c = registry().counter("iotlb.hits", {{"dev", "nic0"}});
+    EXPECT_NE(&a, &c) << "labels are part of the identity";
+    a.inc(3);
+    c.inc();
+    EXPECT_EQ(b.value, 3u);
+    EXPECT_EQ(c.value, 1u);
+}
+
+TEST_F(ObsTest, GaugeTracksHighWater)
+{
+    Gauge &g = registry().gauge("qi.depth");
+    g.set(5);
+    g.set(12);
+    g.set(2);
+    EXPECT_EQ(g.value, 2);
+    EXPECT_EQ(g.high, 12);
+    g.add(-2);
+    EXPECT_EQ(g.value, 0);
+    EXPECT_EQ(g.high, 12);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreInclusiveUpperBounds)
+{
+    Histogram &h =
+        registry().histogram("lat", {}, std::vector<u64>{10, 100});
+    for (u64 v : {5u, 10u, 11u, 100u, 101u})
+        h.observe(v);
+    ASSERT_EQ(h.buckets().size(), 3u) << "two bounds + overflow";
+    EXPECT_EQ(h.buckets()[0], 2u) << "5 and 10 (v <= 10)";
+    EXPECT_EQ(h.buckets()[1], 2u) << "11 and 100 (v <= 100)";
+    EXPECT_EQ(h.buckets()[2], 1u) << "101 overflows";
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 227u);
+    EXPECT_DOUBLE_EQ(h.avg(), 227.0 / 5.0);
+    EXPECT_EQ(h.quantileBound(0.4), 10u);
+    EXPECT_EQ(h.quantileBound(0.8), 100u);
+}
+
+TEST_F(ObsTest, SnapshotIsDeterministicAcrossIdenticalRuns)
+{
+    auto run = [] {
+        registry().counter("a.ops").inc(7);
+        registry().gauge("a.depth", {{"q", "0"}}).set(3);
+        registry().histogram("a.lat").observe(500);
+        registry().counter("b.ops").inc();
+    };
+    run();
+    const auto first = registry().snapshot();
+    ASSERT_FALSE(first.empty());
+
+    registry().clear();
+    run();
+    const auto second = registry().snapshot();
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].key, second[i].key) << i;
+        EXPECT_TRUE(first[i] == second[i]) << first[i].key;
+    }
+}
+
+TEST_F(ObsTest, ResetValuesKeepsRegistrationsAndPointers)
+{
+    Counter &c = registry().counter("x.ops");
+    c.inc(9);
+    registry().resetValues();
+    EXPECT_EQ(c.value, 0u) << "same storage, zeroed";
+    EXPECT_EQ(&registry().counter("x.ops"), &c);
+}
+
+// ---- timeline ---------------------------------------------------------------
+
+TEST_F(ObsTest, EventRingKeepsNewestAndCountsDrops)
+{
+    EventRing ring(4);
+    for (u64 i = 1; i <= 6; ++i) {
+        Event e;
+        e.t = i;
+        ring.push(e);
+    }
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.pushed(), 6u);
+    EXPECT_EQ(ring.dropped(), 2u);
+    const auto events = ring.inOrder();
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].t, i + 3) << "oldest-first, newest kept";
+}
+
+TEST_F(ObsTest, TracksRecordOnlyWhileRecording)
+{
+    RIO_REQUIRE_OBS_COMPILED();
+    Event e;
+    e.pid = timeline().allocPid();
+    timeline().emit(e);
+    EXPECT_EQ(timeline().recorded(), 0u) << "gate off: tracks empty";
+    EXPECT_GE(flightRecorder().ring().pushed(), 1u)
+        << "flight ring is always on";
+
+    timeline().setRecording(true);
+    timeline().emit(e);
+    EXPECT_EQ(timeline().recorded(), 1u);
+}
+
+TEST_F(ObsTest, ChromeTraceExportPairsAsyncSpans)
+{
+    RIO_REQUIRE_OBS_COMPILED();
+    timeline().setRecording(true);
+    const u16 pid = timeline().allocPid();
+
+    Event issue;
+    issue.kind = Ev::kQiIssue;
+    issue.t = 1000;
+    issue.id = timeline().nextSpanId();
+    issue.pid = pid;
+    timeline().emit(issue);
+
+    Event done = issue;
+    done.kind = Ev::kQiComplete;
+    done.t = 3000;
+    done.arg = 2150;
+    timeline().emit(done);
+
+    Event span;
+    span.kind = Ev::kMap;
+    span.t = 5000;
+    span.dur_ns = 200;
+    span.pid = pid;
+    timeline().emit(span);
+
+    const std::string path = "/tmp/rio_obs_trace_test.json";
+    ASSERT_TRUE(timeline().writeChromeTrace(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::remove(path.c_str());
+
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos)
+        << "async begin for qi_issue";
+    EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos)
+        << "async end for qi_complete";
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos)
+        << "complete span for the map";
+}
+
+// ---- flight recorder --------------------------------------------------------
+
+TEST_F(ObsTest, FaultRecoveryFiresFlightDumpWithRingContents)
+{
+    RIO_REQUIRE_OBS_COMPILED();
+    // Preload the ring with the events "before the failure".
+    Event e;
+    e.kind = Ev::kMap;
+    e.t = 42;
+    e.bdf = 0x0018;
+    timeline().emit(e);
+
+    dma::FaultEngine eng;
+    eng.setPolicy(dma::FaultPolicy::kRetryRemap);
+    Status out = eng.recover(
+        Status(ErrorCode::kIoPageFault, "test fault"), [] {},
+        [] { return Status::ok(); });
+    EXPECT_TRUE(out.isOk());
+
+    ASSERT_GE(flightRecorder().dumpCount(), 1u);
+    const FlightDump *d = flightRecorder().lastDump();
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->reason, "dma_fault");
+    EXPECT_NE(d->text.find("map"), std::string::npos)
+        << "the preloaded event is in the dump:\n"
+        << d->text;
+    EXPECT_NE(d->text.find("fault"), std::string::npos)
+        << "the faulting event itself is in the dump:\n"
+        << d->text;
+    EXPECT_EQ(registry().counter("flight.dumps").value, 1u);
+}
+
+TEST_F(ObsTest, DumpLimitRetainsFirstFewButCountsAll)
+{
+    RIO_REQUIRE_OBS_COMPILED();
+    flightRecorder().setDumpLimit(2);
+    for (int i = 0; i < 5; ++i)
+        flightDump("storm");
+    EXPECT_EQ(flightRecorder().dumpCount(), 5u);
+    EXPECT_EQ(flightRecorder().dumps().size(), 2u)
+        << "beyond the limit a dump is only a sequence bump";
+    EXPECT_EQ(registry().counter("flight.dumps").value, 5u);
+    flightRecorder().setDumpLimit(FlightRecorder::kDefaultDumpLimit);
+}
+
+} // namespace
+} // namespace rio::obs

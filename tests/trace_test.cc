@@ -85,11 +85,89 @@ TEST(TraceTest, SaveAndLoadTextRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(TraceTest, SaveAndLoadRoundTripsEveryKind)
+{
+    DmaTrace trace;
+    trace.add(TraceEvent::Kind::kMap, 7);
+    trace.add(TraceEvent::Kind::kAccess, 7);
+    trace.add(TraceEvent::Kind::kFault, 7);
+    trace.add(TraceEvent::Kind::kUnmap, 0xfffffffffffULL);
+    const std::string path = "/tmp/rio_trace_kinds_test.txt";
+    ASSERT_TRUE(trace.saveText(path).isOk());
+
+    DmaTrace loaded;
+    ASSERT_TRUE(loaded.loadText(path).isOk());
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (size_t i = 0; i < trace.events().size(); ++i) {
+        EXPECT_EQ(loaded.events()[i].kind, trace.events()[i].kind) << i;
+        EXPECT_EQ(loaded.events()[i].iova_pfn, trace.events()[i].iova_pfn)
+            << i;
+    }
+    std::remove(path.c_str());
+}
+
 TEST(TraceTest, LoadMissingFileFails)
 {
     DmaTrace trace;
     EXPECT_EQ(trace.loadText("/tmp/definitely-not-here-42").code(),
               ErrorCode::kNotFound);
+}
+
+namespace {
+
+/** Write @p text to a temp file and return loadText's status. */
+Status
+loadFrom(const std::string &text, DmaTrace &trace)
+{
+    const std::string path = "/tmp/rio_trace_malformed_test.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    Status s = trace.loadText(path);
+    std::remove(path.c_str());
+    return s;
+}
+
+} // namespace
+
+TEST(TraceTest, LoadRejectsUnknownKind)
+{
+    DmaTrace trace;
+    const Status s = loadFrom("M 1\nX 2\n", trace);
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+    // The error names the offending line so a corrupted capture can
+    // be located, not just detected.
+    EXPECT_NE(s.toString().find(":2:"), std::string::npos)
+        << s.toString();
+    EXPECT_NE(s.toString().find("'X'"), std::string::npos)
+        << s.toString();
+}
+
+TEST(TraceTest, LoadRejectsMissingPfn)
+{
+    DmaTrace trace;
+    const Status s = loadFrom("M\n", trace);
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(s.toString().find("malformed"), std::string::npos)
+        << s.toString();
+}
+
+TEST(TraceTest, LoadRejectsTrailingJunk)
+{
+    DmaTrace trace;
+    const Status s = loadFrom("A 5 extra\n", trace);
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(s.toString().find(":1:"), std::string::npos)
+        << s.toString();
+}
+
+TEST(TraceTest, LoadSkipsBlankLines)
+{
+    DmaTrace trace;
+    ASSERT_TRUE(loadFrom("M 1\n\nU 1\n", trace).isOk());
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.events()[1].kind, TraceEvent::Kind::kUnmap);
 }
 
 } // namespace
