@@ -35,8 +35,20 @@ export RIO_CHURN_EXTRA_SEEDS="5501,7703"
 "$BUILD_DIR/tests/fuzz_test" --gtest_filter='*LifecycleFuzz*'
 "$BUILD_DIR/tests/lifecycle_test"
 
+# Guest fuzz under the sanitizers: the vIOMMU trap bindings and the
+# stage-2 fill path see bursts, direct maps and surprise unplug across
+# all three strategies with seeds only this lane runs.
+export RIO_VIRT_EXTRA_SEEDS="6007,28657"
+"$BUILD_DIR/tests/fuzz_test" --gtest_filter='*VirtFuzz*'
+"$BUILD_DIR/tests/virt_test"
+"$BUILD_DIR/tests/magazine_churn_test"
+
 # Observability lane: zero-cost goldens + timeline export validation
 # (its own build dir; obs is ON by default but the lane pins it).
 scripts/ci_obs.sh
+
+# Virtualization lane: virt suites, bare-platform no-op golden, guest
+# fuzz soak and the full platform sweep (its own Release build dir).
+scripts/ci_virt.sh
 
 echo "sanitized tier-1 suite passed"

@@ -185,6 +185,46 @@ struct CostModel
      */
     Cycles lifecycle_quiesce = 400;
 
+    // ---- Virtualization (guest VMs, src/virt) --------------------------
+    /**
+     * VM exit + VM entry round trip: world switch, VMCS save/restore
+     * and the cache/TLB pollution the guest observes on resume.
+     * Calibrated to published VT-x exit latencies (~1,200 cycles on
+     * the paper-era Xeon generation).
+     */
+    Cycles vmexit_roundtrip = 1200;
+    /** Hypervisor exit-reason decode + dispatch to the device model. */
+    Cycles hyp_dispatch = 400;
+    /**
+     * Emulating one trapped vIOMMU register access: instruction decode
+     * of the faulting MMIO, register-file update in the device model.
+     */
+    Cycles vreg_emulate = 500;
+    /**
+     * Replaying one trapped guest invalidation against the host IOMMU
+     * under the emulated strategy (host QI submit + doorbell from the
+     * hypervisor's context).
+     */
+    Cycles inval_replay = 800;
+    /**
+     * Same replay under nested translation: hardware walks guest
+     * tables directly, so the hypervisor only forwards the doorbell
+     * (no descriptor rewrite, no shadow bookkeeping).
+     */
+    Cycles inval_replay_nested = 150;
+    /**
+     * Syncing one write-protect-trapped guest page-table store into
+     * the merged shadow table (re-walk + shadow store + unprotect/
+     * reprotect dance), on top of the exit round trip.
+     */
+    Cycles shadow_sync = 350;
+    /**
+     * One explicit hypercall (e.g. rIOMMU paravirtual ring-table
+     * registration at guest boot): vmexit round trip plus argument
+     * marshalling and hypervisor-side validation.
+     */
+    Cycles hypercall = 1500;
+
     /** Convert cycles to nanoseconds at this model's clock. */
     double toNanos(Cycles c) const
     {

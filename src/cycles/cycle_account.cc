@@ -20,6 +20,7 @@ catName(Cat cat)
       case Cat::kLockWait: return "lock wait";
       case Cat::kFaultHandling: return "fault handling";
       case Cat::kLifecycle: return "lifecycle";
+      case Cat::kVirt: return "virt";
       case Cat::kNumCats: break;
     }
     RIO_PANIC("bad Cat");

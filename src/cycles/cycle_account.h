@@ -29,6 +29,7 @@ enum class Cat : unsigned {
     kLockWait,         //!< spinning on a contended driver lock
     kFaultHandling,    //!< fault report read-out + recovery policy work
     kLifecycle,        //!< quiesce/detach work + QI time-out recovery
+    kVirt,             //!< vmexit round trips, hypercalls, shadow syncs
     kNumCats
 };
 

@@ -1,6 +1,7 @@
 #include "iommu/inval_queue.h"
 
 #include "base/logging.h"
+#include "iommu/virt_hooks.h"
 #include "obs/flight.h"
 #include "obs/timeline.h"
 
@@ -157,6 +158,8 @@ InvalQueue::invalidateEntrySync(Bdf bdf, u64 iova_pfn,
     Cycles c = submit(QiDescriptor::entry(bdf.pack(), iova_pfn));
     c += submit(QiDescriptor::wait(status_addr_));
     c += cost_.qi_doorbell;
+    if (traps_)
+        traps_->onQiDoorbell(acct);
     obs_depth_.set((tail_ + entries_ - head_) % entries_);
     c += hardwareDrain();
     if (queue_error_ || head_ != tail_) {
@@ -195,6 +198,8 @@ InvalQueue::flushAllSync(cycles::CycleAccount *acct, cycles::Cat cat)
     Cycles c = submit(QiDescriptor::global());
     c += submit(QiDescriptor::wait(status_addr_));
     c += cost_.qi_doorbell;
+    if (traps_)
+        traps_->onQiDoorbell(acct);
     obs_depth_.set((tail_ + entries_ - head_) % entries_);
     c += hardwareDrain();
     if (queue_error_ || head_ != tail_) {
@@ -239,6 +244,8 @@ InvalQueue::recoverRetry(cycles::CycleAccount *acct)
     if (queue_error_) {
         queue_error_ = false;
         c += cost_.qi_doorbell;
+        if (traps_)
+            traps_->onQiDoorbell(acct);
         c += hardwareDrain(); // re-freezes if the device is still dead
     }
     const bool drained = !queue_error_ && head_ == tail_;
@@ -263,6 +270,9 @@ InvalQueue::abortAndSkip(cycles::CycleAccount *acct)
         head_ = (head_ + 1) % entries_;
         ++stats_.head_skips;
         queue_error_ = false;
+        // Restarting the queue re-rings the doorbell.
+        if (traps_)
+            traps_->onQiDoorbell(acct);
         c += hardwareDrain(); // may re-freeze on the next dead entry
     }
     const bool drained = !queue_error_ && head_ == tail_;

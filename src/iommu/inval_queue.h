@@ -152,6 +152,13 @@ class InvalQueue
         lock_core_ = core;
     }
 
+    /**
+     * Install a doorbell trap sink: every subsequent tail-doorbell
+     * MMIO write is reported through @p traps (the vIOMMU intercepts
+     * the register page). Pass nullptr to detach.
+     */
+    void setVirtTraps(VirtTraps *traps) { traps_ = traps; }
+
     const QiStats &stats() const { return stats_; }
     PhysAddr base() const { return base_; }
     u32 entries() const { return entries_; }
@@ -182,6 +189,7 @@ class InvalQueue
     QiStats stats_;
     des::SimSpinlock *lock_ = nullptr;
     des::Core *lock_core_ = nullptr;
+    VirtTraps *traps_ = nullptr;
     obs::Gauge &obs_depth_;       //!< descriptors pending, peak-tracked
     obs::Histogram &obs_sync_;    //!< sync-op completion latency, cycles
     obs::Counter &obs_timeouts_;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "iommu/virt_hooks.h"
 
 namespace rio::iommu {
 
@@ -155,9 +156,18 @@ Iommu::translate(Bdf bdf, IovaAddr iova, Access access)
     }
 
     int levels = 0;
-    auto pte = table->walk(iova_pfn, &levels);
+    int refs = 0;
+    auto pte = table->walk(iova_pfn, &levels, stage2_, &refs);
+    PhysAddr page_pa = pte.isOk() ? pte.value().addr() : 0;
+    if (pte.isOk() && stage2_) {
+        // The leaf PTE holds a guest-physical frame; the data access
+        // itself needs one more stage-2 translation. This completes
+        // the 2-D count: n*m table-address walks + n table reads +
+        // m data-page walks = 24 for 4x4 levels.
+        page_pa = stage2_->deviceTranslate(page_pa, &refs);
+    }
     const Cycles hw =
-        cost_.hw_tlb_hit + static_cast<Cycles>(levels) * cost_.hw_walk_level;
+        cost_.hw_tlb_hit + static_cast<Cycles>(refs) * cost_.hw_walk_level;
     if (!pte.isOk()) {
         if (pte.status().code() == ErrorCode::kCorrupted) {
             recordFault(bdf, iova, access, FaultReason::kReservedBit);
@@ -171,8 +181,12 @@ Iommu::translate(Bdf bdf, IovaAddr iova, Access access)
         recordFault(bdf, iova, access, FaultReason::kPermission);
         return Status(ErrorCode::kPermission, "DMA direction violation");
     }
-    iotlb_.insert(sid, iova_pfn, pte.value());
-    return Translation{pte.value().addr() + offset, false, levels, hw};
+    // The IOTLB caches the *combined* translation (IOVA -> host
+    // physical), so hits cost no stage-2 work — like hardware.
+    iotlb_.insert(sid, iova_pfn,
+                  Pte{(page_pa & Pte::kAddrMask) |
+                      (pte.value().raw & ~Pte::kAddrMask)});
+    return Translation{page_pa + offset, false, levels, hw, refs};
 }
 
 Status

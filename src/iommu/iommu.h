@@ -44,6 +44,10 @@ struct Translation
     bool iotlb_hit = false;
     int walk_levels = 0;  //!< page-table reads performed on a miss
     Cycles hw_cycles = 0; //!< device-side latency of this translation
+    /** Combined memory references of the walk: equals walk_levels on
+     * bare metal; under nested translation every table access adds
+     * its stage-2 references (24 worst case for 4x4 levels). */
+    int mem_refs = 0;
 };
 
 /** The baseline IOMMU. One instance serves all devices on the bus. */
@@ -91,6 +95,15 @@ class Iommu
      */
     void setPassthrough(bool on) { passthrough_ = on; }
     bool passthrough() const { return passthrough_; }
+
+    /**
+     * Install (or, with nullptr, remove) the stage-2 translation the
+     * walker applies to every table access and to the final data
+     * page — the nested-virtualization 2-D walk. Bare metal and the
+     * emulated/shadow strategies leave this unset.
+     */
+    void setStage2(VirtStage2 *s2) { stage2_ = s2; }
+    VirtStage2 *stage2() const { return stage2_; }
 
     // ---- hardware-side translation ------------------------------------
     /**
@@ -151,6 +164,7 @@ class Iommu
     const cycles::CostModel &cost_;
     Iotlb iotlb_;
     bool passthrough_ = false;
+    VirtStage2 *stage2_ = nullptr;
 
     PhysAddr root_table_;
     std::vector<PhysAddr> context_tables_; // one frame per bus, lazily

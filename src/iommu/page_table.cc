@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "iommu/virt_hooks.h"
+#include "obs/registry.h"
 
 namespace rio::iommu {
 
@@ -13,6 +15,10 @@ IoPageTable::IoPageTable(mem::PhysicalMemory &pm, bool coherent,
 {
     root_ = pm_.allocFrame();
     ++table_pages_;
+    for (int level = 1; level <= kLevels; ++level)
+        level_reads_[level - 1] = &obs::registry().counter(
+            "iommu.pt_walk.level_reads",
+            {{"level", std::to_string(level)}});
 }
 
 IoPageTable::~IoPageTable()
@@ -101,6 +107,10 @@ IoPageTable::map(u64 iova_pfn, u64 phys_pfn, DmaDir dir)
     }
     pm_.write64(slot, Pte::make(phys_pfn << kPageShift, dir).raw);
     ++mapped_pages_;
+    if (traps_)
+        traps_->onTableWrite({TableWrite::Kind::kRadixPte, iova_pfn,
+                              phys_pfn, true},
+                             acct_);
     return Status::ok();
 }
 
@@ -129,6 +139,9 @@ IoPageTable::unmap(u64 iova_pfn)
         return Status(ErrorCode::kNotFound, "unmap of unmapped iova pfn");
     pm_.write64(slot, 0);
     --mapped_pages_;
+    if (traps_)
+        traps_->onTableWrite(
+            {TableWrite::Kind::kRadixPte, iova_pfn, 0, false}, acct_);
     return Status::ok();
 }
 
@@ -144,12 +157,21 @@ IoPageTable::unmapRange(u64 iova_pfn, u64 npages)
 }
 
 Result<Pte>
-IoPageTable::walk(u64 iova_pfn, int *levels_touched) const
+IoPageTable::walk(u64 iova_pfn, int *levels_touched, VirtStage2 *s2,
+                  int *mem_refs) const
 {
     PhysAddr table = root_;
     int touched = 0;
     for (int level = 1; level <= kLevels; ++level) {
         ++touched;
+        // Under nested translation the table address the walker holds
+        // is guest-physical; resolve it through stage 2 before the
+        // hardware can read the entry (the 2-D walk of §"nested").
+        if (s2)
+            table = s2->deviceTranslate(table, mem_refs);
+        if (mem_refs)
+            ++*mem_refs;
+        level_reads_[level - 1]->inc();
         const PhysAddr slot = table + levelIndex(iova_pfn, level) * 8;
         const Pte entry{pm_.read64(slot)};
         if (!entry.present()) {

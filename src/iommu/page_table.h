@@ -11,6 +11,8 @@
 #ifndef RIO_IOMMU_PAGE_TABLE_H
 #define RIO_IOMMU_PAGE_TABLE_H
 
+#include <array>
+
 #include "base/status.h"
 #include "base/types.h"
 #include "cycles/cost_model.h"
@@ -18,7 +20,14 @@
 #include "iommu/types.h"
 #include "mem/phys_mem.h"
 
+namespace rio::obs {
+struct Counter;
+}
+
 namespace rio::iommu {
+
+class VirtStage2;
+class VirtTraps;
 
 /**
  * A leaf page-table entry: Intel-style bit 0 = device-read allowed,
@@ -108,8 +117,17 @@ class IoPageTable
      * Hardware page walk (uncharged to the core). @p levels_touched,
      * when non-null, receives the number of tables read — the number
      * of dependent memory accesses an IOTLB miss costs.
+     *
+     * With a stage-2 hook installed (@p s2, nested virtualization)
+     * every table address the walker dereferences is itself
+     * translated GPA->HPA first, and @p mem_refs accumulates the
+     * *combined* reference count: stage-2 references for each table
+     * address plus one reference for the table read itself. Without
+     * @p s2, @p mem_refs equals levels_touched.
      */
-    Result<Pte> walk(u64 iova_pfn, int *levels_touched = nullptr) const;
+    Result<Pte> walk(u64 iova_pfn, int *levels_touched = nullptr,
+                     VirtStage2 *s2 = nullptr,
+                     int *mem_refs = nullptr) const;
 
     /**
      * Physical address of the leaf PTE slot for @p iova_pfn, or 0 if
@@ -118,6 +136,13 @@ class IoPageTable
      * translation behind the driver's back.
      */
     PhysAddr leafSlot(u64 iova_pfn) const;
+
+    /**
+     * Install a guest-write trap sink: every subsequent leaf store
+     * (map or unmap) is reported through @p traps with this table's
+     * cycle account. Pass nullptr to detach (e.g. guest teardown).
+     */
+    void setVirtTraps(VirtTraps *traps) { traps_ = traps; }
 
     /** Translations currently installed. */
     u64 mappedPages() const { return mapped_pages_; }
@@ -138,9 +163,12 @@ class IoPageTable
     bool coherent_;
     const cycles::CostModel &cost_;
     cycles::CycleAccount *acct_;
+    VirtTraps *traps_ = nullptr;
     PhysAddr root_;
     u64 mapped_pages_ = 0;
     u64 table_pages_ = 0;
+    /** Per-level hardware-walk read counters (obs::Registry). */
+    std::array<obs::Counter *, kLevels> level_reads_{};
 };
 
 } // namespace rio::iommu

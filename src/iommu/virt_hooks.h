@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hook interfaces through which the virtualization layer (src/virt)
+ * observes and intercepts the IOMMU data structures without the IOMMU
+ * layer depending on virt. Bare-metal runs never install a hook, so
+ * every call site is a null-pointer check and the bare paths stay
+ * bit-for-bit identical (the golden_virt invariant).
+ *
+ * Three interception points model the three vIOMMU strategies:
+ *
+ *  - VirtStage2: GPA->HPA translation applied to each device-side
+ *    table access during a walk, turning the 1-D walk into the 2-D
+ *    nested walk (n*m + n + m memory references, §"nested" of
+ *    DESIGN.md §10). Installed only under the nested strategy.
+ *
+ *  - VirtTraps::onTableWrite: fired on every guest store into an I/O
+ *    page table (radix PTE or rIOMMU rPTE). The shadow strategy
+ *    write-protects guest tables, so each store costs a wp-trap +
+ *    shadow sync; the emulated strategy traps map-side stores via the
+ *    VT-d caching-mode invalidation the guest must issue.
+ *
+ *  - VirtTraps::onQiDoorbell: fired on every invalidation-queue
+ *    doorbell ring. Under emulated and shadow the doorbell is an MMIO
+ *    write into the vIOMMU and traps; under nested the hypervisor
+ *    merely forwards it.
+ */
+#ifndef RIO_IOMMU_VIRT_HOOKS_H
+#define RIO_IOMMU_VIRT_HOOKS_H
+
+#include "base/types.h"
+#include "cycles/cycle_account.h"
+
+namespace rio::iommu {
+
+/**
+ * Stage-2 (GPA->HPA) translation applied to device-side accesses.
+ * Implemented by virt::Guest; installed into Iommu/Riommu only under
+ * the nested strategy.
+ */
+class VirtStage2
+{
+  public:
+    virtual ~VirtStage2() = default;
+
+    /**
+     * Translate a guest-physical address a device walk is about to
+     * dereference. @p mem_refs, when non-null, is incremented by the
+     * number of stage-2 memory references the translation cost (0 on
+     * a stage-2 TLB hit, kLevels on a walk).
+     */
+    virtual PhysAddr deviceTranslate(PhysAddr gpa, int *mem_refs) = 0;
+};
+
+/** One guest store into an I/O translation structure. */
+struct TableWrite
+{
+    enum class Kind : u8 {
+        kRadixPte, //!< leaf entry of a 4-level radix table
+        kRpte,     //!< rIOMMU flat-table rPTE
+    };
+
+    Kind kind = Kind::kRadixPte;
+    u64 iova_pfn = 0;   //!< page frame the entry translates
+    u64 phys_pfn = 0;   //!< target frame (0 when tearing down)
+    bool valid = false; //!< entry made valid (map) or invalid (unmap)
+};
+
+/**
+ * Trap delivery interface. Implemented by virt::Guest per handle;
+ * methods charge the trapping cost into @p acct (the owning core's
+ * account) under Cat::kVirt. Null acct means the write happened
+ * outside any accounted context (e.g. hypervisor-internal) and is
+ * free.
+ */
+class VirtTraps
+{
+  public:
+    virtual ~VirtTraps() = default;
+
+    /** A guest store into a translation structure completed. */
+    virtual void onTableWrite(const TableWrite &w,
+                              cycles::CycleAccount *acct) = 0;
+
+    /** The guest rang an invalidation-queue doorbell. */
+    virtual void onQiDoorbell(cycles::CycleAccount *acct) = 0;
+};
+
+} // namespace rio::iommu
+
+#endif // RIO_IOMMU_VIRT_HOOKS_H

@@ -22,6 +22,7 @@ evName(Ev ev)
       case Ev::kLockAcquire: return "lock_acquire";
       case Ev::kLockRelease: return "lock_release";
       case Ev::kFlightDump: return "flight_dump";
+      case Ev::kVmExit: return "vmexit";
       case Ev::kNumEvents: break;
     }
     RIO_PANIC("bad Ev");
@@ -150,6 +151,7 @@ Timeline::writeChromeTrace(const std::string &path) const
               case Ev::kMap:
               case Ev::kUnmap:
               case Ev::kLockAcquire:
+              case Ev::kVmExit:
                 // Complete spans: ts is the span start.
                 obj = strprintf(
                     "{\"name\": \"%s\", \"cat\": \"dma\", \"ph\": "

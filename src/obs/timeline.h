@@ -48,6 +48,7 @@ enum class Ev : u8 {
     kLockAcquire,  //!< contended lock granted (span; dur = spin wait)
     kLockRelease,  //!< lock released (instant)
     kFlightDump,   //!< flight recorder fired (instant; arg=dump #)
+    kVmExit,       //!< guest trapped to the hypervisor (span; arg=reason)
     kNumEvents
 };
 

@@ -1,6 +1,7 @@
 #include "riommu/rdevice.h"
 
 #include "base/logging.h"
+#include "iommu/virt_hooks.h"
 
 namespace rio::riommu {
 
@@ -134,6 +135,11 @@ RDevice::map(u16 rid, PhysAddr pa, u32 size, DmaDir dir)
     pm_.write64(slot, pte.word0());
     pm_.write64(slot + 8, pte.word1());
     chargeSync(cycles::Cat::kMapPageTable, cost_.table_store);
+    if (traps_)
+        traps_->onTableWrite({iommu::TableWrite::Kind::kRpte,
+                              RIova::pack(0, t, rid).raw,
+                              pa >> kPageShift, true},
+                             acct_);
 
     charge(cycles::Cat::kMapOther, cost_.map_other);
     return RIova::pack(0, t, rid);
@@ -157,6 +163,9 @@ RDevice::unmap(RIova iova, bool end_of_burst)
     pte.valid = false;
     pm_.write64(slot + 8, pte.word1());
     chargeSync(cycles::Cat::kUnmapPageTable, cost_.table_store);
+    if (traps_)
+        traps_->onTableWrite(
+            {iommu::TableWrite::Kind::kRpte, iova.raw, 0, false}, acct_);
 
     RIO_ASSERT(r.nmapped > 0, "nmapped underflow");
     --r.nmapped;

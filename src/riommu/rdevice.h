@@ -20,6 +20,10 @@
 #include "cycles/cycle_account.h"
 #include "riommu/riommu.h"
 
+namespace rio::iommu {
+class VirtTraps;
+}
+
 namespace rio::riommu {
 
 /** Geometry + allocation policy of one rRING. */
@@ -81,6 +85,14 @@ class RDevice
 
     PhysAddr rdeviceBase() const { return rdevice_base_; }
 
+    /**
+     * Install a guest-write trap sink for rPTE stores. Only the
+     * shadow strategy traps these (rIOMMU's memory-only protocol has
+     * no MMIO register per map; emulated and nested guests run the
+     * rPTE path untrapped once the tables are registered).
+     */
+    void setVirtTraps(iommu::VirtTraps *traps) { traps_ = traps; }
+
     /** Physical address of ring @p rid's flat rPTE table (tests and
      * the fault-injection harness). */
     PhysAddr tableAddr(u16 rid) const { return rings_.at(rid).table; }
@@ -112,6 +124,7 @@ class RDevice
     bool coherent_;
     const cycles::CostModel &cost_;
     cycles::CycleAccount *acct_;
+    iommu::VirtTraps *traps_ = nullptr;
 
     PhysAddr rdevice_base_ = 0;
     u64 rdevice_bytes_ = 0;

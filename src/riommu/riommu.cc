@@ -1,6 +1,7 @@
 #include "riommu/riommu.h"
 
 #include "base/logging.h"
+#include "iommu/virt_hooks.h"
 
 namespace rio::riommu {
 
@@ -100,12 +101,17 @@ Riommu::prefetch(const RDeviceInfo &dev, RiotlbEntry &entry)
 }
 
 Result<RiotlbEntry>
-Riommu::tableWalk(u16 sid, RIova iova, Cycles *hw)
+Riommu::tableWalk(u16 sid, RIova iova, Cycles *hw, int *mem_refs)
 {
     // rtable_walk (Figure 10): bounds-check rid/rentry against the
     // rDEVICE limits and require a valid rPTE; noncompliance is an
-    // I/O page fault (errant DMA or buggy driver).
+    // I/O page fault (errant DMA or buggy driver). One dependent
+    // memory reference: the rPTE fetch (the rDEVICE/rRING descriptors
+    // are cached by the hardware, and under nested virtualization
+    // pinned + pre-translated at registration).
     *hw += cost_.hw_rwalk;
+    if (mem_refs)
+        ++*mem_refs;
     const RDeviceInfo *dev = getDomain(sid);
     if (!dev) {
         fault(sid, iova, Access::kRead, iommu::FaultReason::kNoContext);
@@ -142,7 +148,7 @@ Riommu::tableWalk(u16 sid, RIova iova, Cycles *hw)
 
 Status
 Riommu::entrySync(u16 sid, RIova iova, RiotlbEntry &entry, Cycles *hw,
-                  bool *prefetch_hit)
+                  bool *prefetch_hit, int *mem_refs)
 {
     // riotlb_entry_sync (Figure 10): the cached entry points at a
     // different rentry than this rIOVA. If the prefetched next rPTE
@@ -163,7 +169,7 @@ Riommu::entrySync(u16 sid, RIova iova, RiotlbEntry &entry, Cycles *hw,
         *hw += cost_.hw_tlb_hit;
         ++riotlb_.stats().prefetch_hits;
     } else {
-        auto walked = tableWalk(sid, iova, hw);
+        auto walked = tableWalk(sid, iova, hw, mem_refs);
         if (!walked.isOk())
             return walked.status();
         entry = walked.value();
@@ -186,7 +192,7 @@ Riommu::translate(Bdf bdf, RIova iova, Access access, u64 len)
 
     RiotlbEntry *e = riotlb_.find(sid, iova.rid());
     if (!e) {
-        auto walked = tableWalk(sid, iova, &out.hw_cycles);
+        auto walked = tableWalk(sid, iova, &out.hw_cycles, &out.mem_refs);
         if (!walked.isOk())
             return walked.status();
         riotlb_.insert(walked.value());
@@ -198,7 +204,7 @@ Riommu::translate(Bdf bdf, RIova iova, Access access, u64 len)
         if (e->rentry != iova.rentry()) {
             ++st.synced;
             Status s = entrySync(sid, iova, *e, &out.hw_cycles,
-                                 &out.prefetch_hit);
+                                 &out.prefetch_hit, &out.mem_refs);
             if (!s)
                 return s;
         } else {
@@ -218,7 +224,18 @@ Riommu::translate(Bdf bdf, RIova iova, Access access, u64 len)
         fault(sid, iova, access, iommu::FaultReason::kPermission);
         return Status(ErrorCode::kPermission, "DMA direction violation");
     }
-    out.pa = pte.phys_addr + iova.offset();
+    PhysAddr page_pa = pte.phys_addr;
+    if (stage2_ && out.mem_refs > 0) {
+        // A walk fetched a guest-physical rPTE: the data access needs
+        // one stage-2 translation. rIOTLB/prefetch hits hold the
+        // combined translation and pay nothing.
+        int s2_refs = 0;
+        page_pa = stage2_->deviceTranslate(page_pa, &s2_refs);
+        out.mem_refs += s2_refs;
+        out.hw_cycles +=
+            static_cast<Cycles>(s2_refs) * cost_.hw_walk_level;
+    }
+    out.pa = page_pa + iova.offset();
     return out;
 }
 

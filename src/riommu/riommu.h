@@ -22,6 +22,10 @@
 #include "riommu/riotlb.h"
 #include "riommu/structures.h"
 
+namespace rio::iommu {
+class VirtStage2;
+}
+
 namespace rio::riommu {
 
 /** Result of one rtranslate call. */
@@ -31,6 +35,10 @@ struct RTranslation
     bool riotlb_hit = false;   //!< ring entry was cached
     bool prefetch_hit = false; //!< satisfied from the next field
     Cycles hw_cycles = 0;
+    /** Memory references of this translation: 1 (the rPTE fetch) on a
+     * flat-table walk, plus stage-2 references for the data page
+     * under nested virtualization (at most 5 total); 0 on a hit. */
+    int mem_refs = 0;
 };
 
 /** The rIOMMU hardware. One instance serves all rings of all devices. */
@@ -106,6 +114,17 @@ class Riommu
     bool prefetchEnabled() const { return prefetch_enabled_; }
     void setPrefetchEnabled(bool on) { prefetch_enabled_ = on; }
 
+    /**
+     * Install (or remove) the nested-virtualization stage-2 hook.
+     * The rDEVICE / rRING descriptors and the flat rPTE tables are
+     * registered with the host by a paravirtual hypercall at guest
+     * boot (and pinned), so only the rPTE fetch itself and the final
+     * data page cost stage-combined references — the flat-table walk
+     * stays ~5 references where the radix walk balloons to 24.
+     */
+    void setStage2(iommu::VirtStage2 *s2) { stage2_ = s2; }
+    iommu::VirtStage2 *stage2() const { return stage2_; }
+
     /** Is @p bdf currently attached (has an rDEVICE)? */
     bool attached(Bdf bdf) const
     {
@@ -140,15 +159,18 @@ class Riommu
     /** Read rPTE @p rentry from a flat table. */
     RPte readPte(const RRingDesc &ring, u32 rentry) const;
 
-    /** rtable_walk: validate indices and build a fresh rIOTLB entry. */
-    Result<RiotlbEntry> tableWalk(u16 sid, RIova iova, Cycles *hw);
+    /** rtable_walk: validate indices and build a fresh rIOTLB entry.
+     * @p mem_refs accumulates the rPTE fetch (pinned descriptors are
+     * free — see setStage2). */
+    Result<RiotlbEntry> tableWalk(u16 sid, RIova iova, Cycles *hw,
+                                  int *mem_refs);
 
     /** rprefetch: try to stash the next rPTE into @p entry. */
     void prefetch(const RDeviceInfo &dev, RiotlbEntry &entry);
 
     /** riotlb_entry_sync: advance @p entry to iova.rentry. */
     Status entrySync(u16 sid, RIova iova, RiotlbEntry &entry, Cycles *hw,
-                     bool *prefetch_hit);
+                     bool *prefetch_hit, int *mem_refs);
 
     void fault(u16 sid, RIova iova, Access access,
                iommu::FaultReason reason);
@@ -162,6 +184,7 @@ class Riommu
     mem::PhysicalMemory &pm_;
     const cycles::CostModel &cost_;
     bool prefetch_enabled_;
+    iommu::VirtStage2 *stage2_ = nullptr;
     Riotlb riotlb_;
     std::unordered_map<u16, RDeviceInfo> devices_;
     std::vector<iommu::FaultRecord> faults_;

@@ -1,0 +1,29 @@
+#include "virt/platform.h"
+
+#include "base/logging.h"
+
+namespace rio::virt {
+
+const char *
+platformName(Platform p)
+{
+    switch (p) {
+      case Platform::kBare: return "bare";
+      case Platform::kEmulated: return "emulated";
+      case Platform::kShadow: return "shadow";
+      case Platform::kNested: return "nested";
+    }
+    RIO_PANIC("bad Platform");
+}
+
+std::optional<Platform>
+parsePlatform(const std::string &name)
+{
+    for (Platform p : kAllPlatforms) {
+        if (name == platformName(p))
+            return p;
+    }
+    return std::nullopt;
+}
+
+} // namespace rio::virt

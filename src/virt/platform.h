@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Execution platforms a workload can run on: bare metal (the paper's
+ * setup) or inside a guest VM under one of three vIOMMU strategies.
+ * The strategy decides what the guest's DMA-management code pays in
+ * vmexits, not what it computes — all seven protection modes run
+ * unmodified on every platform (DESIGN.md §10).
+ */
+#ifndef RIO_VIRT_PLATFORM_H
+#define RIO_VIRT_PLATFORM_H
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "base/types.h"
+
+namespace rio::virt {
+
+enum class Platform : u8 {
+    kBare = 0, //!< no hypervisor; the paper's configuration
+    kEmulated, //!< trap-and-emulate vIOMMU (QEMU intel-iommu style)
+    kShadow,   //!< write-protected guest tables, merged shadow table
+    kNested,   //!< hardware 2-D walk through guest + stage-2 tables
+};
+
+/** All platforms, bare first (bench sweep order). */
+inline constexpr std::array<Platform, 4> kAllPlatforms = {
+    Platform::kBare,
+    Platform::kEmulated,
+    Platform::kShadow,
+    Platform::kNested,
+};
+
+/** Printable name ("bare", "emulated", "shadow", "nested"). */
+const char *platformName(Platform p);
+
+/** Parse a platform name; nullopt on unknown. */
+std::optional<Platform> parsePlatform(const std::string &name);
+
+} // namespace rio::virt
+
+#endif // RIO_VIRT_PLATFORM_H

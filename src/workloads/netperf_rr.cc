@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <string_view>
 
 #include "base/logging.h"
 #include "net/packet.h"
 #include "sys/machine.h"
+#include "virt/guest.h"
 
 namespace rio::workloads {
 
@@ -32,6 +34,11 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
     des::Simulator sim;
     sys::Machine a(sim, mode, profile, cost); // netperf (measured)
     sys::Machine b(sim, mode, profile, cost); // netserver (echoer)
+    // Only the measured machine runs inside a guest; attach before
+    // bring-up so boot traps precede the measurement window.
+    std::optional<virt::Guest> guest;
+    if (params.platform != virt::Platform::kBare)
+        guest.emplace(a, params.platform);
     a.bringUp();
     b.bringUp();
     if (params.fault_rate > 0) {
@@ -143,6 +150,7 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
     r.surprise_unplugs = a.lifecycleStats().surprise_unplugs;
     r.replugs = a.lifecycleStats().replugs;
     r.detach_faults = a.detachFaultCount();
+    r.vm_exits = r.acct.ops(cycles::Cat::kVirt);
     return r;
 }
 

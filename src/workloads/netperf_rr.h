@@ -13,6 +13,7 @@
 #include "dma/fault.h"
 #include "dma/protection_mode.h"
 #include "nic/profile.h"
+#include "virt/platform.h"
 #include "workloads/result.h"
 
 namespace rio::workloads {
@@ -40,6 +41,12 @@ struct RrParams
     double churn_per_ms = 0.0;
     u64 churn_seed = 1;
     Nanos churn_down_ns = 20000;
+    /**
+     * Execution platform of the MEASURED machine (the netserver echo
+     * side always runs bare: the paper's question is what the
+     * initiator's DMA management costs under virtualization).
+     */
+    virt::Platform platform = virt::Platform::kBare;
 };
 
 /** Calibrated parameters (Table 3's none RTT anchors the wire). */

@@ -50,6 +50,10 @@ struct RunResult
     u64 surprise_unplugs = 0;
     u64 replugs = 0;
     u64 detach_faults = 0;
+
+    /** vmexits the measured core took inside the window (zero on
+     * bare metal; boot-time hypercalls precede the window). */
+    u64 vm_exits = 0;
 };
 
 /** a - b, field-wise, for NIC counter windows. */

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "base/logging.h"
 #include "net/packet.h"
 #include "sys/machine.h"
+#include "virt/guest.h"
 
 namespace rio::workloads {
 
@@ -67,6 +69,11 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
 {
     des::Simulator sim;
     sys::Machine m(sim, mode, profile, cost, params.trace);
+    // The guest attaches before bring-up: registration hypercalls and
+    // Rx-prefill traps are boot cost, outside the snapshot window.
+    std::optional<virt::Guest> guest;
+    if (params.platform != virt::Platform::kBare)
+        guest.emplace(m, params.platform);
     m.bringUp();
     if (params.fault_rate > 0) {
         m.setFaultPolicy(params.fault_policy);
@@ -193,6 +200,7 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
     r.surprise_unplugs = m.lifecycleStats().surprise_unplugs;
     r.replugs = m.lifecycleStats().replugs;
     r.detach_faults = m.detachFaultCount();
+    r.vm_exits = r.acct.ops(cycles::Cat::kVirt);
     return r;
 }
 

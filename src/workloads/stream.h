@@ -12,6 +12,7 @@
 #include "dma/protection_mode.h"
 #include "nic/profile.h"
 #include "trace/trace.h"
+#include "virt/platform.h"
 #include "workloads/result.h"
 
 namespace rio::workloads {
@@ -53,6 +54,13 @@ struct StreamParams
     double churn_per_ms = 0.0;
     u64 churn_seed = 1;
     Nanos churn_down_ns = 20000;
+    /**
+     * Execution platform: bare metal, or a guest VM under one of the
+     * three vIOMMU strategies (DESIGN.md §10). The guest wraps the
+     * measured machine before bring-up, so registration hypercalls
+     * and init-time traps land outside the measurement window.
+     */
+    virt::Platform platform = virt::Platform::kBare;
 };
 
 /** Calibrated parameters for a NIC profile (see workloads/calibrate.cc). */

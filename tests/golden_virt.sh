@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Bit-for-bit regression for the virtualization subsystem: on the bare
+# platform the virt layer must be a perfect no-op, so bench_virt
+# --platform bare must reproduce the checked-in fig7 golden JSON
+# (modulo the bench name line). Any diff means the guest hooks
+# perturbed the bare path: a null-check turned into a charge, an extra
+# RNG draw, a changed allocation order. If bench_fig7 itself changed
+# intentionally, regenerate the golden:
+#
+#   RIO_BENCH_QUICK=1 bench_fig7_cycles_per_packet \
+#       --json tests/golden/fig7_quick.json
+#
+# Usage: golden_virt.sh <bench_virt-binary> <golden.json>
+set -euo pipefail
+
+bench="$1"
+golden="$2"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+RIO_BENCH_QUICK=1 "$bench" --platform bare --json "$out" > /dev/null
+
+strip_name() { sed 's/"bench": "[^"]*"/"bench": ""/' "$1"; }
+
+if ! diff -u <(strip_name "$golden") <(strip_name "$out"); then
+    echo "golden_virt: bare platform diverged from $golden" >&2
+    exit 1
+fi
+echo "golden_virt: bare-platform output matches $golden"
