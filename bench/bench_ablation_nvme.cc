@@ -20,7 +20,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
-    bench::JsonWriter json("ablation_nvme");
+    bench::JsonWriter json("ablation_nvme", args.threads);
     for (bool extreme : {false, true}) {
         workloads::StorageParams p;
         p.measure_ios = bench::scaled(15000);

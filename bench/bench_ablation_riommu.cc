@@ -197,7 +197,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
-    bench::JsonWriter json("ablation_riommu");
+    bench::JsonWriter json("ablation_riommu", args.threads);
     ablationPrefetch(json);
     ablationCoherence(json);
     ablationBurst(json);

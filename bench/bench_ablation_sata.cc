@@ -81,7 +81,7 @@ main(int argc, char **argv)
     std::printf("paper: \"indistinguishable performance results ... "
                 "regardless of whether we use a SATA HDD or a SATA "
                 "SSD\" (Sec. 4)\n");
-    bench::JsonWriter json("ablation_sata");
+    bench::JsonWriter json("ablation_sata", args.threads);
     json.addTable(t);
     if (!json.writeTo(args.json_path))
         return 1;

@@ -8,6 +8,7 @@
 #define RIO_BENCH_BENCH_COMMON_H
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -57,11 +58,28 @@ printHeader(const std::string &title)
     std::printf("\n=== %s ===\n\n", title.c_str());
 }
 
+/** Host wall-clock anchor for JsonWriter's host_ms field; first call
+ * wins, and parseBenchArgs() makes that call at bench startup. */
+inline std::chrono::steady_clock::time_point
+benchStartTime()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
 /** Arguments every bench binary understands. */
 struct BenchArgs
 {
     const char *json_path = nullptr;     //!< --json <path>
     const char *timeline_path = nullptr; //!< --timeline <path>
+    /**
+     * --threads N: worker threads for the engine-backed sweeps
+     * (workloads/sweep.h). Simulation results are byte-identical for
+     * any value — only host wall-clock changes (golden_selfperf
+     * enforces this) — so benches that still run sequentially simply
+     * record the flag in their JSON and ignore it.
+     */
+    unsigned threads = 1;
 };
 
 /**
@@ -73,6 +91,7 @@ struct BenchArgs
 inline BenchArgs
 parseBenchArgs(int argc, char **argv)
 {
+    benchStartTime(); // anchor host_ms at startup
     BenchArgs args;
     for (int i = 1; i + 1 < argc; ++i) {
         const std::string_view arg(argv[i]);
@@ -80,6 +99,8 @@ parseBenchArgs(int argc, char **argv)
             args.json_path = argv[i + 1];
         else if (arg == "--timeline")
             args.timeline_path = argv[i + 1];
+        else if (arg == "--threads")
+            args.threads = std::max(1, std::atoi(argv[i + 1]));
     }
     if (args.timeline_path) {
         if (!obs::kObsCompiled)
@@ -104,15 +125,26 @@ finishBench(const BenchArgs &args)
  * Mirrors a bench's table into a machine-readable file (conventionally
  * BENCH_<name>.json) for plotting and CI diffing:
  *
- *   {"bench": "...", "rows": [{"mode": "strict", "total": 17650.0}, ...]}
+ *   {"bench": "...", "threads": 1, "host_ms": 42,
+ *    "rows": [{"mode": "strict", "total": 17650.0}, ...]}
  *
  * Rows are flat objects of string and number fields, added in call
  * order. Writing is a no-op when the path is null (no --json given).
+ *
+ * The meta header records how the bench ran: `threads` is the
+ * --threads value, `host_ms` the host wall-clock from bench startup
+ * to writeTo(). host_ms is the one legitimately nondeterministic
+ * field in an otherwise bit-reproducible file, so the golden_* tests
+ * (and any other byte-for-byte diffing) set RIO_JSON_STABLE=1, which
+ * pins it to 0.
  */
 class JsonWriter
 {
   public:
-    explicit JsonWriter(std::string bench) : bench_(std::move(bench)) {}
+    explicit JsonWriter(std::string bench, unsigned threads = 1)
+        : bench_(std::move(bench)), threads_(threads)
+    {
+    }
 
     void beginRow() { rows_.emplace_back(); }
     void add(const std::string &key, const std::string &value)
@@ -201,7 +233,19 @@ class JsonWriter
             std::fprintf(stderr, "cannot write %s\n", path);
             return false;
         }
-        std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", bench_.c_str());
+        // RIO_JSON_STABLE pins the wall-clock field for byte-for-byte
+        // golden diffs; everything else in the file is deterministic.
+        const char *stable = std::getenv("RIO_JSON_STABLE");
+        unsigned long long host_ms = 0;
+        if (!(stable && stable[0] == '1'))
+            host_ms = static_cast<unsigned long long>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - benchStartTime())
+                    .count());
+        std::fprintf(f,
+                     "{\"bench\": \"%s\", \"threads\": %u, "
+                     "\"host_ms\": %llu, \"rows\": [",
+                     bench_.c_str(), threads_, host_ms);
         for (size_t i = 0; i < rows_.size(); ++i) {
             std::fprintf(f, "%s{", i ? ", " : "");
             for (size_t j = 0; j < rows_[i].size(); ++j)
@@ -230,6 +274,7 @@ class JsonWriter
     }
 
     std::string bench_;
+    unsigned threads_ = 1;
     std::vector<std::vector<std::string>> rows_;
     std::vector<OpenObject> open_;
 };

@@ -105,7 +105,7 @@ main(int argc, char **argv)
     sp.warmup_packets = bench::scaled(5000);
 
     const double rates[] = {0.0, 0.001, 0.01};
-    bench::JsonWriter json("fault_storm");
+    bench::JsonWriter json("fault_storm", args.threads);
 
     // -- Rate sweep, retry-with-remap (the production-shaped policy).
     std::vector<Row> rate_rows;

@@ -86,7 +86,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
-    bench::JsonWriter json("fig12_performance");
+    bench::JsonWriter json("fig12_performance", args.threads);
     const std::vector<std::string> benches = {"stream", "rr", "apache 1M",
                                               "apache 1K", "memcached"};
     for (const nic::NicProfile *profile :

@@ -64,7 +64,7 @@ main(int argc, char **argv)
     std::printf("the model column should track the measured column "
                 "within a few percent (paper: the thick line, thin "
                 "line and crosses coincide)\n");
-    bench::JsonWriter json("fig8_model_validation");
+    bench::JsonWriter json("fig8_model_validation", args.threads);
     json.addTable(sweep, "series", "busywait_sweep");
     json.addTable(modes, "series", "modes");
     if (!json.writeTo(args.json_path))

@@ -147,7 +147,7 @@ main(int argc, char **argv)
                 "ring per unplug) and slower modes absorb more events "
                 "per packet because churn runs in virtual time\n");
 
-    bench::JsonWriter json("lifecycle_churn");
+    bench::JsonWriter json("lifecycle_churn", args.threads);
     for (const Row &row : rows) {
         json.beginRow();
         // Rate-0 rows carry exactly fig7's fields, in fig7's order:

@@ -90,7 +90,7 @@ main(int argc, char **argv)
     std::printf("expected: strict/defer grow with cores (lock wait > 0); "
                 "riommu/riommu-/none stay flat with zero lock wait\n");
 
-    bench::JsonWriter json("scaling_cores");
+    bench::JsonWriter json("scaling_cores", args.threads);
     for (const Row &row : rows) {
         json.beginRow();
         json.add("mode", dma::modeName(row.mode));

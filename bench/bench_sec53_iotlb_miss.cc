@@ -98,7 +98,7 @@ main(int argc, char **argv)
                     static_cast<double>(
                         ctx.riommu().riotlb().stats().prefetch_hits) /
                     static_cast<double>(std::max<u64>(rn, 1)));
-    bench::JsonWriter json("sec53_iotlb_miss");
+    bench::JsonWriter json("sec53_iotlb_miss", args.threads);
     json.addTable(t);
     json.beginRow();
     json.add("experiment", "riommu sequential");

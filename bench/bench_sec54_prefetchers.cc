@@ -105,7 +105,7 @@ main(int argc, char **argv)
     std::printf("%s\n", table.toString().c_str());
     std::printf("ring size for reference: %llu descriptors\n",
                 static_cast<unsigned long long>(ring_size));
-    bench::JsonWriter json("sec54_prefetchers");
+    bench::JsonWriter json("sec54_prefetchers", args.threads);
     json.addTable(table);
     if (!json.writeTo(args.json_path))
         return 1;

@@ -103,7 +103,7 @@ main(int argc, char **argv)
     }
     std::printf("%s\n", t.toString().c_str());
 
-    bench::JsonWriter json("table1_breakdown");
+    bench::JsonWriter json("table1_breakdown", args.threads);
     json.addTable(t);
 
     std::printf("map ops / unmap ops per mode:\n");

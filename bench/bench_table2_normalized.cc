@@ -68,7 +68,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
-    bench::JsonWriter json("table2_normalized");
+    bench::JsonWriter json("table2_normalized", args.threads);
     bench::printHeader("Table 2: riommu-/riommu divided by the other "
                        "modes (throughput and CPU)");
 

@@ -17,7 +17,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
-    bench::JsonWriter json("table3_rr_latency");
+    bench::JsonWriter json("table3_rr_latency", args.threads);
     bench::printHeader("Table 3: Netperf RR round-trip time (microseconds)");
 
     const double paper_mlx[] = {17.3, 15.1, 14.9, 14.4, 14.1, 13.9, 13.4};

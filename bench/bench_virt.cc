@@ -20,6 +20,7 @@
 
 #include "cycles/cycle_account.h"
 #include "virt/platform.h"
+#include "workloads/sweep.h"
 
 using namespace rio;
 using cycles::Cat;
@@ -44,13 +45,18 @@ runBareGolden(const bench::BenchArgs &args)
         dma::ProtectionMode mode;
         double inv, pt, iova, other, total;
     };
+    std::vector<workloads::StreamJob> jobs;
+    for (dma::ProtectionMode mode : bench::evaluatedModes())
+        jobs.push_back({mode, nic::mlxProfile(), params});
+    const std::vector<workloads::RunResult> results =
+        workloads::runStreamJobs(jobs, args.threads);
+
     std::vector<Row> rows;
-    for (dma::ProtectionMode mode : bench::evaluatedModes()) {
-        const workloads::RunResult r =
-            workloads::runStream(mode, nic::mlxProfile(), params);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const workloads::RunResult &r = results[i];
         const double pkts = static_cast<double>(r.tx_packets);
         Row row;
-        row.mode = mode;
+        row.mode = jobs[i].mode;
         row.inv =
             static_cast<double>(r.acct.get(Cat::kUnmapIotlbInv)) / pkts;
         row.pt = static_cast<double>(r.acct.get(Cat::kMapPageTable) +
@@ -81,7 +87,7 @@ runBareGolden(const bench::BenchArgs &args)
     }
     std::printf("%s\n", t.toString().c_str());
 
-    bench::JsonWriter json("virt_bare");
+    bench::JsonWriter json("virt_bare", args.threads);
     for (const Row &row : rows) {
         json.beginRow();
         json.add("mode", dma::modeName(row.mode));
@@ -130,7 +136,7 @@ main(int argc, char **argv)
 
     bench::printHeader("Virtualization: cycles/packet by platform, "
                        "Netperf stream + RR on mlx");
-    bench::JsonWriter json("virt_platforms");
+    bench::JsonWriter json("virt_platforms", args.threads);
 
     workloads::StreamParams sp =
         workloads::streamParamsFor(nic::mlxProfile());
@@ -142,18 +148,27 @@ main(int argc, char **argv)
         bench::evaluatedModes().size(),
         std::vector<double>(platforms.size(), 0.0));
 
+    // The whole platform x mode grid is one sweep: every cell is an
+    // independent run, so all of them go to the engine at once.
+    std::vector<workloads::StreamJob> sjobs;
+    for (const virt::Platform platform : platforms) {
+        sp.platform = platform;
+        for (const dma::ProtectionMode mode : bench::evaluatedModes())
+            sjobs.push_back({mode, nic::mlxProfile(), sp});
+    }
+    const std::vector<workloads::RunResult> sresults =
+        workloads::runStreamJobs(sjobs, args.threads);
+
     for (size_t pi = 0; pi < platforms.size(); ++pi) {
         const virt::Platform platform = platforms[pi];
-        sp.platform = platform;
         struct Cell
         {
             double total, virt_c, exits_pkt;
         };
         std::vector<Cell> cells;
         for (size_t mi = 0; mi < bench::evaluatedModes().size(); ++mi) {
-            const dma::ProtectionMode mode = bench::evaluatedModes()[mi];
-            const workloads::RunResult r =
-                workloads::runStream(mode, nic::mlxProfile(), sp);
+            const workloads::RunResult &r =
+                sresults[pi * bench::evaluatedModes().size() + mi];
             const double pkts = static_cast<double>(r.tx_packets);
             totals[mi][pi] = r.cycles_per_packet;
             cells.push_back(
@@ -229,16 +244,26 @@ main(int argc, char **argv)
     }
 
     // RR: latency-sensitive regime — vmexits land directly on the RTT.
-    for (size_t pi = 0; pi < platforms.size(); ++pi) {
-        const virt::Platform platform = platforms[pi];
+    // Each ping-pong PAIR is one job; the grid sweeps in parallel.
+    std::vector<workloads::RrJob> rjobs;
+    for (const virt::Platform platform : platforms) {
         workloads::RrParams rp = workloads::rrParamsFor(nic::mlxProfile());
         rp.measure_transactions = bench::scaled(4000);
         rp.warmup_transactions = bench::scaled(500);
         rp.platform = platform;
+        for (const dma::ProtectionMode mode : bench::evaluatedModes())
+            rjobs.push_back({mode, nic::mlxProfile(), rp});
+    }
+    const std::vector<workloads::RunResult> rresults =
+        workloads::runRrJobs(rjobs, args.threads);
+
+    for (size_t pi = 0; pi < platforms.size(); ++pi) {
+        const virt::Platform platform = platforms[pi];
         Table t({"mode", "rtt (us)", "vmexits/txn", "cpu (%)"});
-        for (dma::ProtectionMode mode : bench::evaluatedModes()) {
-            const auto r =
-                workloads::runNetperfRr(mode, nic::mlxProfile(), rp);
+        for (size_t mi = 0; mi < bench::evaluatedModes().size(); ++mi) {
+            const dma::ProtectionMode mode = bench::evaluatedModes()[mi];
+            const workloads::RunResult &r =
+                rresults[pi * bench::evaluatedModes().size() + mi];
             const double rtt_us = 1e6 / r.transactions_per_sec;
             const double exits_txn =
                 static_cast<double>(r.vm_exits) /

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 test suite under AddressSanitizer + UBSan (the RIO_SANITIZE
-# CMake option). Run from the repo root:
+# Tier-1 test suite under AddressSanitizer + UBSan, then the threaded
+# suites under ThreadSanitizer (both via the RIO_SANITIZE CMake
+# option). Run from the repo root:
 #
-#   scripts/ci_sanitize.sh [build-dir]
+#   scripts/ci_sanitize.sh [build-dir] [tsan-build-dir]
 #
 # Benches are built too but not run (they are deterministic replays of
 # the same code paths the tests cover; full runs under ASan are slow).
@@ -10,6 +11,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+TSAN_DIR="${2:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DRIO_SANITIZE=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -42,6 +44,27 @@ export RIO_VIRT_EXTRA_SEEDS="6007,28657"
 "$BUILD_DIR/tests/fuzz_test" --gtest_filter='*VirtFuzz*'
 "$BUILD_DIR/tests/virt_test"
 "$BUILD_DIR/tests/magazine_churn_test"
+
+# ---- ThreadSanitizer lane (RIO_SANITIZE=thread) --------------------
+# Everything that actually runs worker threads: the parallel engine's
+# determinism suite, the obs layer's concurrent-update test (atomic
+# counters/gauges, spin-locked histograms, locked registry), and a
+# real threaded sweep via bench_selfperf — four lanes on four workers
+# with batched accounting on, the PR's headline configuration.
+cmake -B "$TSAN_DIR" -S . -DRIO_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_DIR" -j "$(nproc)" -- \
+    parallel_test obs_test des_test spinlock_test magazine_churn_test \
+    bench_selfperf
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+"$TSAN_DIR/tests/parallel_test"
+"$TSAN_DIR/tests/obs_test"
+"$TSAN_DIR/tests/des_test"
+"$TSAN_DIR/tests/spinlock_test"
+"$TSAN_DIR/tests/magazine_churn_test"
+RIO_BENCH_QUICK=1 "$TSAN_DIR/bench/bench_selfperf" --threads 4 --quick
+unset TSAN_OPTIONS
 
 # Observability lane: zero-cost goldens + timeline export validation
 # (its own build dir; obs is ON by default but the lane pins it).

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hot-path charge batching. The simulator's fast path (translate /
+ * map / unmap in a completion burst) touches the CycleAccount and the
+ * obs registry once per packet or per page reference; BatchCharge and
+ * the obs::Deferred* accumulators let those paths settle shared state
+ * once per burst instead.
+ *
+ * The cardinal rule: batching may move *when* accounting lands, never
+ * its final value — and it must never straddle a Core::virtualNow()
+ * read, because virtual time is derived from charged cycles
+ * mid-item. BatchCharge is therefore only for spans with no
+ * intervening virtualNow (pure per-reference bookkeeping); everything
+ * that feeds timestamps keeps charging per op.
+ *
+ * setBatchingEnabled is the bench_selfperf ablation toggle; the
+ * harness (bench_common) turns batching on for benches, unit tests
+ * run with it off and see per-op-exact metrics.
+ */
+#ifndef RIO_CYCLES_BATCH_H
+#define RIO_CYCLES_BATCH_H
+
+#include "cycles/cycle_account.h"
+#include "obs/deferred.h"
+
+namespace rio::cycles {
+
+/** Runtime toggle for all deferred accounting (obs + BatchCharge). */
+inline bool
+batchingEnabled()
+{
+    return obs::deferredEnabled();
+}
+
+inline void
+setBatchingEnabled(bool on)
+{
+    obs::setDeferredEnabled(on);
+}
+
+/** Settle every deferred accumulator (barrier / pre-snapshot). */
+inline void
+flushBatches()
+{
+    obs::flushAllDeferred();
+}
+
+/**
+ * Accumulates one category's charges across a burst and delivers
+ * them with a single chargeBatch() call. RAII: destruction flushes,
+ * so early exits cannot drop cycles.
+ */
+class BatchCharge
+{
+  public:
+    BatchCharge(CycleAccount &acct, Cat cat) : acct_(acct), cat_(cat) {}
+    ~BatchCharge() { flush(); }
+
+    BatchCharge(const BatchCharge &) = delete;
+    BatchCharge &operator=(const BatchCharge &) = delete;
+
+    /** Charge @p c cycles as one op of the burst. */
+    void
+    add(Cycles c)
+    {
+        if (!batchingEnabled()) {
+            acct_.charge(cat_, c);
+            return;
+        }
+        cycles_ += c;
+        ++ops_;
+    }
+
+    void
+    flush()
+    {
+        if (ops_) {
+            acct_.chargeBatch(cat_, cycles_, ops_);
+            cycles_ = 0;
+            ops_ = 0;
+        }
+    }
+
+    u64 pendingOps() const { return ops_; }
+
+  private:
+    CycleAccount &acct_;
+    Cat cat_;
+    Cycles cycles_ = 0;
+    u64 ops_ = 0;
+};
+
+} // namespace rio::cycles
+
+#endif // RIO_CYCLES_BATCH_H

@@ -7,7 +7,7 @@
 namespace rio::des {
 
 void
-Core::post(std::function<void()> fn)
+Core::post(EventFn fn)
 {
     RIO_ASSERT(fn, "posting null work");
     queue_.push_back(std::move(fn));

@@ -10,7 +10,6 @@
 #define RIO_DES_CORE_H
 
 #include <deque>
-#include <functional>
 
 #include "base/types.h"
 #include "cycles/cost_model.h"
@@ -44,7 +43,7 @@ class Core
      * Enqueue @p fn to run on the core as soon as it is free. The
      * cycles @p fn charges extend the core's busy time.
      */
-    void post(std::function<void()> fn);
+    void post(EventFn fn);
 
     /** Total cycles the core has been busy. */
     Cycles busyCycles() const { return busy_cycles_; }
@@ -106,7 +105,7 @@ class Core
     Simulator &sim_;
     const cycles::CostModel &cost_;
     cycles::CycleAccount acct_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<EventFn> queue_;
     bool scheduled_ = false;
     bool in_item_ = false;
     Nanos item_start_time_ = 0;

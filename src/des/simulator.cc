@@ -1,11 +1,32 @@
 #include "des/simulator.h"
 
-#include <limits>
 #include <utility>
 
 #include "base/logging.h"
 
 namespace rio::des {
+
+u32
+Simulator::allocSlot()
+{
+    if (!free_slots_.empty()) {
+        const u32 idx = free_slots_.back();
+        free_slots_.pop_back();
+        return idx;
+    }
+    slots_.emplace_back();
+    return static_cast<u32>(slots_.size() - 1);
+}
+
+void
+Simulator::freeSlot(u32 idx)
+{
+    Slot &s = slots_[idx];
+    s.fn.clear();
+    s.armed = false;
+    ++s.gen; // old EventIds (and stale heap entries) stop matching
+    free_slots_.push_back(idx);
+}
 
 EventId
 Simulator::scheduleAt(Nanos when, Callback cb)
@@ -13,10 +34,13 @@ Simulator::scheduleAt(Nanos when, Callback cb)
     RIO_ASSERT(when >= now_, "scheduling into the past: when=", when,
                " now=", now_);
     RIO_ASSERT(cb, "scheduling a null callback");
-    const EventId id = next_id_++;
-    queue_.push(Event{when, next_seq_++, id, std::move(cb)});
+    const u32 idx = allocSlot();
+    Slot &s = slots_[idx];
+    s.fn = std::move(cb);
+    s.armed = true;
+    queue_.push(QEntry{when, next_seq_++, idx, s.gen});
     ++live_events_;
-    return id;
+    return packId(idx, s.gen);
 }
 
 EventId
@@ -28,49 +52,96 @@ Simulator::scheduleAfter(Nanos delay, Callback cb)
 bool
 Simulator::cancel(EventId id)
 {
-    // Lazy deletion: remember the id; skip it when popped.
-    if (cancelled_.insert(id).second && live_events_ > 0) {
-        --live_events_;
+    const u64 hi = id >> 32;
+    if (hi == 0 || hi > slots_.size())
+        return false;
+    const u32 idx = static_cast<u32>(hi - 1);
+    const u32 gen = static_cast<u32>(id);
+    Slot &s = slots_[idx];
+    if (!s.armed || s.gen != gen)
+        return false; // already fired, cancelled, or pre-reset
+    freeSlot(idx);
+    --live_events_;
+    ++stale_in_queue_; // its heap entry remains until popped/compacted
+    compactIfStale();
+    return true;
+}
+
+void
+Simulator::compactIfStale()
+{
+    // Lazy deletion keeps cancel O(1), but a cancel-heavy workload
+    // (1M armed-then-cancelled timers) must not keep dead heap
+    // entries around forever: rebuild once they dominate.
+    if (stale_in_queue_ < 64 || stale_in_queue_ * 2 < queue_.size())
+        return;
+    std::vector<QEntry> live;
+    live.reserve(queue_.size() - stale_in_queue_);
+    while (!queue_.empty()) {
+        const QEntry &e = queue_.top();
+        if (liveEntry(e))
+            live.push_back(e);
+        queue_.pop();
+    }
+    queue_ = std::priority_queue<QEntry, std::vector<QEntry>, Later>(
+        Later{}, std::move(live));
+    stale_in_queue_ = 0;
+}
+
+bool
+Simulator::popRunnable(EventFn &fn, Nanos &when, Nanos deadline)
+{
+    while (!queue_.empty()) {
+        const QEntry &top = queue_.top();
+        if (!liveEntry(top)) {
+            queue_.pop();
+            --stale_in_queue_;
+            continue;
+        }
+        if (top.when > deadline)
+            return false;
+        const u32 idx = top.slot;
+        when = top.when;
+        fn = std::move(slots_[idx].fn);
+        queue_.pop();
+        freeSlot(idx);
         return true;
     }
     return false;
 }
 
-bool
-Simulator::popRunnable(Event &out, Nanos deadline)
+Nanos
+Simulator::nextEventTime()
 {
     while (!queue_.empty()) {
-        const Event &top = queue_.top();
-        if (top.when > deadline)
-            return false;
-        if (cancelled_.erase(top.id)) {
-            queue_.pop();
-            continue;
-        }
-        out = top;
+        const QEntry &top = queue_.top();
+        if (liveEntry(top))
+            return top.when;
         queue_.pop();
-        return true;
+        --stale_in_queue_;
     }
-    return false;
+    return kNoEvent;
 }
 
 void
 Simulator::run()
 {
-    runUntil(std::numeric_limits<Nanos>::max());
+    runUntil(kNoEvent);
 }
 
 void
 Simulator::runUntil(Nanos deadline)
 {
-    Event ev;
-    while (popRunnable(ev, deadline)) {
-        now_ = ev.when;
+    EventFn fn;
+    Nanos when = 0;
+    while (popRunnable(fn, when, deadline)) {
+        now_ = when;
         --live_events_;
         ++events_run_;
-        ev.cb();
+        fn();
+        fn.clear(); // release captures before the next pop
     }
-    if (now_ < deadline && deadline != std::numeric_limits<Nanos>::max())
+    if (now_ < deadline && deadline != kNoEvent)
         now_ = deadline;
 }
 
@@ -78,7 +149,10 @@ void
 Simulator::reset()
 {
     queue_ = {};
-    cancelled_.clear();
+    for (u32 i = 0; i < slots_.size(); ++i)
+        if (slots_[i].armed)
+            freeSlot(i); // gen bump invalidates outstanding ids
+    stale_in_queue_ = 0;
     now_ = 0;
     next_seq_ = 0;
     live_events_ = 0;

@@ -20,15 +20,13 @@
 #include "base/types.h"
 #include "dma/fault.h"
 #include "iommu/types.h"
+#include "obs/deferred.h"
 
 namespace rio::cycles {
 class CycleAccount;
 }
 namespace rio::des {
 class Core;
-}
-namespace rio::obs {
-class Histogram;
 }
 
 namespace rio::dma {
@@ -253,8 +251,13 @@ class DmaHandle
 
   private:
     // Observability bindings (bindObs); never read by mode logic.
-    obs::Histogram *obs_map_cycles_ = nullptr;
-    obs::Histogram *obs_unmap_cycles_ = nullptr;
+    // The latency histograms are burst-buffered: each unmap's cycle
+    // delta is noted locally and the shared histogram takes the whole
+    // completion burst in one observeBatch at end_of_burst (same
+    // multiset of observations, one lock hit per burst).
+    bool obs_bound_ = false;
+    obs::DeferredHistogram obs_map_cycles_;
+    obs::DeferredHistogram obs_unmap_cycles_;
     cycles::CycleAccount *obs_acct_ = nullptr;
     des::Core *obs_core_ = nullptr;
 };

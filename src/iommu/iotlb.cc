@@ -47,11 +47,11 @@ Iotlb::lookup(u16 sid, u64 iova_pfn)
     Entry *e = findEntry(sid, iova_pfn);
     if (!e) {
         ++stats_.misses;
-        obs_misses_.inc();
+        obs_misses_.bump();
         return std::nullopt;
     }
     ++stats_.hits;
-    obs_hits_.inc();
+    obs_hits_.bump();
     e->lru_tick = ++tick_;
     return e->pte;
 }
@@ -77,7 +77,7 @@ Iotlb::insert(u16 sid, u64 iova_pfn, Pte pte)
     }
     if (victim->valid) {
         ++stats_.evictions;
-        obs_evictions_.inc();
+        obs_evictions_.bump();
     }
     *victim = Entry{true, sid, iova_pfn, pte, ++tick_};
     ++stats_.inserts;

@@ -1,0 +1,63 @@
+#include "obs/deferred.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace rio::obs {
+
+namespace {
+
+std::atomic<bool> g_deferred_enabled{false};
+
+/** Live accumulators; guards registration churn, not bump/note. */
+std::mutex &
+listMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<Deferred *> &
+liveList()
+{
+    static std::vector<Deferred *> l;
+    return l;
+}
+
+} // namespace
+
+bool
+deferredEnabled()
+{
+    return g_deferred_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setDeferredEnabled(bool on)
+{
+    g_deferred_enabled.store(on, std::memory_order_relaxed);
+}
+
+Deferred::Deferred()
+{
+    std::lock_guard<std::mutex> g(listMutex());
+    liveList().push_back(this);
+}
+
+Deferred::~Deferred()
+{
+    std::lock_guard<std::mutex> g(listMutex());
+    auto &l = liveList();
+    l.erase(std::remove(l.begin(), l.end(), this), l.end());
+}
+
+void
+flushAllDeferred()
+{
+    std::lock_guard<std::mutex> g(listMutex());
+    for (Deferred *d : liveList())
+        d->flush();
+}
+
+} // namespace rio::obs

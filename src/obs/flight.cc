@@ -71,7 +71,13 @@ FlightRecorder::clear()
 FlightRecorder &
 flightRecorder()
 {
-    static FlightRecorder fr;
+    // Thread-local: every event lands in the *emitting thread's* ring
+    // with zero synchronization, keeping Timeline::emit lock-free on
+    // the recording-off default path. A worker lane that trips a dump
+    // prints its own last moments — which is exactly the context that
+    // matters — and the main thread's recorder keeps serving the
+    // tests and trace export that run after lanes join.
+    static thread_local FlightRecorder fr;
     return fr;
 }
 

@@ -72,7 +72,10 @@ class FlightRecorder
     std::vector<FlightDump> dumps_;
 };
 
-/** The global flight recorder (fed by the global timeline). */
+/** The calling thread's flight recorder (fed by the global
+ * timeline). Thread-local so lanes record without locking; in a
+ * single-threaded run it behaves exactly like the old process-wide
+ * singleton. */
 FlightRecorder &flightRecorder();
 
 /**

@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "obs/deferred.h"
 
 namespace rio::obs {
 
@@ -16,7 +17,7 @@ Histogram::Histogram(std::vector<u64> bounds) : bounds_(std::move(bounds))
 }
 
 void
-Histogram::observe(u64 v)
+Histogram::observeLocked(u64 v)
 {
     size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
                bounds_.begin();
@@ -25,9 +26,55 @@ Histogram::observe(u64 v)
     sum_ += v;
 }
 
+void
+Histogram::observe(u64 v)
+{
+    SpinGuard g(lock_);
+    observeLocked(v);
+}
+
+void
+Histogram::observeBatch(const u64 *vs, size_t n)
+{
+    SpinGuard g(lock_);
+    for (size_t i = 0; i < n; ++i)
+        observeLocked(vs[i]);
+}
+
+u64
+Histogram::count() const
+{
+    SpinGuard g(lock_);
+    return count_;
+}
+
+u64
+Histogram::sum() const
+{
+    SpinGuard g(lock_);
+    return sum_;
+}
+
+std::vector<u64>
+Histogram::buckets() const
+{
+    SpinGuard g(lock_);
+    return buckets_;
+}
+
+void
+Histogram::reset()
+{
+    SpinGuard g(lock_);
+    std::fill(buckets_.begin(), buckets_.end(), u64{0});
+    count_ = 0;
+    sum_ = 0;
+}
+
 double
 Histogram::avg() const
 {
+    SpinGuard g(lock_);
     return count_ ? static_cast<double>(sum_) /
                         static_cast<double>(count_)
                   : 0.0;
@@ -36,6 +83,7 @@ Histogram::avg() const
 u64
 Histogram::quantileBound(double q) const
 {
+    SpinGuard g(lock_);
     if (count_ == 0)
         return 0;
     const u64 target = static_cast<u64>(
@@ -77,6 +125,7 @@ MetricEntry &
 Registry::findOrCreate(MetricEntry::Type type, const std::string &name,
                        Labels labels)
 {
+    // Caller holds mu_.
     // Canonical identity: labels sorted by key.
     std::sort(labels.begin(), labels.end());
     MetricEntry probe;
@@ -102,6 +151,7 @@ Registry::findOrCreate(MetricEntry::Type type, const std::string &name,
 Counter &
 Registry::counter(const std::string &name, Labels labels)
 {
+    std::lock_guard<std::mutex> g(mu_);
     MetricEntry &e = findOrCreate(MetricEntry::Type::kCounter, name,
                                   std::move(labels));
     if (!e.counter)
@@ -112,6 +162,7 @@ Registry::counter(const std::string &name, Labels labels)
 Gauge &
 Registry::gauge(const std::string &name, Labels labels)
 {
+    std::lock_guard<std::mutex> g(mu_);
     MetricEntry &e =
         findOrCreate(MetricEntry::Type::kGauge, name, std::move(labels));
     if (!e.gauge)
@@ -123,6 +174,7 @@ Histogram &
 Registry::histogram(const std::string &name, Labels labels,
                     std::vector<u64> bounds)
 {
+    std::lock_guard<std::mutex> g(mu_);
     MetricEntry &e = findOrCreate(MetricEntry::Type::kHistogram, name,
                                   std::move(labels));
     if (!e.histogram)
@@ -133,6 +185,11 @@ Registry::histogram(const std::string &name, Labels labels,
 std::vector<SnapshotEntry>
 Registry::snapshot() const
 {
+    // Settle any batched hot-path updates first so a snapshot is
+    // always exact, whether or not deferral is on. Snapshots happen
+    // at barriers, so no lane is mid-bump here.
+    flushAllDeferred();
+    std::lock_guard<std::mutex> g(mu_);
     std::vector<SnapshotEntry> out;
     out.reserve(entries_.size());
     for (const auto &e : entries_) {
@@ -140,11 +197,13 @@ Registry::snapshot() const
         s.key = e->key();
         switch (e->type) {
           case MetricEntry::Type::kCounter:
-            s.values = {e->counter->value};
+            s.values = {e->counter->get()};
             break;
           case MetricEntry::Type::kGauge:
-            s.values = {static_cast<u64>(e->gauge->value),
-                        static_cast<u64>(e->gauge->high)};
+            s.values = {static_cast<u64>(e->gauge->value.load(
+                            std::memory_order_relaxed)),
+                        static_cast<u64>(e->gauge->high.load(
+                            std::memory_order_relaxed))};
             break;
           case MetricEntry::Type::kHistogram:
             s.values = e->histogram->buckets();
@@ -160,19 +219,21 @@ Registry::snapshot() const
 void
 Registry::resetValues()
 {
+    std::lock_guard<std::mutex> g(mu_);
     for (auto &e : entries_) {
         if (e->counter)
-            *e->counter = Counter{};
+            e->counter->reset();
         if (e->gauge)
-            *e->gauge = Gauge{};
+            e->gauge->reset();
         if (e->histogram)
-            *e->histogram = Histogram(e->histogram->bounds());
+            e->histogram->reset();
     }
 }
 
 void
 Registry::clear()
 {
+    std::lock_guard<std::mutex> g(mu_);
     entries_.clear();
     index_.clear();
 }

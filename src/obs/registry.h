@@ -17,12 +17,22 @@
  * same object, so per-mode/per-device instances aggregate naturally.
  * Each metric's hot state is alignas(kCachelineSize) so one update
  * touches one line.
+ *
+ * Thread model (for des::ParallelEngine): Counter/Gauge updates are
+ * relaxed atomics, Histogram serializes behind a per-histogram
+ * spinlock, and the registry's structural maps take a mutex — so
+ * concurrent lanes may hammer disjoint *or shared* metrics freely.
+ * Relaxed ordering is enough because metrics are only *read* at
+ * barriers (snapshot after all lanes joined), never used to
+ * communicate between lanes.
  */
 #ifndef RIO_OBS_REGISTRY_H
 #define RIO_OBS_REGISTRY_H
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,26 +47,50 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 /** Monotonic event count. */
 struct alignas(kCachelineSize) Counter
 {
-    u64 value = 0;
+    std::atomic<u64> value{0};
 
-    void inc(u64 n = 1) { value += n; }
+    void inc(u64 n = 1) { value.fetch_add(n, std::memory_order_relaxed); }
+    u64 get() const { return value.load(std::memory_order_relaxed); }
+    void reset() { value.store(0, std::memory_order_relaxed); }
 };
 
 /** Instantaneous level plus its high-water mark. */
 struct alignas(kCachelineSize) Gauge
 {
-    i64 value = 0;
-    i64 high = 0;
+    std::atomic<i64> value{0};
+    std::atomic<i64> high{0};
 
     void
     set(i64 v)
     {
-        value = v;
-        if (v > high)
-            high = v;
+        value.store(v, std::memory_order_relaxed);
+        raiseHigh(v);
     }
 
-    void add(i64 d) { set(value + d); }
+    void
+    add(i64 d)
+    {
+        raiseHigh(value.fetch_add(d, std::memory_order_relaxed) + d);
+    }
+
+    void
+    reset()
+    {
+        value.store(0, std::memory_order_relaxed);
+        high.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    /** CAS-max: lift the high-water mark to at least @p v. */
+    void
+    raiseHigh(i64 v)
+    {
+        i64 h = high.load(std::memory_order_relaxed);
+        while (v > h &&
+               !high.compare_exchange_weak(h, v,
+                                           std::memory_order_relaxed))
+            ;
+    }
 };
 
 /**
@@ -71,12 +105,19 @@ class Histogram
 
     void observe(u64 v);
 
-    u64 count() const { return count_; }
-    u64 sum() const { return sum_; }
+    /**
+     * Observe @p n values in one lock acquisition — the hot-path
+     * batching entry (cycles::BatchCharge, burst-coalesced DMA
+     * spans). Identical final state to n observe() calls.
+     */
+    void observeBatch(const u64 *vs, size_t n);
+
+    u64 count() const;
+    u64 sum() const;
     double avg() const;
     const std::vector<u64> &bounds() const { return bounds_; }
     /** bounds().size() + 1 entries; last is the overflow bucket. */
-    const std::vector<u64> &buckets() const { return buckets_; }
+    std::vector<u64> buckets() const;
 
     /**
      * Upper bound of the bucket holding quantile @p q (0..1], using
@@ -85,11 +126,30 @@ class Histogram
      */
     u64 quantileBound(double q) const;
 
+    /** Zero all buckets and totals; bounds stay. */
+    void reset();
+
   private:
-    std::vector<u64> bounds_; //!< ascending upper bounds
+    void observeLocked(u64 v);
+
+    /** Contention is rare (one observer per lane, short sections) so
+     * a spinlock beats a mutex on the per-op path. */
+    struct SpinGuard
+    {
+        explicit SpinGuard(std::atomic_flag &f) : f_(f)
+        {
+            while (f_.test_and_set(std::memory_order_acquire))
+                ;
+        }
+        ~SpinGuard() { f_.clear(std::memory_order_release); }
+        std::atomic_flag &f_;
+    };
+
+    std::vector<u64> bounds_; //!< ascending upper bounds; immutable
     std::vector<u64> buckets_;
     u64 count_ = 0;
     u64 sum_ = 0;
+    mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
 };
 
 /** Default bucket ladder for cycle-valued histograms (1..64K, x4). */
@@ -162,6 +222,11 @@ class Registry
                               const std::string &name,
                               Labels labels);
 
+    /** Guards the structural maps (registration), not metric values —
+     * those have their own synchronization. snapshot()/resetValues()
+     * also take it so a concurrent registration cannot reallocate
+     * entries_ under them. */
+    mutable std::mutex mu_;
     std::vector<std::unique_ptr<MetricEntry>> entries_;
     std::map<std::string, size_t> index_; //!< key -> entries_ index
 };

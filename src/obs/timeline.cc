@@ -51,9 +51,10 @@ Timeline::emit(const Event &e)
     if (!kObsCompiled)
         return;
     flightRecorder().record(e);
-    if (!recording_)
+    if (!recording_.load(std::memory_order_relaxed))
         return;
     const u32 key = (static_cast<u32>(e.pid) << 16) | e.tid;
+    std::lock_guard<std::mutex> g(mu_);
     auto it = rings_.find(key);
     if (it == rings_.end())
         it = rings_.emplace(key, EventRing(capacity_)).first;
@@ -63,6 +64,7 @@ Timeline::emit(const Event &e)
 std::map<u32, std::vector<Event>>
 Timeline::tracks() const
 {
+    std::lock_guard<std::mutex> g(mu_);
     std::map<u32, std::vector<Event>> out;
     for (const auto &[key, ring] : rings_)
         out.emplace(key, ring.inOrder());
@@ -72,6 +74,7 @@ Timeline::tracks() const
 u64
 Timeline::recorded() const
 {
+    std::lock_guard<std::mutex> g(mu_);
     u64 n = 0;
     for (const auto &[key, ring] : rings_)
         n += ring.pushed();
@@ -81,6 +84,7 @@ Timeline::recorded() const
 u64
 Timeline::dropped() const
 {
+    std::lock_guard<std::mutex> g(mu_);
     u64 n = 0;
     for (const auto &[key, ring] : rings_)
         n += ring.dropped();
@@ -90,9 +94,10 @@ Timeline::dropped() const
 void
 Timeline::clear()
 {
+    std::lock_guard<std::mutex> g(mu_);
     rings_.clear();
-    next_pid_ = 1;
-    next_span_ = 0;
+    next_pid_.store(1, std::memory_order_relaxed);
+    next_span_.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -122,6 +127,7 @@ Timeline::writeChromeTrace(const std::string &path) const
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return false;
     }
+    std::lock_guard<std::mutex> g(mu_);
     std::fprintf(f, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
     bool first = true;
     // Track naming so Perfetto shows "machine N" / "core N" labels.

@@ -21,7 +21,9 @@
 #ifndef RIO_OBS_TIMELINE_H
 #define RIO_OBS_TIMELINE_H
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -112,18 +114,39 @@ class EventRing
 class Timeline
 {
   public:
-    bool recording() const { return kObsCompiled && recording_; }
-    void setRecording(bool on) { recording_ = on; }
+    bool
+    recording() const
+    {
+        return kObsCompiled &&
+               recording_.load(std::memory_order_relaxed);
+    }
+    void
+    setRecording(bool on)
+    {
+        recording_.store(on, std::memory_order_relaxed);
+    }
 
-    /** Ring capacity per (pid, tid) track (newest events win). */
+    /** Ring capacity per (pid, tid) track (newest events win).
+     * Main-thread-only: set before lanes start. */
     void setCapacity(size_t per_track);
     size_t capacity() const { return capacity_; }
 
-    /** Next unused track-group id (one per Machine). */
-    u16 allocPid() { return next_pid_++; }
+    /** Next unused track-group id (one per Machine). Atomic so
+     * Machines may be built from concurrent lanes, though the
+     * deterministic setup path allocates all pids on the main
+     * thread. */
+    u16
+    allocPid()
+    {
+        return next_pid_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /** Unique id for pairing async issue/complete events. */
-    u32 nextSpanId() { return ++next_span_; }
+    u32
+    nextSpanId()
+    {
+        return next_span_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
     /** Record @p e (flight ring always; per-core ring if recording).
      * Defined in flight.cc to avoid a header cycle. */
@@ -146,10 +169,14 @@ class Timeline
     bool writeChromeTrace(const std::string &path) const;
 
   private:
-    bool recording_ = false;
+    std::atomic<bool> recording_{false};
     size_t capacity_ = 1u << 16;
-    u16 next_pid_ = 1;
-    u32 next_span_ = 0;
+    std::atomic<u16> next_pid_{1};
+    std::atomic<u32> next_span_{0};
+    /** Guards rings_ — only taken while recording (the default-off
+     * path touches no shared state beyond the thread-local flight
+     * ring). */
+    mutable std::mutex mu_;
     std::map<u32, EventRing> rings_; //!< key = pid<<16 | tid
 };
 

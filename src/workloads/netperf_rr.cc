@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "base/logging.h"
+#include "des/simulator.h"
 #include "net/packet.h"
 #include "sys/machine.h"
 #include "virt/guest.h"
@@ -27,52 +28,50 @@ rrParamsFor(const nic::NicProfile &profile)
     return p;
 }
 
-RunResult
-runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
-             const RrParams &params, const cycles::CostModel &cost)
+/**
+ * Stack state of the old runNetperfRr(), promoted to members so the
+ * simulator can be driven externally. The cost model is an owned
+ * copy declared before the machines (DmaContext keeps a reference);
+ * so are the profile and params, which the wire and retransmit
+ * callbacks read mid-run.
+ */
+struct RrRun::Impl
 {
-    des::Simulator sim;
-    sys::Machine a(sim, mode, profile, cost); // netperf (measured)
-    sys::Machine b(sim, mode, profile, cost); // netserver (echoer)
+    RrParams params;
+    nic::NicProfile profile;
+    cycles::CostModel cost;
+
+    des::Simulator &sim;
+    sys::Machine a; // netperf (measured)
+    sys::Machine b; // netserver (echoer)
     // Only the measured machine runs inside a guest; attach before
     // bring-up so boot traps precede the measurement window.
     std::optional<virt::Guest> guest;
-    if (params.platform != virt::Platform::kBare)
-        guest.emplace(a, params.platform);
-    a.bringUp();
-    b.bringUp();
-    if (params.fault_rate > 0) {
-        a.setFaultPolicy(params.fault_policy);
-        a.setFaultInjection(params.fault_rate, params.fault_seed);
-        b.setFaultPolicy(params.fault_policy);
-        // Decorrelate the echoer's fault stream from the initiator's.
-        b.setFaultInjection(params.fault_rate, params.fault_seed + 1);
-    }
-    if (params.churn_per_ms > 0) {
-        sys::LifecycleChurnConfig churn;
-        churn.events_per_ms = params.churn_per_ms;
-        churn.seed = params.churn_seed;
-        churn.down_ns = params.churn_down_ns;
-        a.armLifecycleChurn(churn);
-    }
-
-    // Wire: full-duplex point-to-point link.
-    a.nic().setWireTxCallback([&](const net::Packet &pkt) {
-        sim.scheduleAfter(profile.wire_ns,
-                          [&, pkt] { b.nic().packetFromWire(pkt); });
-    });
-    b.nic().setWireTxCallback([&](const net::Packet &pkt) {
-        sim.scheduleAfter(profile.wire_ns,
-                          [&, pkt] { a.nic().packetFromWire(pkt); });
-    });
 
     u64 transactions = 0;
     bool stopped = false;
     Nanos t_start = 0, t_end = 0;
     Cycles busy_start = 0, busy_end = 0;
     cycles::CycleAccount acct_start, acct_end;
+    u64 watchdog_seen = ~u64{0};
 
-    auto send = [&](sys::Machine &machine) {
+    // Retransmit timer, as in real netperf UDP RR: a request or echo
+    // dropped by a fault would otherwise stall the ping-pong forever.
+    // The timeout is far above any RTT, so it only fires on a genuine
+    // loss; never scheduled when injection is off.
+    static constexpr Nanos kRetransmitNs = 1'000'000; // 1 ms >> RTT
+
+    Impl(des::Simulator &s, dma::ProtectionMode mode,
+         const nic::NicProfile &prof, const RrParams &p,
+         const cycles::CostModel &c)
+        : params(p), profile(prof), cost(c), sim(s),
+          a(sim, mode, profile, cost), b(sim, mode, profile, cost)
+    {
+    }
+
+    void
+    send(sys::Machine &machine)
+    {
         if (!machine.nic().isUp())
             return; // mid-outage; the retransmit timer retries
         machine.core().acct().charge(cycles::Cat::kProcessing,
@@ -81,13 +80,12 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
         pkt.payload_bytes = params.payload;
         Status s = machine.nic().sendPacket(pkt);
         RIO_ASSERT(s.isOk(), "rr send failed: ", s.toString());
-    };
-
-    // Echo side: bounce every message straight back.
-    b.nic().setRxCallback([&](const net::Packet &) { send(b); });
+    }
 
     // Initiator: count a transaction per echo, fire the next one.
-    a.nic().setRxCallback([&](const net::Packet &) {
+    void
+    onEcho()
+    {
         ++transactions;
         if (transactions == params.warmup_transactions) {
             t_start = sim.now();
@@ -106,52 +104,116 @@ runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
         }
         if (!stopped)
             send(a);
-    });
+    }
 
-    // Retransmit timer, as in real netperf UDP RR: a request or echo
-    // dropped by a fault would otherwise stall the ping-pong forever.
-    // The timeout is far above any RTT, so it only fires on a genuine
-    // loss; never scheduled when injection is off.
-    const Nanos retransmit_ns = 1'000'000; // 1 ms >> worst-case RTT
-    u64 watchdog_seen = ~u64{0};
-    std::function<void()> watchdog = [&] {
+    void
+    watchdog()
+    {
         if (stopped)
             return;
         if (transactions == watchdog_seen)
-            a.core().post([&] {
+            a.core().post([this] {
                 if (!stopped)
                     send(a);
             });
         watchdog_seen = transactions;
-        sim.scheduleAfter(retransmit_ns, [&] { watchdog(); });
-    };
-    if (params.fault_rate > 0 || params.churn_per_ms > 0)
-        sim.scheduleAfter(retransmit_ns, [&] { watchdog(); });
+        sim.scheduleAfter(kRetransmitNs, [this] { watchdog(); });
+    }
 
-    a.core().post([&] { send(a); });
-    sim.run();
-    RIO_ASSERT(stopped, "RR run ended early");
+    void
+    setup()
+    {
+        if (params.platform != virt::Platform::kBare)
+            guest.emplace(a, params.platform);
+        a.bringUp();
+        b.bringUp();
+        if (params.fault_rate > 0) {
+            a.setFaultPolicy(params.fault_policy);
+            a.setFaultInjection(params.fault_rate, params.fault_seed);
+            b.setFaultPolicy(params.fault_policy);
+            // Decorrelate the echoer's fault stream from the initiator's.
+            b.setFaultInjection(params.fault_rate, params.fault_seed + 1);
+        }
+        if (params.churn_per_ms > 0) {
+            sys::LifecycleChurnConfig churn;
+            churn.events_per_ms = params.churn_per_ms;
+            churn.seed = params.churn_seed;
+            churn.down_ns = params.churn_down_ns;
+            a.armLifecycleChurn(churn);
+        }
 
-    RunResult r;
-    r.duration_s = static_cast<double>(t_end - t_start) * 1e-9;
-    r.transactions = params.measure_transactions;
-    r.transactions_per_sec =
-        static_cast<double>(r.transactions) / r.duration_s;
-    r.acct = acct_end.since(acct_start);
-    r.tx_packets = r.transactions;
-    r.cycles_per_packet = static_cast<double>(r.acct.total()) /
-                          static_cast<double>(r.transactions);
-    r.cpu = std::min(1.0, static_cast<double>(busy_end - busy_start) /
+        // Wire: full-duplex point-to-point link.
+        a.nic().setWireTxCallback([this](const net::Packet &pkt) {
+            sim.scheduleAfter(profile.wire_ns,
+                              [this, pkt] { b.nic().packetFromWire(pkt); });
+        });
+        b.nic().setWireTxCallback([this](const net::Packet &pkt) {
+            sim.scheduleAfter(profile.wire_ns,
+                              [this, pkt] { a.nic().packetFromWire(pkt); });
+        });
+
+        // Echo side: bounce every message straight back.
+        b.nic().setRxCallback([this](const net::Packet &) { send(b); });
+        a.nic().setRxCallback([this](const net::Packet &) { onEcho(); });
+
+        if (params.fault_rate > 0 || params.churn_per_ms > 0)
+            sim.scheduleAfter(kRetransmitNs, [this] { watchdog(); });
+
+        a.core().post([this] { send(a); });
+    }
+
+    RunResult
+    collect()
+    {
+        RIO_ASSERT(stopped, "RR run ended early");
+        RunResult r;
+        r.duration_s = static_cast<double>(t_end - t_start) * 1e-9;
+        r.transactions = params.measure_transactions;
+        r.transactions_per_sec =
+            static_cast<double>(r.transactions) / r.duration_s;
+        r.acct = acct_end.since(acct_start);
+        r.tx_packets = r.transactions;
+        r.cycles_per_packet = static_cast<double>(r.acct.total()) /
+                              static_cast<double>(r.transactions);
+        r.cpu =
+            std::min(1.0, static_cast<double>(busy_end - busy_start) /
                               cost.core_ghz /
                               static_cast<double>(t_end - t_start));
-    r.throughput_gbps = r.transactions_per_sec *
-                        static_cast<double>(params.payload) * 8 / 1e9;
-    r.fault = a.faultStats();
-    r.surprise_unplugs = a.lifecycleStats().surprise_unplugs;
-    r.replugs = a.lifecycleStats().replugs;
-    r.detach_faults = a.detachFaultCount();
-    r.vm_exits = r.acct.ops(cycles::Cat::kVirt);
-    return r;
+        r.throughput_gbps = r.transactions_per_sec *
+                            static_cast<double>(params.payload) * 8 / 1e9;
+        r.fault = a.faultStats();
+        r.surprise_unplugs = a.lifecycleStats().surprise_unplugs;
+        r.replugs = a.lifecycleStats().replugs;
+        r.detach_faults = a.detachFaultCount();
+        r.vm_exits = r.acct.ops(cycles::Cat::kVirt);
+        return r;
+    }
+};
+
+RrRun::RrRun(des::Simulator &sim, dma::ProtectionMode mode,
+             const nic::NicProfile &profile, const RrParams &params,
+             const cycles::CostModel &cost)
+    : impl_(std::make_unique<Impl>(sim, mode, profile, params, cost))
+{
+    impl_->setup();
+}
+
+RrRun::~RrRun() = default;
+
+RunResult
+RrRun::collect()
+{
+    return impl_->collect();
+}
+
+RunResult
+runNetperfRr(dma::ProtectionMode mode, const nic::NicProfile &profile,
+             const RrParams &params, const cycles::CostModel &cost)
+{
+    des::Simulator sim;
+    RrRun run(sim, mode, profile, params, cost);
+    sim.run();
+    return run.collect();
 }
 
 } // namespace rio::workloads

@@ -10,11 +10,17 @@
 #ifndef RIO_WORKLOADS_NETPERF_RR_H
 #define RIO_WORKLOADS_NETPERF_RR_H
 
+#include <memory>
+
 #include "dma/fault.h"
 #include "dma/protection_mode.h"
 #include "nic/profile.h"
 #include "virt/platform.h"
 #include "workloads/result.h"
+
+namespace rio::des {
+class Simulator;
+}
 
 namespace rio::workloads {
 
@@ -51,6 +57,32 @@ struct RrParams
 
 /** Calibrated parameters (Table 3's none RTT anchors the wire). */
 RrParams rrParamsFor(const nic::NicProfile &profile);
+
+/**
+ * A ping-pong run split into setup and collection (see StreamRun in
+ * workloads/stream.h for the pattern). BOTH machines — initiator and
+ * echoer — live on the one simulator passed in: they are causally
+ * coupled every few microseconds of virtual time, far tighter than
+ * any useful lookahead, so a sweep parallelizes across RR pairs, not
+ * within one.
+ */
+class RrRun
+{
+  public:
+    RrRun(des::Simulator &sim, dma::ProtectionMode mode,
+          const nic::NicProfile &profile, const RrParams &params,
+          const cycles::CostModel &cost = cycles::defaultCostModel());
+    ~RrRun();
+    RrRun(const RrRun &) = delete;
+    RrRun &operator=(const RrRun &) = delete;
+
+    /** Initiator metrics; asserts the run hit its transaction target. */
+    RunResult collect();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * Run the ping-pong. Returns the initiating machine's metrics;

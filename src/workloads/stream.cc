@@ -1,10 +1,10 @@
 #include "workloads/stream.h"
 
 #include <algorithm>
-#include <functional>
 #include <optional>
 
 #include "base/logging.h"
+#include "des/simulator.h"
 #include "net/packet.h"
 #include "sys/machine.h"
 #include "virt/guest.h"
@@ -63,41 +63,58 @@ streamParamsFor(const nic::NicProfile &profile)
     return p;
 }
 
-RunResult
-runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
-          const StreamParams &params, const cycles::CostModel &cost)
+/**
+ * All the state runStream() used to keep on its stack, plus the
+ * machine itself. Members that the machine or the armed callbacks
+ * reference (cost model, profile, params) are owned copies declared
+ * before the machine: DmaContext keeps a CostModel reference for its
+ * whole life, and under a sweep this object is built long before the
+ * engine drives the lane — the constructor's arguments may be gone
+ * by then.
+ */
+struct StreamRun::Impl
 {
-    des::Simulator sim;
-    sys::Machine m(sim, mode, profile, cost, params.trace);
+    StreamParams params;
+    nic::NicProfile profile;
+    cycles::CostModel cost;
+
+    des::Simulator &sim;
+    sys::Machine m;
     // The guest attaches before bring-up: registration hypercalls and
     // Rx-prefill traps are boot cost, outside the snapshot window.
     std::optional<virt::Guest> guest;
-    if (params.platform != virt::Platform::kBare)
-        guest.emplace(m, params.platform);
-    m.bringUp();
-    if (params.fault_rate > 0) {
-        m.setFaultPolicy(params.fault_policy);
-        m.setFaultInjection(params.fault_rate, params.fault_seed);
-    }
-    if (params.churn_per_ms > 0) {
-        sys::LifecycleChurnConfig churn;
-        churn.events_per_ms = params.churn_per_ms;
-        churn.seed = params.churn_seed;
-        churn.down_ns = params.churn_down_ns;
-        m.armLifecycleChurn(churn);
-    }
 
-    auto &nic = m.nic();
-    auto &core = m.core();
-
-    auto snap = [&] {
-        return Snapshot{sim.now(), core.busyCycles(), core.acct(),
-                        nic.stats()};
-    };
     Snapshot start, end;
     bool started = false;
     bool stopped = false;
-    const u64 total_target = params.warmup_packets + params.measure_packets;
+    u64 total_target = 0;
+    u64 message_segments = 1;
+    bool pump_posted = false;
+    u64 data_on_wire = 0;
+
+    Impl(des::Simulator &s, dma::ProtectionMode mode,
+         const nic::NicProfile &prof, const StreamParams &p,
+         const cycles::CostModel &c)
+        : params(p), profile(prof), cost(c), sim(s),
+          m(sim, mode, profile, cost, params.trace)
+    {
+    }
+
+    Snapshot
+    snap()
+    {
+        return Snapshot{sim.now(), m.core().busyCycles(), m.core().acct(),
+                        m.nic().stats()};
+    }
+
+    void
+    postPump()
+    {
+        if (pump_posted || stopped)
+            return;
+        pump_posted = true;
+        m.core().post([this] { pump(); });
+    }
 
     // Application side: saturate the socket. Netperf writes one
     // message (16 KB -> ~12 MSS segments) per send call; processing
@@ -105,25 +122,18 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
     // interleave with transmission at realistic granularity — which
     // is what keeps resetting the stock allocator's cached node
     // between Tx allocation runs (§3.2).
-    const u64 message_segments =
-        std::max<u64>(net::segmentsFor(params.message_bytes), 1);
-    bool pump_posted = false;
-    std::function<void()> pump_fn;
-    auto post_pump = [&] {
-        if (pump_posted || stopped)
-            return;
-        pump_posted = true;
-        core.post([&] { pump_fn(); });
-    };
-    pump_fn = [&] {
+    void
+    pump()
+    {
         pump_posted = false;
         if (stopped)
             return;
+        auto &nic = m.nic();
         u64 sent = 0;
         while (sent < message_segments &&
                nic.txSpacePackets(net::kMss) > 0) {
-            core.acct().charge(cycles::Cat::kProcessing,
-                               params.per_packet_cycles);
+            m.core().acct().charge(cycles::Cat::kProcessing,
+                                   params.per_packet_cycles);
             net::Packet pkt;
             pkt.payload_bytes = net::kMss;
             pkt.kind = 1;
@@ -132,21 +142,13 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
             ++sent;
         }
         if (sent > 0 && nic.txSpacePackets(net::kMss) > 0)
-            post_pump(); // next message; Rx handlers slot in between
-    };
-    nic.setTxSpaceCallback(post_pump);
+            postPump(); // next message; Rx handlers slot in between
+    }
 
-    // ACK receive path: protocol processing per ACK; the buffer
-    // recycling (unmap + map) was already charged by the driver.
-    nic.setRxCallback([&](const net::Packet &) {
-        core.acct().charge(cycles::Cat::kProcessing,
-                           params.per_ack_cycles);
-    });
-
-    // Remote sink: consumes data, returns an ACK every ack_every
-    // packets after a round-trip wire delay.
-    u64 data_on_wire = 0;
-    nic.setWireTxCallback([&](const net::Packet &) {
+    void
+    onWireTx()
+    {
+        auto &nic = m.nic();
         ++data_on_wire;
         if (!started && nic.stats().tx_packets >= params.warmup_packets) {
             started = true;
@@ -160,48 +162,116 @@ runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
                 m.disarmLifecycleChurn(); // let the event queue drain
         }
         if (!stopped && data_on_wire % params.ack_every == 0) {
-            sim.scheduleAfter(2 * profile.wire_ns, [&] {
+            sim.scheduleAfter(2 * profile.wire_ns, [this] {
                 net::Packet ack;
                 ack.payload_bytes = params.ack_payload;
                 ack.kind = 2;
                 ack.flow = 0; // one TCP connection -> one RSS ring
-                nic.packetFromWire(ack);
+                m.nic().packetFromWire(ack);
             });
         }
-    });
+    }
 
-    post_pump();
+    void
+    setup()
+    {
+        if (params.platform != virt::Platform::kBare)
+            guest.emplace(m, params.platform);
+        m.bringUp();
+        if (params.fault_rate > 0) {
+            m.setFaultPolicy(params.fault_policy);
+            m.setFaultInjection(params.fault_rate, params.fault_seed);
+        }
+        if (params.churn_per_ms > 0) {
+            sys::LifecycleChurnConfig churn;
+            churn.events_per_ms = params.churn_per_ms;
+            churn.seed = params.churn_seed;
+            churn.down_ns = params.churn_down_ns;
+            m.armLifecycleChurn(churn);
+        }
+
+        total_target = params.warmup_packets + params.measure_packets;
+        message_segments =
+            std::max<u64>(net::segmentsFor(params.message_bytes), 1);
+
+        m.nic().setTxSpaceCallback([this] { postPump(); });
+
+        // ACK receive path: protocol processing per ACK; the buffer
+        // recycling (unmap + map) was already charged by the driver.
+        m.nic().setRxCallback([this](const net::Packet &) {
+            m.core().acct().charge(cycles::Cat::kProcessing,
+                                   params.per_ack_cycles);
+        });
+
+        // Remote sink: consumes data, returns an ACK every ack_every
+        // packets after a round-trip wire delay.
+        m.nic().setWireTxCallback(
+            [this](const net::Packet &) { onWireTx(); });
+
+        postPump();
+    }
+
+    RunResult
+    collect()
+    {
+        RIO_ASSERT(stopped, "stream run ended before reaching its target");
+        RunResult r;
+        r.duration_s = static_cast<double>(end.t - start.t) * 1e-9;
+        r.nic = statsDelta(end.nic, start.nic);
+        r.acct = end.acct.since(start.acct);
+        r.tx_packets = r.nic.tx_packets;
+        r.rx_packets = r.nic.rx_packets;
+        r.tx_payload_bytes = r.nic.tx_payload_bytes;
+        r.transactions = r.nic.tx_packets;
+        r.throughput_gbps = static_cast<double>(r.tx_payload_bytes) * 8 /
+                            r.duration_s / 1e9;
+        r.transactions_per_sec =
+            static_cast<double>(r.transactions) / r.duration_s;
+        r.cpu = std::min(
+            1.0, static_cast<double>(end.busy - start.busy) /
+                     cost.core_ghz / static_cast<double>(end.t - start.t));
+        r.cycles_per_packet =
+            static_cast<double>(r.acct.total()) /
+            static_cast<double>(std::max<u64>(r.tx_packets, 1));
+        r.avg_unmap_burst =
+            r.nic.unmap_bursts
+                ? static_cast<double>(r.nic.unmap_burst_len_sum) /
+                      static_cast<double>(r.nic.unmap_bursts)
+                : 0.0;
+        r.fault = m.faultStats();
+        r.surprise_unplugs = m.lifecycleStats().surprise_unplugs;
+        r.replugs = m.lifecycleStats().replugs;
+        r.detach_faults = m.detachFaultCount();
+        r.vm_exits = r.acct.ops(cycles::Cat::kVirt);
+        return r;
+    }
+};
+
+StreamRun::StreamRun(des::Simulator &sim, dma::ProtectionMode mode,
+                     const nic::NicProfile &profile,
+                     const StreamParams &params,
+                     const cycles::CostModel &cost)
+    : impl_(std::make_unique<Impl>(sim, mode, profile, params, cost))
+{
+    impl_->setup();
+}
+
+StreamRun::~StreamRun() = default;
+
+RunResult
+StreamRun::collect()
+{
+    return impl_->collect();
+}
+
+RunResult
+runStream(dma::ProtectionMode mode, const nic::NicProfile &profile,
+          const StreamParams &params, const cycles::CostModel &cost)
+{
+    des::Simulator sim;
+    StreamRun run(sim, mode, profile, params, cost);
     sim.run();
-    RIO_ASSERT(stopped, "stream run ended before reaching its target");
-
-    RunResult r;
-    r.duration_s = static_cast<double>(end.t - start.t) * 1e-9;
-    r.nic = statsDelta(end.nic, start.nic);
-    r.acct = end.acct.since(start.acct);
-    r.tx_packets = r.nic.tx_packets;
-    r.rx_packets = r.nic.rx_packets;
-    r.tx_payload_bytes = r.nic.tx_payload_bytes;
-    r.transactions = r.nic.tx_packets;
-    r.throughput_gbps = static_cast<double>(r.tx_payload_bytes) * 8 /
-                        r.duration_s / 1e9;
-    r.transactions_per_sec =
-        static_cast<double>(r.transactions) / r.duration_s;
-    r.cpu = std::min(
-        1.0, static_cast<double>(end.busy - start.busy) / cost.core_ghz /
-                 static_cast<double>(end.t - start.t));
-    r.cycles_per_packet = static_cast<double>(r.acct.total()) /
-                          static_cast<double>(std::max<u64>(r.tx_packets, 1));
-    r.avg_unmap_burst =
-        r.nic.unmap_bursts
-            ? static_cast<double>(r.nic.unmap_burst_len_sum) /
-                  static_cast<double>(r.nic.unmap_bursts)
-            : 0.0;
-    r.fault = m.faultStats();
-    r.surprise_unplugs = m.lifecycleStats().surprise_unplugs;
-    r.replugs = m.lifecycleStats().replugs;
-    r.detach_faults = m.detachFaultCount();
-    r.vm_exits = r.acct.ops(cycles::Cat::kVirt);
-    return r;
+    return run.collect();
 }
 
 } // namespace rio::workloads

@@ -8,12 +8,18 @@
 #ifndef RIO_WORKLOADS_STREAM_H
 #define RIO_WORKLOADS_STREAM_H
 
+#include <memory>
+
 #include "dma/fault.h"
 #include "dma/protection_mode.h"
 #include "nic/profile.h"
 #include "trace/trace.h"
 #include "virt/platform.h"
 #include "workloads/result.h"
+
+namespace rio::des {
+class Simulator;
+}
 
 namespace rio::workloads {
 
@@ -65,6 +71,39 @@ struct StreamParams
 
 /** Calibrated parameters for a NIC profile (see workloads/calibrate.cc). */
 StreamParams streamParamsFor(const nic::NicProfile &profile);
+
+/**
+ * A Netperf-stream run split into setup and collection so the
+ * simulator can be driven externally — in particular by a
+ * des::ParallelEngine lane (workloads/sweep.h). The constructor
+ * builds the machine, arms fault/churn injection, wires every
+ * callback, and posts the first pump event; it does NOT run the
+ * simulation. After the caller has driven @p sim to completion
+ * (sim.run(), or an engine running the owning lane), collect()
+ * validates the run reached its packet target and computes the
+ * window metrics.
+ *
+ * The run owns copies of the profile, params, and cost model: the
+ * machine keeps a reference to the cost model for its whole life,
+ * and a sweep constructs runs long before the engine fires them.
+ */
+class StreamRun
+{
+  public:
+    StreamRun(des::Simulator &sim, dma::ProtectionMode mode,
+              const nic::NicProfile &profile, const StreamParams &params,
+              const cycles::CostModel &cost = cycles::defaultCostModel());
+    ~StreamRun();
+    StreamRun(const StreamRun &) = delete;
+    StreamRun &operator=(const StreamRun &) = delete;
+
+    /** Window metrics; asserts the run reached its packet target. */
+    RunResult collect();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /** Run Netperf stream under @p mode and return window metrics. */
 RunResult runStream(dma::ProtectionMode mode,

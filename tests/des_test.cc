@@ -115,6 +115,139 @@ TEST(Simulator, ResetClearsEverything)
     EXPECT_EQ(sim.now(), 0u);
 }
 
+// --- runUntil edge cases (pinned before the lane refactor) ---------
+
+TEST(Simulator, RunUntilDeadlineEqualToEventTimestampRunsIt)
+{
+    Simulator sim;
+    bool at_deadline = false, after = false;
+    sim.scheduleAt(100, [&] { at_deadline = true; });
+    sim.scheduleAt(101, [&] { after = true; });
+    sim.runUntil(100);
+    EXPECT_TRUE(at_deadline) << "an event stamped exactly at the "
+                                "deadline belongs to the window";
+    EXPECT_FALSE(after);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RunUntilDeadlineInThePastRunsNothing)
+{
+    Simulator sim;
+    int ran = 0;
+    sim.scheduleAt(50, [&] { ++ran; });
+    sim.runUntil(50);
+    EXPECT_EQ(sim.now(), 50u);
+    sim.scheduleAt(200, [&] { ++ran; });
+    sim.runUntil(10); // stale deadline: no events, clock untouched
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(sim.now(), 50u);
+    sim.run();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, CancelDuringCallbackPreventsPendingEvent)
+{
+    Simulator sim;
+    bool victim_ran = false;
+    EventId victim = 0;
+    sim.scheduleAt(10, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+    victim = sim.scheduleAt(20, [&] { victim_ran = true; });
+    sim.run();
+    EXPECT_FALSE(victim_ran);
+    EXPECT_EQ(sim.eventsRun(), 1u);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CancelOfEqualTimestampLaterEventDuringCallback)
+{
+    // FIFO tie-break means the canceller (scheduled first) runs first
+    // even at the same timestamp; the victim must not fire.
+    Simulator sim;
+    bool victim_ran = false;
+    EventId victim = 0;
+    sim.scheduleAt(5, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+    victim = sim.scheduleAt(5, [&] { victim_ran = true; });
+    sim.run();
+    EXPECT_FALSE(victim_ran);
+}
+
+TEST(Simulator, ResetWithLiveEventsDropsThemAndKeepsEventsRun)
+{
+    Simulator sim;
+    int ran = 0;
+    sim.scheduleAt(10, [&] { ++ran; });
+    sim.run();
+    const EventId pending = sim.scheduleAt(500, [&] { ++ran; });
+    sim.scheduleAt(600, [&] { ++ran; });
+    EXPECT_FALSE(sim.idle());
+    sim.reset();
+    EXPECT_TRUE(sim.idle());
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.eventsRun(), 1u) << "reset drops events, not history";
+    // Ids issued before reset must not cancel anything scheduled after.
+    bool fresh_ran = false;
+    sim.scheduleAt(5, [&] { fresh_ran = true; });
+    EXPECT_FALSE(sim.cancel(pending));
+    sim.run();
+    EXPECT_TRUE(fresh_ran);
+    EXPECT_EQ(ran, 1) << "the dropped events must never fire";
+}
+
+// --- cancellation storage (the old tombstone-set pathology) --------
+
+TEST(Simulator, MillionScheduleCancelCyclesStayBounded)
+{
+    // The old kernel kept every cancelled id in an unordered_set until
+    // its heap entry was popped; a schedule+cancel loop therefore grew
+    // without bound. Slots must recycle and stale heap entries must be
+    // compacted away.
+    Simulator sim;
+    for (int i = 0; i < 1'000'000; ++i) {
+        const EventId id = sim.scheduleAt(1'000'000, [] {});
+        EXPECT_TRUE(sim.cancel(id));
+    }
+    EXPECT_LE(sim.slotsAllocated(), 8u)
+        << "cancelled slots must be reused";
+    EXPECT_LE(sim.queueSize(), 256u)
+        << "stale heap entries must be compacted";
+    EXPECT_TRUE(sim.idle());
+    sim.run();
+    EXPECT_EQ(sim.eventsRun(), 0u);
+}
+
+TEST(Simulator, InterleavedCancelKeepsSurvivorsCorrect)
+{
+    Simulator sim;
+    std::vector<int> ran;
+    std::vector<EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(sim.scheduleAt(10 + i, [&ran, i] {
+            ran.push_back(i);
+        }));
+    for (int i = 0; i < 1000; i += 2)
+        EXPECT_TRUE(sim.cancel(ids[i]));
+    sim.run();
+    ASSERT_EQ(ran.size(), 500u);
+    for (size_t j = 0; j < ran.size(); ++j)
+        EXPECT_EQ(ran[j], static_cast<int>(2 * j + 1));
+    EXPECT_EQ(sim.eventsRun(), 500u);
+}
+
+TEST(Simulator, LargeCapturesFallBackToHeapAndStillRun)
+{
+    Simulator sim;
+    struct Big
+    {
+        char blob[200];
+    } big{};
+    big.blob[0] = 42;
+    char seen = 0;
+    sim.scheduleAt(1, [big, &seen] { seen = big.blob[0]; });
+    sim.run();
+    EXPECT_EQ(seen, 42);
+}
+
 TEST(SimulatorDeathTest, SchedulingInThePastPanics)
 {
     Simulator sim;

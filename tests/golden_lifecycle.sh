@@ -15,8 +15,8 @@ churn_out="$(mktemp)"
 fig7_out="$(mktemp)"
 trap 'rm -f "$churn_out" "$fig7_out"' EXIT
 
-RIO_BENCH_QUICK=1 "$churn" --rate 0 --json "$churn_out" > /dev/null
-RIO_BENCH_QUICK=1 "$fig7" --json "$fig7_out" > /dev/null
+RIO_BENCH_QUICK=1 RIO_JSON_STABLE=1 "$churn" --rate 0 --json "$churn_out" > /dev/null
+RIO_BENCH_QUICK=1 RIO_JSON_STABLE=1 "$fig7" --json "$fig7_out" > /dev/null
 
 strip_name() { sed 's/"bench": "[^"]*"/"bench": ""/' "$1"; }
 

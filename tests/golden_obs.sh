@@ -6,7 +6,7 @@
 # so any diff here means an instrumentation point leaked into the
 # simulation. If the bench itself changed intentionally, regenerate:
 #
-#   RIO_BENCH_QUICK=1 bench_fig7_cycles_per_packet \
+#   RIO_BENCH_QUICK=1 RIO_JSON_STABLE=1 bench_fig7_cycles_per_packet \
 #       --json tests/golden/fig7_quick.json
 #
 # Usage: golden_obs.sh <bench_fig7-binary> <golden.json>
@@ -17,7 +17,7 @@ golden="$2"
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-RIO_BENCH_QUICK=1 "$bench" --json "$out" > /dev/null
+RIO_BENCH_QUICK=1 RIO_JSON_STABLE=1 "$bench" --json "$out" > /dev/null
 
 if ! diff -u "$golden" "$out"; then
     echo "golden_obs: instrumented bench diverged from $golden" >&2

@@ -5,7 +5,7 @@
 # deterministic discrete-event replay, so any diff is a real behavior
 # change — if it is intentional, regenerate with
 #
-#   RIO_BENCH_QUICK=1 bench_scaling_cores --cores 1,2 \
+#   RIO_BENCH_QUICK=1 RIO_JSON_STABLE=1 bench_scaling_cores --cores 1,2 \
 #       --json tests/golden/scaling_cores_1_2.json
 #
 # Usage: golden_scaling.sh <bench_scaling_cores-binary> <golden.json>
@@ -18,7 +18,7 @@ trap 'rm -f "$out"' EXIT
 
 # The golden was produced under RIO_BENCH_QUICK; pin it so the test is
 # fast and insensitive to the caller's environment.
-RIO_BENCH_QUICK=1 "$bench" --cores 1,2 --json "$out" > /dev/null
+RIO_BENCH_QUICK=1 RIO_JSON_STABLE=1 "$bench" --cores 1,2 --json "$out" > /dev/null
 
 if ! diff -u "$golden" "$out"; then
     echo "golden_scaling: bench output diverged from $golden" >&2

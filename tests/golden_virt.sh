@@ -7,7 +7,7 @@
 # RNG draw, a changed allocation order. If bench_fig7 itself changed
 # intentionally, regenerate the golden:
 #
-#   RIO_BENCH_QUICK=1 bench_fig7_cycles_per_packet \
+#   RIO_BENCH_QUICK=1 RIO_JSON_STABLE=1 bench_fig7_cycles_per_packet \
 #       --json tests/golden/fig7_quick.json
 #
 # Usage: golden_virt.sh <bench_virt-binary> <golden.json>
@@ -18,7 +18,7 @@ golden="$2"
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-RIO_BENCH_QUICK=1 "$bench" --platform bare --json "$out" > /dev/null
+RIO_BENCH_QUICK=1 RIO_JSON_STABLE=1 "$bench" --platform bare --json "$out" > /dev/null
 
 strip_name() { sed 's/"bench": "[^"]*"/"bench": ""/' "$1"; }
 

@@ -15,8 +15,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "des/parallel.h"
 #include "dma/baseline_handle.h"
 #include "dma/dma_context.h"
 #include "iova/magazine_allocator.h"
@@ -80,30 +82,119 @@ struct ChurnOutcome
  * The shared scenario: two cores, one NIC each, mixed-size map/unmap
  * bursts on both, with NIC 1 surprise-unplugged mid-burst (its live
  * mappings recovered by the driver removal path, not by us), then
- * replugged and driven again. Returns the end state; asserts the
- * leak/validity invariants along the way.
+ * replugged and driven again. Stepped — postRound() arms one round,
+ * the caller drives the simulator (directly, or via an engine lane),
+ * auditRound() checks invariants, finish() quiesces and returns the
+ * end state — so the same scenario runs on a plain Simulator or on a
+ * des::ParallelEngine lane next to other scenarios.
  */
-ChurnOutcome
-runChurnScenario(ProtectionMode mode)
+class ChurnScenario
 {
-    des::Simulator sim;
-    sys::Machine m(sim, mode, /*ncores=*/2);
-    m.attachNic(testProfile(), 0);
-    m.attachNic(testProfile(), 1);
-    m.bringUp();
+  public:
+    static constexpr int kRounds = 14;
 
+    ChurnScenario(ProtectionMode mode, des::Simulator &sim)
+        : m_(sim, mode, /*ncores=*/2)
+    {
+        m_.attachNic(testProfile(), 0);
+        m_.attachNic(testProfile(), 1);
+        m_.bringUp();
+    }
+
+    void
+    postRound(int round)
+    {
+        m_.core(0).post([this] { burst(0, true); });
+        if (round == 2) {
+            // Map on core 1, then the device vanishes with the burst
+            // live. The NIC's removal path recovers its own orphans;
+            // this driver unmaps its burst through the detached
+            // handle — the strict+ path that eats invalidation
+            // time-outs — and the magazines must still repark every
+            // range.
+            m_.core(1).post([this] {
+                const auto orphans = burst(1, false);
+                m_.surpriseUnplugNic(1);
+                m_.removeCleanupNic(1);
+                unmapBurst(1, orphans);
+            });
+        } else if (round == 3) {
+            m_.core(1).post(
+                [this] { ASSERT_TRUE(m_.replugNic(1).isOk()); });
+        } else {
+            m_.core(1).post([this] { burst(1, true); });
+        }
+    }
+
+    void
+    auditRound(int round)
+    {
+        // The leak audit is only meaningful on a detached handle (a
+        // live NIC rightfully holds its Rx-prefill and descriptor
+        // mappings): audit NIC 1 right after the removal cleanup.
+        if (round == 2) {
+            const dma::LeakReport rep =
+                m_.ctx().checkHandleLeaks(m_.handle(1));
+            EXPECT_TRUE(rep.clean())
+                << "post-unplug cleanup: " << rep.toString();
+        }
+        for (unsigned nic = 0; nic < 2; ++nic)
+            EXPECT_TRUE(magazineOf(m_.handle(nic)).validate())
+                << "round " << round << " nic " << nic;
+    }
+
+    ChurnOutcome
+    finish()
+    {
+        // Orderly end of life: everything returned, nothing parked-
+        // but-live, the trees still valid red-black trees.
+        EXPECT_TRUE(m_.quiesceNic(0).isOk());
+        EXPECT_TRUE(m_.quiesceNic(1).isOk());
+        for (unsigned nic = 0; nic < 2; ++nic) {
+            const dma::LeakReport rep =
+                m_.ctx().checkHandleLeaks(m_.handle(nic));
+            EXPECT_TRUE(rep.clean())
+                << "after quiesce, nic " << nic << ": "
+                << rep.toString();
+        }
+
+        ChurnOutcome out;
+        iova::MagazineIovaAllocator &mag0 = magazineOf(m_.handle(0));
+        EXPECT_EQ(mag0.live(), 0u);
+        EXPECT_EQ(mag0.parked(), mag0.treeSize());
+        EXPECT_TRUE(mag0.validate());
+        EXPECT_GT(mag0.magazineHits(), 0u); // steady state reached
+        iova::MagazineIovaAllocator &mag1 = magazineOf(m_.handle(1));
+        EXPECT_EQ(mag1.live(), 0u);
+        EXPECT_TRUE(mag1.validate());
+
+        out.acct0 = m_.acct(0).total();
+        out.acct1 = m_.acct(1).total();
+        out.alloc_calls = mag0.allocCalls() + mag1.allocCalls();
+        out.magazine_hits = mag0.magazineHits() + mag1.magazineHits();
+        out.tree_size = mag0.treeSize() + mag1.treeSize();
+        out.parked = mag0.parked() + mag1.parked();
+        out.live = mag0.live() + mag1.live();
+        out.unplugs = m_.lifecycleStats().surprise_unplugs;
+        out.replugs = m_.lifecycleStats().replugs;
+        return out;
+    }
+
+  private:
     // Mixed sizes: 1 page and 2 pages, so two magazines are in play.
     // The volume matters for defer+: IOVA frees sit in the deferred
     // batch until the 250-unmap flush, so the run must cross that
     // threshold mid-flight for the magazines to see any traffic
     // before the final quiesce.
-    auto mapBurst = [&](unsigned nic) {
+    std::vector<dma::DmaMapping>
+    mapBurst(unsigned nic)
+    {
         std::vector<dma::DmaMapping> mappings;
         for (int j = 0; j < 24; ++j) {
             const u32 size = (j % 2) ? 1000u : 1000u + kPageSize;
-            const PhysAddr buf = m.ctx().memory().allocFrame();
+            const PhysAddr buf = m_.ctx().memory().allocFrame();
             auto mapping =
-                m.handle(nic).map(0, buf, size, DmaDir::kBidir);
+                m_.handle(nic).map(0, buf, size, DmaDir::kBidir);
             if (!mapping.isOk()) {
                 // Mid-outage: the handle is detached; tolerated.
                 EXPECT_EQ(mapping.status().code(), ErrorCode::kDetached);
@@ -112,93 +203,66 @@ runChurnScenario(ProtectionMode mode)
             mappings.push_back(mapping.value());
         }
         return mappings;
-    };
+    }
+
     // Mixed teardown order exercises find() on both magazines.
-    auto unmapBurst = [&](unsigned nic,
-                          const std::vector<dma::DmaMapping> &mappings) {
+    void
+    unmapBurst(unsigned nic, const std::vector<dma::DmaMapping> &mappings)
+    {
         for (size_t j = 0; j < mappings.size(); j += 2)
             EXPECT_TRUE(
-                m.handle(nic).unmap(mappings[j], false).isOk());
+                m_.handle(nic).unmap(mappings[j], false).isOk());
         for (size_t j = 1; j < mappings.size(); j += 2)
-            EXPECT_TRUE(m.handle(nic)
+            EXPECT_TRUE(m_.handle(nic)
                             .unmap(mappings[j],
                                    j + 2 > mappings.size())
                             .isOk());
-    };
-    auto burst = [&](unsigned nic, bool unmap_back) {
+    }
+
+    std::vector<dma::DmaMapping>
+    burst(unsigned nic, bool unmap_back)
+    {
         const auto mappings = mapBurst(nic);
         if (unmap_back)
             unmapBurst(nic, mappings);
         return mappings;
-    };
+    }
 
-    for (int round = 0; round < 14; ++round) {
-        m.core(0).post([&] { burst(0, true); });
-        if (round == 2) {
-            // Map on core 1, then the device vanishes with the burst
-            // live. The NIC's removal path recovers its own orphans;
-            // this driver unmaps its burst through the detached
-            // handle — the strict+ path that eats invalidation
-            // time-outs — and the magazines must still repark every
-            // range.
-            m.core(1).post([&] {
-                const auto orphans = burst(1, false);
-                m.surpriseUnplugNic(1);
-                m.removeCleanupNic(1);
-                unmapBurst(1, orphans);
-            });
-        } else if (round == 3) {
-            m.core(1).post([&] { ASSERT_TRUE(m.replugNic(1).isOk()); });
-        } else {
-            m.core(1).post([&] { burst(1, true); });
-        }
+    sys::Machine m_;
+};
+
+ChurnOutcome
+runChurnScenario(ProtectionMode mode)
+{
+    des::Simulator sim;
+    ChurnScenario s(mode, sim);
+    for (int round = 0; round < ChurnScenario::kRounds; ++round) {
+        s.postRound(round);
         sim.run();
-
-        // The leak audit is only meaningful on a detached handle (a
-        // live NIC rightfully holds its Rx-prefill and descriptor
-        // mappings): audit NIC 1 right after the removal cleanup.
-        if (round == 2) {
-            const dma::LeakReport rep =
-                m.ctx().checkHandleLeaks(m.handle(1));
-            EXPECT_TRUE(rep.clean())
-                << "post-unplug cleanup: " << rep.toString();
-        }
-        for (unsigned nic = 0; nic < 2; ++nic)
-            EXPECT_TRUE(magazineOf(m.handle(nic)).validate())
-                << "round " << round << " nic " << nic;
+        s.auditRound(round);
     }
+    return s.finish();
+}
 
-    // Orderly end of life: everything returned, nothing parked-but-
-    // live, the trees still valid red-black trees.
-    EXPECT_TRUE(m.quiesceNic(0).isOk());
-    EXPECT_TRUE(m.quiesceNic(1).isOk());
-    for (unsigned nic = 0; nic < 2; ++nic) {
-        const dma::LeakReport rep =
-            m.ctx().checkHandleLeaks(m.handle(nic));
-        EXPECT_TRUE(rep.clean())
-            << "after quiesce, nic " << nic << ": " << rep.toString();
+/** Both magazine modes side by side, one engine lane each: the same
+ * round structure, but the rounds of the two scenarios execute
+ * concurrently when the engine has workers. */
+std::pair<ChurnOutcome, ChurnOutcome>
+runChurnPairOnEngine(unsigned threads)
+{
+    des::ParallelEngine eng(threads);
+    des::Lane &l0 = eng.addLane();
+    des::Lane &l1 = eng.addLane();
+    ChurnScenario s0(ProtectionMode::kStrictPlus, l0.sim());
+    ChurnScenario s1(ProtectionMode::kDeferPlus, l1.sim());
+    for (int round = 0; round < ChurnScenario::kRounds; ++round) {
+        s0.postRound(round);
+        s1.postRound(round);
+        eng.run();
+        s0.auditRound(round);
+        s1.auditRound(round);
     }
-
-    ChurnOutcome out;
-    iova::MagazineIovaAllocator &mag0 = magazineOf(m.handle(0));
-    EXPECT_EQ(mag0.live(), 0u);
-    EXPECT_EQ(mag0.parked(), mag0.treeSize());
-    EXPECT_TRUE(mag0.validate());
-    EXPECT_GT(mag0.magazineHits(), 0u); // steady state reached
-    iova::MagazineIovaAllocator &mag1 = magazineOf(m.handle(1));
-    EXPECT_EQ(mag1.live(), 0u);
-    EXPECT_TRUE(mag1.validate());
-
-    out.acct0 = m.acct(0).total();
-    out.acct1 = m.acct(1).total();
-    out.alloc_calls = mag0.allocCalls() + mag1.allocCalls();
-    out.magazine_hits = mag0.magazineHits() + mag1.magazineHits();
-    out.tree_size = mag0.treeSize() + mag1.treeSize();
-    out.parked = mag0.parked() + mag1.parked();
-    out.live = mag0.live() + mag1.live();
-    out.unplugs = m.lifecycleStats().surprise_unplugs;
-    out.replugs = m.lifecycleStats().replugs;
-    return out;
+    return {s0.finish(), s1.finish()};
 }
 
 class MagazineChurnTest : public ::testing::TestWithParam<ProtectionMode>
@@ -233,6 +297,21 @@ INSTANTIATE_TEST_SUITE_P(MagazineModes, MagazineChurnTest,
                                         ? std::string("strictPlus")
                                         : std::string("deferPlus");
                          });
+
+// ---- engine lanes: the pair under worker threads, bit-identical -------------
+
+TEST(MagazineChurnParallel, EnginePairMatchesSequentialBitForBit)
+{
+    const auto seq = runChurnPairOnEngine(1);
+    const auto par = runChurnPairOnEngine(2);
+    EXPECT_TRUE(seq.first == par.first) << "strict+ diverged at 2 threads";
+    EXPECT_TRUE(seq.second == par.second) << "defer+ diverged at 2 threads";
+    // And a lane replays the plain-Simulator scenario exactly.
+    EXPECT_TRUE(seq.first ==
+                runChurnScenario(ProtectionMode::kStrictPlus));
+    EXPECT_TRUE(seq.second ==
+                runChurnScenario(ProtectionMode::kDeferPlus));
+}
 
 // ---- workload-level: Poisson churn + contended cores, deterministic ---------
 

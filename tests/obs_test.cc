@@ -9,8 +9,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include "cycles/batch.h"
 #include "dma/fault.h"
+#include "obs/deferred.h"
 #include "obs/flight.h"
 #include "obs/registry.h"
 #include "obs/timeline.h"
@@ -29,6 +32,7 @@ class ObsTest : public ::testing::Test
         timeline().clear();
         timeline().setRecording(false);
         flightRecorder().clear();
+        setDeferredEnabled(false);
     }
 
     void TearDown() override { SetUp(); }
@@ -118,6 +122,119 @@ TEST_F(ObsTest, ResetValuesKeepsRegistrationsAndPointers)
     registry().resetValues();
     EXPECT_EQ(c.value, 0u) << "same storage, zeroed";
     EXPECT_EQ(&registry().counter("x.ops"), &c);
+}
+
+// ---- deferred batching (the parallel-engine hot-path tier) ------------------
+
+TEST_F(ObsTest, DeferredCounterPassesThroughWhenDisabled)
+{
+    Counter &c = registry().counter("batch.test");
+    DeferredCounter d(c);
+    d.bump(2);
+    d.bump();
+    EXPECT_EQ(c.get(), 3u) << "deferral off: every bump lands at once";
+    EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST_F(ObsTest, DeferredCounterBatchesUntilFlush)
+{
+    Counter &c = registry().counter("batch.test");
+    DeferredCounter d(c);
+    setDeferredEnabled(true);
+    for (int i = 0; i < 10; ++i)
+        d.bump();
+    EXPECT_EQ(c.get(), 0u) << "updates held locally";
+    EXPECT_EQ(d.pending(), 10u);
+    d.flush();
+    EXPECT_EQ(c.get(), 10u);
+    EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST_F(ObsTest, DeferredCounterAutoFlushesAtThreshold)
+{
+    Counter &c = registry().counter("batch.test");
+    DeferredCounter d(c);
+    setDeferredEnabled(true);
+    for (u64 i = 0; i < DeferredCounter::kFlushEvery; ++i)
+        d.bump();
+    EXPECT_EQ(c.get(), DeferredCounter::kFlushEvery);
+    EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST_F(ObsTest, SnapshotSettlesDeferredState)
+{
+    Counter &c = registry().counter("batch.test");
+    DeferredCounter d(c);
+    setDeferredEnabled(true);
+    d.bump(7);
+    // A snapshot must always be exact, even mid-burst: it flushes
+    // every live accumulator first.
+    const auto snap = registry().snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].values, (std::vector<u64>{7}));
+}
+
+TEST_F(ObsTest, DeferredHistogramDeliversBurstAtOnce)
+{
+    Histogram &h = registry().histogram("batch.hist", {}, {10, 100});
+    DeferredHistogram d;
+    d.bind(&h);
+    setDeferredEnabled(true);
+    d.note(5);
+    d.note(50);
+    d.note(500);
+    EXPECT_EQ(h.count(), 0u) << "burst still buffered";
+    d.endBurst();
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 555u);
+    EXPECT_EQ(h.buckets(), (std::vector<u64>{1, 1, 1}));
+}
+
+TEST_F(ObsTest, BatchChargeMatchesPerOpTotals)
+{
+    cycles::CycleAccount per_op, batched;
+    for (Cycles c : {10u, 20u, 30u})
+        per_op.charge(cycles::Cat::kUnmapIotlbInv, c);
+    {
+        cycles::setBatchingEnabled(true);
+        cycles::BatchCharge b(batched, cycles::Cat::kUnmapIotlbInv);
+        for (Cycles c : {10u, 20u, 30u})
+            b.add(c);
+        EXPECT_EQ(batched.ops(cycles::Cat::kUnmapIotlbInv), 0u)
+            << "charges held until the burst ends";
+    } // RAII flush
+    cycles::setBatchingEnabled(false);
+    EXPECT_EQ(batched.get(cycles::Cat::kUnmapIotlbInv),
+              per_op.get(cycles::Cat::kUnmapIotlbInv));
+    EXPECT_EQ(batched.ops(cycles::Cat::kUnmapIotlbInv),
+              per_op.ops(cycles::Cat::kUnmapIotlbInv));
+}
+
+TEST_F(ObsTest, ConcurrentUpdatesFromManyThreadsLoseNothing)
+{
+    // The parallel engine's lanes share the process-wide registry;
+    // counters are relaxed atomics, gauges CAS their high-water mark,
+    // histograms serialize behind their spinlock. 4 threads x 10k
+    // updates must all land (this is also the TSan lane's meat).
+    Counter &c = registry().counter("mt.counter");
+    Gauge &g = registry().gauge("mt.gauge");
+    Histogram &h = registry().histogram("mt.hist", {}, {100});
+    constexpr int kThreads = 4, kPerThread = 10000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.inc();
+                g.add(1);
+                h.observe(static_cast<u64>(i % 200));
+            }
+        });
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(c.get(), u64{kThreads} * kPerThread);
+    EXPECT_EQ(g.value, i64{kThreads} * kPerThread);
+    EXPECT_EQ(g.high, i64{kThreads} * kPerThread);
+    EXPECT_EQ(h.count(), u64{kThreads} * kPerThread);
 }
 
 // ---- timeline ---------------------------------------------------------------
