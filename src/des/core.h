@@ -87,6 +87,24 @@ class Core
     u16 obsPid() const { return obs_pid_; }
     u16 obsTid() const { return obs_tid_; }
 
+    /**
+     * Deterministic id for pairing async timeline spans (QI
+     * issue→complete) emitted from this core's context: the track
+     * identity in the high bits plus a core-confined counter. A core
+     * lives on exactly one event lane, so unlike a shared atomic the
+     * sequence depends only on simulation content — span ids, and
+     * hence Chrome-trace output, are byte-identical across thread
+     * counts. The 16-bit sequence wraps; ids only need to be unique
+     * among *concurrent* spans of one core, so this is harmless.
+     */
+    u32
+    nextSpanId()
+    {
+        return (static_cast<u32>(obs_pid_ & 0xff) << 24) |
+               (static_cast<u32>(obs_tid_ & 0xff) << 16) |
+               static_cast<u32>(++span_seq_ & 0xffff);
+    }
+
     /** Utilization over [t0, t1], given busy cycles at t0. */
     double
     utilization(Nanos t0, Nanos t1, Cycles busy_at_t0) const
@@ -115,6 +133,7 @@ class Core
     u64 items_run_ = 0;
     u16 obs_pid_ = 0;
     u16 obs_tid_ = 0;
+    u32 span_seq_ = 0;
 };
 
 } // namespace rio::des

@@ -47,8 +47,14 @@ Lane::drainInbox()
                   return a.seq < b.seq;
               });
     for (Mail &m : mail) {
-        // The conservative invariant: mail from the previous window
-        // lands at or after this lane's clock (wire >= lookahead).
+        // The conservative invariant: drains happen at window
+        // barriers, where this lane's clock sits exactly at the end
+        // of the last window it ran. Mail sent inside that window
+        // from an event at t >= window start carries
+        // when = t + wire >= start + lookahead = window end, so
+        // when >= now() holds (with equality exactly in the
+        // wire == lookahead boundary case). Anything earlier means
+        // the wire undercut the configured lookahead.
         RIO_ASSERT(m.when >= sim_.now(),
                    "cross-lane message in the past: when=", m.when,
                    " lane now=", sim_.now(),
@@ -98,7 +104,12 @@ ParallelEngine::nextTime()
 void
 ParallelEngine::laneWindow(Lane &lane, Nanos window_end)
 {
-    lane.drainInbox();
+    // No inbox access here: mail is delivered only at the barrier in
+    // runWindow(), while every lane is quiescent. Draining from
+    // inside the window would race with concurrent senders — mail
+    // timestamped exactly at the horizon (wire == lookahead) would
+    // land in the current or the next drain batch depending on
+    // thread scheduling, perturbing the (when, src, seq) order.
     lane.sim().runUntil(window_end);
 }
 
@@ -147,6 +158,15 @@ void
 ParallelEngine::runWindow(Nanos window_end)
 {
     ++rounds_;
+    // Deliver all queued mail before any lane starts the window.
+    // Every lane is quiescent at this point (between windows), so no
+    // sendTo can race the drain: each message is scheduled in exactly
+    // one deterministic batch — the barrier following the window that
+    // sent it — and the per-lane drain order (ascending lane index on
+    // this one thread) fixes the receiving simulators' FIFO sequence
+    // numbers independent of thread count or scheduling.
+    for (auto &l : lanes_)
+        l->drainInbox();
     if (threads_ <= 1 || lanes_.size() <= 1) {
         for (auto &l : lanes_)
             laneWindow(*l, window_end);

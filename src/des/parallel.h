@@ -18,7 +18,14 @@
  *  - within a window a lane is plain single-threaded Simulator code;
  *  - the horizon sequence depends only on event timestamps, never on
  *    which thread ran what;
- *  - mailboxes are drained sorted by (when, src lane, sender seq) — a
+ *  - mailboxes are drained only at window barriers, on the one
+ *    calling thread, while every lane is quiescent — so a message
+ *    sent during window W is scheduled in exactly one batch (the
+ *    W -> W+1 barrier) no matter how threads interleaved inside W.
+ *    This matters at the boundary: with wire == lookahead a message
+ *    lands exactly on the horizon, and an in-window drain would
+ *    deliver it in the current or next window depending on timing;
+ *  - each barrier batch is sorted by (when, src lane, sender seq) — a
  *    total order fixed by the simulation itself — so the FIFO
  *    tie-break seq numbers each lane assigns to delivered messages
  *    are reproducible.
@@ -95,7 +102,8 @@ class Lane
      * Schedule all queued mail into the simulator, sorted by
      * (when, src, seq) so delivery order — and hence the receiving
      * simulator's FIFO tie-break numbering — is independent of
-     * thread interleaving.
+     * thread interleaving. Called by the engine only at window
+     * barriers (all lanes quiescent), never while a window runs.
      */
     void drainInbox();
 
@@ -161,10 +169,11 @@ class ParallelEngine
     /** Earliest pending work (event or queued mail) across lanes. */
     Nanos nextTime();
 
-    /** Run one window [.., @p window_end] across all lanes. */
+    /** Deliver queued mail (barrier; all lanes quiescent), then run
+     * one window [.., @p window_end] across all lanes. */
     void runWindow(Nanos window_end);
 
-    /** Lane body for one window: drain mail, then run. */
+    /** Lane body for one window: run events up to the horizon. */
     static void laneWindow(Lane &lane, Nanos window_end);
 
     void startPoolOnce();

@@ -17,12 +17,17 @@ qiIssueEvent(des::Core *core, u16 bdf)
 {
     obs::Event e;
     e.kind = obs::Ev::kQiIssue;
-    e.id = obs::timeline().nextSpanId();
     e.bdf = bdf;
     if (core) {
+        // Span id derived from the core (lane-confined counter), not
+        // the shared Timeline atomic: keeps trace output identical
+        // across thread counts.
+        e.id = core->nextSpanId();
         e.t = core->virtualNow();
         e.pid = core->obsPid();
         e.tid = core->obsTid();
+    } else {
+        e.id = obs::timeline().nextSpanId();
     }
     return e;
 }

@@ -36,7 +36,15 @@ deferredEnabled()
 void
 setDeferredEnabled(bool on)
 {
-    g_deferred_enabled.store(on, std::memory_order_relaxed);
+    const bool was = g_deferred_enabled.exchange(
+        on, std::memory_order_relaxed);
+    // Turning deferral off settles everything that was batched while
+    // it was on: otherwise pending deltas would strand until the next
+    // snapshot/destructor, and direct inc()s issued after the switch
+    // would land *before* amounts accumulated earlier. Like every
+    // flush, this is a barrier-point operation (no lane mid-bump).
+    if (was && !on)
+        flushAllDeferred();
 }
 
 Deferred::Deferred()

@@ -10,10 +10,12 @@
  *
  * Correctness contract: deferral changes *when* a metric moves, never
  * by how much. Every accumulator flushes at burst boundaries, at its
- * owner's destruction, and — the backstop — from flushAllDeferred(),
- * which Registry::snapshot() calls first, so any snapshot (golden
- * JSON, textDump, test assertion via snapshot) always sees fully
- * settled totals.
+ * owner's destruction, when deferral is switched off
+ * (setDeferredEnabled(false)), before a value reset
+ * (Registry::resetValues()), and — the backstop — from
+ * flushAllDeferred(), which Registry::snapshot() calls first, so any
+ * snapshot (golden JSON, textDump, test assertion via snapshot)
+ * always sees fully settled totals.
  *
  * Deferral is an opt-in fast path: it defaults OFF so unit tests can
  * read a counter right after the op that bumps it; the bench harness
@@ -76,6 +78,11 @@ class DeferredCounter : public Deferred
     bump(u64 n = 1)
     {
         if (!deferredEnabled()) {
+            // Self-heal if the global was flipped off without the
+            // setter's flush: stranded deltas must land before this
+            // direct increment to preserve accumulation order.
+            if (pending_)
+                flush();
             target_.inc(n);
             return;
         }
@@ -128,6 +135,10 @@ class DeferredHistogram : public Deferred
         if (!target_)
             return;
         if (!deferredEnabled()) {
+            // Same self-heal as DeferredCounter::bump: deliver any
+            // stranded burst before the direct observation.
+            if (!pending_.empty())
+                flush();
             target_->observe(v);
             return;
         }

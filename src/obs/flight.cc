@@ -1,11 +1,47 @@
 #include "obs/flight.h"
 
 #include <cstdio>
+#include <mutex>
 
 #include "base/strings.h"
 #include "obs/registry.h"
 
 namespace rio::obs {
+
+namespace {
+
+/** Process-wide dump archive (see flight.h). Dumps are rare and
+ * rate-limited, so a plain mutex-guarded vector is fine; the hot
+ * record() path never touches it. */
+std::mutex &
+archiveMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<FlightDump> &
+archiveList()
+{
+    static std::vector<FlightDump> l;
+    return l;
+}
+
+} // namespace
+
+std::vector<FlightDump>
+flightDumpArchive()
+{
+    std::lock_guard<std::mutex> g(archiveMutex());
+    return archiveList();
+}
+
+void
+clearFlightDumpArchive()
+{
+    std::lock_guard<std::mutex> g(archiveMutex());
+    archiveList().clear();
+}
 
 std::string
 eventLine(const Event &e)
@@ -49,6 +85,13 @@ FlightRecorder::dump(const std::string &reason)
                      "events ===\n%s=== end of dump ===\n",
                      (unsigned long long)seq, reason.c_str(),
                      ring_.size(), d.text.c_str());
+        {
+            // Publish to the process-wide archive so a dump fired on
+            // a worker-lane thread outlives the pool and is readable
+            // from the main thread (dumps_ is thread-confined).
+            std::lock_guard<std::mutex> g(archiveMutex());
+            archiveList().push_back(d);
+        }
         dumps_.push_back(std::move(d));
     }
     return seq;
@@ -74,9 +117,11 @@ flightRecorder()
     // Thread-local: every event lands in the *emitting thread's* ring
     // with zero synchronization, keeping Timeline::emit lock-free on
     // the recording-off default path. A worker lane that trips a dump
-    // prints its own last moments — which is exactly the context that
-    // matters — and the main thread's recorder keeps serving the
-    // tests and trace export that run after lanes join.
+    // renders its own last moments — which is exactly the context
+    // that matters — and the dump is both printed to stderr and
+    // published to the process-wide archive (flightDumpArchive()), so
+    // it stays inspectable from the main thread after lanes join and
+    // the pool thread (with its thread-local recorder) is gone.
     static thread_local FlightRecorder fr;
     return fr;
 }

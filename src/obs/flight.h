@@ -75,8 +75,24 @@ class FlightRecorder
 /** The calling thread's flight recorder (fed by the global
  * timeline). Thread-local so lanes record without locking; in a
  * single-threaded run it behaves exactly like the old process-wide
- * singleton. */
+ * singleton. Only the hot record() path is thread-confined: every
+ * retained dump is also published to the process-wide archive below,
+ * so a dump fired on a worker-lane thread survives the pool and is
+ * visible to main-thread post-mortem inspection and trace export. */
 FlightRecorder &flightRecorder();
+
+/**
+ * Process-wide dump archive: a copy of every retained FlightDump, in
+ * publication order, regardless of which thread's recorder fired it.
+ * This is what Timeline::writeChromeTrace embeds and what post-run
+ * inspection should read — per-recorder dumps() only sees the calling
+ * thread's own dumps. Each recorder's dump limit bounds what it
+ * publishes.
+ */
+std::vector<FlightDump> flightDumpArchive();
+
+/** Drop everything published to the archive (tests/bench resets). */
+void clearFlightDumpArchive();
 
 /**
  * Convenience trigger used by the failure paths: fire a flight dump

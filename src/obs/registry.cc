@@ -219,6 +219,15 @@ Registry::snapshot() const
 void
 Registry::resetValues()
 {
+    // Settle pending Deferred accumulators *before* zeroing, same as
+    // snapshot(): pre-reset deltas land pre-reset and are wiped with
+    // everything else, so post-reset totals count only post-reset
+    // activity. Without this, deltas batched before the reset would
+    // flush into the freshly zeroed metrics later — deferral must
+    // change when a metric moves, never by how much, including
+    // across a reset boundary. Like snapshot(), this may only run at
+    // a barrier (no lane mid-bump).
+    flushAllDeferred();
     std::lock_guard<std::mutex> g(mu_);
     for (auto &e : entries_) {
         if (e->counter)

@@ -207,7 +207,10 @@ class Registry
     /** Flattened values in registration order (determinism checks). */
     std::vector<SnapshotEntry> snapshot() const;
 
-    /** Zero every value, keep registrations (between bench runs). */
+    /** Zero every value, keep registrations (between bench runs).
+     * Flushes pending Deferred accumulators first (like snapshot()),
+     * so batched pre-reset deltas are wiped rather than leaking into
+     * post-reset totals. Barrier points only. */
     void resetValues();
 
     /** Drop everything — invalidates cached metric pointers; tests

@@ -191,7 +191,9 @@ Timeline::writeChromeTrace(const std::string &path) const
     }
     // Flight-recorder dumps ride along as named instants so a
     // `--timeline` artifact is self-contained evidence of failures.
-    for (const FlightDump &d : flightRecorder().dumps()) {
+    // Read the process-wide archive, not this thread's recorder:
+    // dumps fired on worker-lane threads must appear too.
+    for (const FlightDump &d : flightDumpArchive()) {
         emitJson(
             f, &first,
             strprintf("{\"name\": \"flight_dump\", \"cat\": \"flight\", "

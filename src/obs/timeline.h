@@ -131,17 +131,22 @@ class Timeline
     void setCapacity(size_t per_track);
     size_t capacity() const { return capacity_; }
 
-    /** Next unused track-group id (one per Machine). Atomic so
-     * Machines may be built from concurrent lanes, though the
-     * deterministic setup path allocates all pids on the main
-     * thread. */
+    /** Next unused track-group id (one per Machine). Atomic as a
+     * safety net, but determinism requires what every bench does:
+     * construct all Machines sequentially on the main thread during
+     * setup, before any lane runs — then pid assignment is fixed by
+     * construction order, independent of thread count. */
     u16
     allocPid()
     {
         return next_pid_.fetch_add(1, std::memory_order_relaxed);
     }
 
-    /** Unique id for pairing async issue/complete events. */
+    /** Unique id for pairing async issue/complete events — fallback
+     * for emitters with no core context only. Instrumentation running
+     * on a simulated core must use des::Core::nextSpanId() instead:
+     * this shared counter hands out ids in thread-schedule order, so
+     * ids drawn here are only reproducible single-threaded. */
     u32
     nextSpanId()
     {

@@ -32,6 +32,7 @@ class ObsTest : public ::testing::Test
         timeline().clear();
         timeline().setRecording(false);
         flightRecorder().clear();
+        clearFlightDumpArchive();
         setDeferredEnabled(false);
     }
 
@@ -172,6 +173,47 @@ TEST_F(ObsTest, SnapshotSettlesDeferredState)
     const auto snap = registry().snapshot();
     ASSERT_EQ(snap.size(), 1u);
     EXPECT_EQ(snap[0].values, (std::vector<u64>{7}));
+}
+
+TEST_F(ObsTest, ResetValuesSettlesDeferredStateFirst)
+{
+    Counter &c = registry().counter("batch.test");
+    DeferredCounter d(c);
+    setDeferredEnabled(true);
+    d.bump(7);
+    // Reset must flush pending deltas first so they are zeroed with
+    // everything else — deferral may move *when* a metric lands,
+    // never by how much, including across a reset boundary. Without
+    // the flush, the 7 would land on top of the zeroed counter later.
+    registry().resetValues();
+    EXPECT_EQ(d.pending(), 0u);
+    d.bump(3);
+    const auto snap = registry().snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].values, (std::vector<u64>{3}))
+        << "post-reset total counts post-reset activity only";
+}
+
+TEST_F(ObsTest, DisablingDeferralSettlesPendingState)
+{
+    Counter &c = registry().counter("batch.test");
+    DeferredCounter d(c);
+    Histogram &h = registry().histogram("batch.hist", {}, {10, 100});
+    DeferredHistogram dh;
+    dh.bind(&h);
+    setDeferredEnabled(true);
+    d.bump(5);
+    dh.note(50);
+    EXPECT_EQ(c.get(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    // Switching deferral off settles every live accumulator: nothing
+    // strands until the next snapshot, and later direct updates land
+    // after (not before) the amounts batched earlier.
+    setDeferredEnabled(false);
+    EXPECT_EQ(c.get(), 5u);
+    EXPECT_EQ(d.pending(), 0u);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(dh.pendingCount(), 0u);
 }
 
 TEST_F(ObsTest, DeferredHistogramDeliversBurstAtOnce)
@@ -355,8 +397,47 @@ TEST_F(ObsTest, DumpLimitRetainsFirstFewButCountsAll)
     EXPECT_EQ(flightRecorder().dumpCount(), 5u);
     EXPECT_EQ(flightRecorder().dumps().size(), 2u)
         << "beyond the limit a dump is only a sequence bump";
+    EXPECT_EQ(flightDumpArchive().size(), 2u)
+        << "the archive honours the recorder's limit too";
     EXPECT_EQ(registry().counter("flight.dumps").value, 5u);
     flightRecorder().setDumpLimit(FlightRecorder::kDefaultDumpLimit);
+}
+
+TEST_F(ObsTest, WorkerThreadDumpsReachProcessWideArchive)
+{
+    RIO_REQUIRE_OBS_COMPILED();
+    flightDump("main_side");
+    // A dump fired from a pool thread (mid-window assertion under
+    // ParallelEngine) lives in that thread's recorder, which dies
+    // with the thread — the archive is what keeps it inspectable.
+    std::thread worker([] {
+        Event e;
+        e.kind = Ev::kFault;
+        e.t = 77;
+        timeline().emit(e); // lands in the worker's own flight ring
+        flightDump("worker_side");
+    });
+    worker.join();
+    EXPECT_EQ(flightRecorder().dumps().size(), 1u)
+        << "the per-thread recorder only sees its own dump";
+    const auto archive = flightDumpArchive();
+    ASSERT_EQ(archive.size(), 2u) << "the archive sees both";
+    EXPECT_EQ(archive[0].reason, "main_side");
+    EXPECT_EQ(archive[1].reason, "worker_side");
+    EXPECT_NE(archive[1].text.find("fault"), std::string::npos)
+        << "worker-side ring contents survive the thread:\n"
+        << archive[1].text;
+
+    // And the trace export embeds the worker-side dump marker.
+    const std::string path = "/tmp/rio_obs_archive_trace_test.json";
+    ASSERT_TRUE(timeline().writeChromeTrace(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::remove(path.c_str());
+    EXPECT_NE(json.find("worker_side"), std::string::npos)
+        << "chrome trace reads the archive, not one thread's dumps";
 }
 
 } // namespace

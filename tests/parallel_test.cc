@@ -186,10 +186,10 @@ TEST(ParallelEngineDeathTest, WireFasterThanLookaheadIsCaught)
 {
     // A message timestamped inside the current window violates the
     // conservative contract — the engine must refuse, not reorder.
-    // The sender is the higher-indexed lane so the destination's
-    // window has already run when the late mail lands (a lower-
-    // indexed sender would be drained in-window and slip through).
-    // threads=1 here: the inline path spawns nothing, so the default
+    // Mail is delivered only at window barriers, where the receiver's
+    // clock sits at the previous window's end, so late mail is caught
+    // regardless of which lane sent it (both directions pinned here).
+    // threads=1: the inline path spawns nothing, so the default
     // death-test style is safe.
     EXPECT_DEATH(
         {
@@ -204,6 +204,76 @@ TEST(ParallelEngineDeathTest, WireFasterThanLookaheadIsCaught)
             eng.run();
         },
         "past");
+    EXPECT_DEATH(
+        {
+            ParallelEngine eng(1);
+            Lane &a = eng.addLane();
+            Lane &b = eng.addLane();
+            eng.setLookahead(100);
+            b.sim().scheduleAt(90, [] {});
+            a.sim().scheduleAt(0, [&] {
+                // Lower-indexed sender: before barrier-batched
+                // delivery this was drained in-window and slipped
+                // through; it must die just the same.
+                a.sendTo(b, a.sim().now() + 1, [] {});
+            });
+            eng.run();
+        },
+        "past");
+}
+
+/** The wire == lookahead boundary: mail lands exactly on the horizon.
+ * Returns the destination lane's full execution order (tag per
+ * callback, in the order they ran). Must be identical for every
+ * thread count — the window-boundary race this pins regressed once:
+ * an in-window inbox drain delivered horizon mail in the current or
+ * the next window depending on thread scheduling. */
+std::vector<int>
+runHorizonBoundary(unsigned threads)
+{
+    constexpr Nanos kWire = 50;
+    ParallelEngine eng(threads);
+    Lane &dst = eng.addLane();
+    Lane &s1 = eng.addLane();
+    Lane &s2 = eng.addLane();
+    eng.setLookahead(kWire);
+    std::vector<int> order;
+    // dst's own event at the horizon timestamp, scheduled in-window.
+    dst.sim().scheduleAt(10, [&] {
+        dst.sim().scheduleAt(dst.sim().now() + kWire,
+                             [&] { order.push_back(1); });
+    });
+    // Two senders mail dst at exactly t_min + lookahead = horizon;
+    // the first mail callback chains a zero-delay (same-timestamp)
+    // follow-up — the reviewer scenario for drain-batch sensitivity.
+    s1.sim().scheduleAt(10, [&] {
+        s1.sendTo(dst, s1.sim().now() + kWire, [&] {
+            order.push_back(2);
+            dst.sim().scheduleAt(dst.sim().now(),
+                                 [&] { order.push_back(4); });
+        });
+    });
+    s2.sim().scheduleAt(10, [&] {
+        s2.sendTo(dst, s2.sim().now() + kWire,
+                  [&] { order.push_back(3); });
+    });
+    eng.run();
+    return order;
+}
+
+TEST(ParallelEngine, HorizonMailOrderIsThreadCountInvariant)
+{
+    // Pin the exact semantics: dst's own horizon event ran in the
+    // window that scheduled it; both mails were delivered in one
+    // barrier batch after it, sorted by source lane; the zero-delay
+    // follow-up (scheduled during delivery) runs last.
+    const std::vector<int> want{1, 2, 3, 4};
+    EXPECT_EQ(runHorizonBoundary(1), want);
+    // The race was thread-schedule-dependent; give it iterations.
+    for (int rep = 0; rep < 25; ++rep) {
+        ASSERT_EQ(runHorizonBoundary(2), want) << "rep " << rep;
+        ASSERT_EQ(runHorizonBoundary(4), want) << "rep " << rep;
+    }
 }
 
 } // namespace
