@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Cluster/RDMA lane under AddressSanitizer: the fabric's lifecycle
+# surface (QP connect/teardown churn, incast bursts, fault-injected
+# NAK paths, end-of-run force-quiesce) is exactly where use-after-free
+# and leak bugs would hide, so the whole lane runs on an ASan+UBSan
+# build. Covers the cluster unit/property suite, a ClusterFuzz soak
+# with seeds only this lane runs, the thread-invariance golden, and
+# an erosion sweep up to 1K QPs/machine to walk the high-ring-count
+# paths (rDEVICE fetch model + hot tier included).
+#
+# Run from the repo root:
+#
+#   scripts/ci_cluster.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-cluster-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DRIO_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" -- \
+    cluster_test fuzz_test bench_cluster_rdma
+
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+
+"$BUILD_DIR/tests/cluster_test"
+
+# ClusterFuzz soak: churn x incast x fault injection across the mode
+# cross-section, every campaign replayed on 1 and 3 worker threads
+# and compared field for field.
+export RIO_CLUSTER_EXTRA_SEEDS="1299709,15485863,32452843"
+"$BUILD_DIR/tests/fuzz_test" --gtest_filter='*ClusterFuzz*'
+unset RIO_CLUSTER_EXTRA_SEEDS
+
+# Determinism golden (threads 1 == threads 4 == checked-in JSON),
+# under ASan for good measure.
+bash tests/golden_cluster.sh "$BUILD_DIR/bench/bench_cluster_rdma" \
+    tests/golden/cluster_rdma_64_quick.json
+
+# Erosion sweep through 1024 QPs/machine: thousands of live rRING
+# mappings, the fetch-model ablations, and the crossover assertion
+# all exercised with sanitizers watching.
+RIO_BENCH_QUICK=1 "$BUILD_DIR/bench/bench_cluster_rdma" \
+    --connections 1024 --quick > /dev/null
+
+echo "cluster lane passed"

@@ -18,6 +18,9 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_test fault_test
 
 export RIO_FUZZ_EXTRA_SEEDS="$EXTRA_SEEDS"
+# The cluster campaign (churn x incast x faults, replayed across
+# thread counts) soaks on its own extra seeds in the same run.
+export RIO_CLUSTER_EXTRA_SEEDS="104651,611953"
 "$BUILD_DIR/tests/fuzz_test"
 "$BUILD_DIR/tests/fault_test"
 

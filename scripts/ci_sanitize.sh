@@ -55,7 +55,7 @@ cmake -B "$TSAN_DIR" -S . -DRIO_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)" -- \
     parallel_test obs_test des_test spinlock_test magazine_churn_test \
-    bench_selfperf
+    bench_selfperf fuzz_test bench_cluster_rdma
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$TSAN_DIR/tests/parallel_test"
@@ -64,6 +64,13 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$TSAN_DIR/tests/spinlock_test"
 "$TSAN_DIR/tests/magazine_churn_test"
 RIO_BENCH_QUICK=1 "$TSAN_DIR/bench/bench_selfperf" --threads 4 --quick
+# Cluster fabric across real worker threads: the ClusterFuzz campaign
+# (each seed replayed on 1 and 3 workers) and a threaded fabric sweep
+# — cross-lane mail hand-off and the barrier drain are the only
+# inter-thread channels, and TSan holds them to that.
+"$TSAN_DIR/tests/fuzz_test" --gtest_filter='*ClusterFuzz*'
+RIO_BENCH_QUICK=1 "$TSAN_DIR/bench/bench_cluster_rdma" \
+    --connections 64 --quick --threads 4 > /dev/null
 unset TSAN_OPTIONS
 
 # Observability lane: zero-cost goldens + timeline export validation
@@ -73,5 +80,10 @@ scripts/ci_obs.sh
 # Virtualization lane: virt suites, bare-platform no-op golden, guest
 # fuzz soak and the full platform sweep (its own Release build dir).
 scripts/ci_virt.sh
+
+# Cluster/RDMA lane: fabric lifecycle suites, ClusterFuzz soak, the
+# thread-invariance golden and a 1K-QP erosion sweep, all under ASan
+# (its own build dir).
+scripts/ci_cluster.sh
 
 echo "sanitized tier-1 suite passed"

@@ -45,6 +45,14 @@ BaselineDmaHandle::~BaselineDmaHandle()
         iommu_.detachDevice(bdf_);
 }
 
+void
+BaselineDmaHandle::setIovaCoreCache(u32 rounds)
+{
+    if (auto *mag =
+            dynamic_cast<iova::MagazineIovaAllocator *>(allocator_.get()))
+        mag->setCoreCache(rounds);
+}
+
 Result<DmaMapping>
 BaselineDmaHandle::mapImpl(u16 rid, PhysAddr pa, u32 size,
                        iommu::DmaDir dir)

@@ -100,6 +100,9 @@ class BaselineDmaHandle : public DmaHandle
         inval_queue_.setContention(inval_lock, core);
     }
 
+    /** Per-core magazine pair for the magazine modes; see DmaHandle. */
+    void setIovaCoreCache(u32 rounds) override;
+
     iommu::IoPageTable &pageTable() { return table_; }
     iova::IovaAllocator &allocator() { return *allocator_; }
     iommu::InvalQueue &invalQueue() { return inval_queue_; }

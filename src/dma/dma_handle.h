@@ -151,6 +151,15 @@ class DmaHandle
 
     virtual FaultStats faultStats() const { return fault_.stats(); }
 
+    /**
+     * Opt the handle's IOVA allocator into the per-core magazine
+     * pair over the shared depot (Bonwick layering; see
+     * iova::MagazineIovaAllocator::setCoreCache). Only the magazine
+     * modes (strict+/defer+) have the layer; everywhere else this is
+     * a no-op so callers can set it unconditionally per mode sweep.
+     */
+    virtual void setIovaCoreCache(u32 /*rounds*/) {}
+
     // ---- device lifecycle (quiesce protocol + surprise removal) -------
     // Virtual for the same reason as the fault API: decorators must
     // forward lifecycle calls to the handle that owns the real state.

@@ -24,6 +24,13 @@ inline constexpr u32 kHeaderBytes = 66;
  */
 inline constexpr u32 kWireOverhead = kHeaderBytes + 4 + 8 + 12;
 
+/**
+ * RoCEv2-style RDMA framing per message: Ethernet 14 + IP 20 + UDP 8
+ * + BTH 12 + ICRC 4 (RETH/AETH folded in). Used by the RDMA NIC's
+ * serialization accounting instead of the TCP header stack.
+ */
+inline constexpr u32 kRdmaHeaderBytes = 58;
+
 /** Number of MSS-sized segments a message of @p bytes occupies. */
 constexpr u64
 segmentsFor(u64 bytes)

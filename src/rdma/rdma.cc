@@ -1,0 +1,620 @@
+#include "rdma/rdma.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "base/logging.h"
+#include "riommu/structures.h"
+
+namespace rio::rdma {
+
+const RdmaProfile &
+rnicProfile()
+{
+    static const RdmaProfile p;
+    return p;
+}
+
+std::vector<u32>
+ringSizes(const RdmaProfile &profile, u32 max_qps)
+{
+    RIO_ASSERT(max_qps > 0, "NIC with zero QPs");
+    RIO_ASSERT(1 + 2ull * max_qps <= riommu::kMaxRingsPerDevice,
+               "QP fabric exceeds rDEVICE capacity");
+    std::vector<u32> sizes;
+    sizes.reserve(1 + 2 * max_qps);
+    sizes.push_back(4); // static: the CQ mapping
+    for (u32 q = 0; q < max_qps; ++q) {
+        sizes.push_back(4); // ctrl: WQE ring + MR, connect-lived
+        // Data ring: twice the window so mildly out-of-order
+        // completions (a locally-faulted young op finishing before an
+        // in-flight older one) never trip the sequential tail check.
+        sizes.push_back(2 * profile.sq_depth);
+    }
+    return sizes;
+}
+
+RdmaNic::RdmaNic(des::Simulator &sim, des::Core &core,
+                 mem::PhysicalMemory &pm, dma::DmaHandle &handle,
+                 const RdmaProfile &profile, u32 max_qps, u32 nic_id)
+    : sim_(sim), core_(core), pm_(pm), handle_(handle),
+      profile_(profile), max_qps_(max_qps), nic_id_(nic_id)
+{
+    RIO_ASSERT(profile_.sq_depth > 0, "zero send-queue depth");
+    qps_.resize(max_qps_);
+    free_slots_.reserve(max_qps_);
+    for (u32 q = max_qps_; q > 0; --q)
+        free_slots_.push_back(q - 1);
+}
+
+void
+RdmaNic::charge(Cycles c)
+{
+    core_.acct().charge(cycles::Cat::kProcessing, c);
+}
+
+Nanos
+RdmaNic::wireArrival(Nanos from, u32 payload_bytes) const
+{
+    // RoCE framing, not the TCP stack net::wireTimeNs assumes.
+    const double ser_ns =
+        static_cast<double>((payload_bytes + net::kRdmaHeaderBytes) * 8) /
+        profile_.gbps;
+    return from + profile_.wire_ns + static_cast<Nanos>(ser_ns);
+}
+
+void
+RdmaNic::sendAt(u32 dst_nic, Nanos when, WireMsg msg)
+{
+    RIO_ASSERT(send_, "RdmaNic wire not connected");
+    msg.src_nic = nic_id_;
+    send_(dst_nic, when, std::move(msg));
+}
+
+void
+RdmaNic::bringUp()
+{
+    if (cq_mapped_)
+        return;
+    cq_pa_ = pm_.allocContiguous(
+        static_cast<u64>(profile_.cq_entries) * kCqeBytes);
+    auto m = handle_.map(/*rid=*/0, cq_pa_,
+                         profile_.cq_entries * kCqeBytes,
+                         iommu::DmaDir::kFromDevice);
+    RIO_ASSERT(m.isOk(), "CQ registration failed");
+    cq_map_ = m.value();
+    cq_mapped_ = true;
+}
+
+void
+RdmaNic::shutDown()
+{
+    if (!cq_mapped_)
+        return;
+    handle_.unmap(cq_map_, /*end_of_burst=*/true);
+    cq_mapped_ = false;
+}
+
+void
+RdmaNic::allocQpBuffers(Qp &q)
+{
+    if (q.bufs_allocated)
+        return;
+    q.sq_pa = pm_.allocContiguous(
+        static_cast<u64>(profile_.sq_depth) * kWqeBytes);
+    q.mr_pa = pm_.allocContiguous(profile_.max_req_bytes);
+    q.src_pa = pm_.allocContiguous(profile_.max_req_bytes);
+    q.rd_pa = pm_.allocContiguous(profile_.max_req_bytes);
+    q.ops.resize(profile_.sq_depth);
+    q.bufs_allocated = true;
+}
+
+Status
+RdmaNic::registerQp(u32 idx)
+{
+    Qp &q = qps_[idx];
+    allocQpBuffers(q);
+    const u16 rid = ctrlRid(idx);
+    auto wm = handle_.map(rid, q.sq_pa, profile_.sq_depth * kWqeBytes,
+                          iommu::DmaDir::kToDevice);
+    if (!wm.isOk())
+        return wm.status();
+    auto mm = handle_.map(rid, q.mr_pa, profile_.max_req_bytes,
+                          iommu::DmaDir::kBidir);
+    if (!mm.isOk()) {
+        handle_.unmap(wm.value(), /*end_of_burst=*/true);
+        return mm.status();
+    }
+    q.wqe_map = wm.value();
+    q.mr_map = mm.value();
+    return Status::ok();
+}
+
+void
+RdmaNic::unregisterQp(u32 idx)
+{
+    // FIFO order within the control ring (WQE then MR); the MR unmap
+    // closes the teardown burst, so a whole QP close costs one
+    // explicit invalidation under rIOMMU.
+    Qp &q = qps_[idx];
+    handle_.unmap(q.wqe_map, /*end_of_burst=*/false);
+    handle_.unmap(q.mr_map, /*end_of_burst=*/true);
+}
+
+void
+RdmaNic::freeQp(u32 idx)
+{
+    Qp &q = qps_[idx];
+    const bool was_established = q.state == QpState::kEstablished ||
+                                 q.state == QpState::kClosing ||
+                                 q.state == QpState::kCloseWait;
+    q.state = QpState::kFree;
+    q.peer_nic = q.peer_qp = 0;
+    q.remote_rkey = 0;
+    q.sq_tail = 0;
+    q.inflight = 0;
+    q.on_connected = nullptr;
+    q.on_closed = nullptr;
+    for (Op &op : q.ops)
+        op = Op{};
+    if (was_established && established_ > 0)
+        --established_;
+    free_slots_.push_back(idx);
+}
+
+Result<u32>
+RdmaNic::connect(u32 peer_nic, ConnectCb cb)
+{
+    if (free_slots_.empty())
+        return Status(ErrorCode::kResourceExhausted, "no free QP");
+    const u32 idx = free_slots_.back();
+    free_slots_.pop_back();
+    Qp &q = qps_[idx];
+    Status reg = registerQp(idx);
+    if (!reg) {
+        free_slots_.push_back(idx);
+        return reg;
+    }
+    charge(profile_.connect_cycles);
+    q.state = QpState::kConnecting;
+    q.peer_nic = peer_nic;
+    q.on_connected = std::move(cb);
+    WireMsg msg;
+    msg.kind = MsgKind::kConnect;
+    msg.src_qp = idx;
+    msg.rkey = q.mr_map.device_addr;
+    sendAt(peer_nic, wireArrival(core_.virtualNow(), 0), std::move(msg));
+    return idx;
+}
+
+void
+RdmaNic::onConnect(const WireMsg &msg)
+{
+    // Passive open: driver work on our core.
+    const u32 peer_nic = msg.src_nic;
+    const u32 peer_qp = msg.src_qp;
+    const u64 peer_rkey = msg.rkey;
+    core_.post([this, peer_nic, peer_qp, peer_rkey] {
+        WireMsg reply;
+        reply.dst_qp = peer_qp;
+        if (free_slots_.empty()) {
+            ++stats_.rejects;
+            reply.kind = MsgKind::kReject;
+            sendAt(peer_nic, wireArrival(core_.virtualNow(), 0),
+                   std::move(reply));
+            return;
+        }
+        const u32 idx = free_slots_.back();
+        free_slots_.pop_back();
+        Qp &q = qps_[idx];
+        Status reg = registerQp(idx);
+        if (!reg) {
+            free_slots_.push_back(idx);
+            ++stats_.rejects;
+            reply.kind = MsgKind::kReject;
+            sendAt(peer_nic, wireArrival(core_.virtualNow(), 0),
+                   std::move(reply));
+            return;
+        }
+        charge(profile_.connect_cycles);
+        q.state = QpState::kEstablished;
+        q.peer_nic = peer_nic;
+        q.peer_qp = peer_qp;
+        q.remote_rkey = peer_rkey;
+        ++established_;
+        ++stats_.connects;
+        reply.kind = MsgKind::kAccept;
+        reply.src_qp = idx;
+        reply.rkey = q.mr_map.device_addr;
+        sendAt(peer_nic, wireArrival(core_.virtualNow(), 0),
+               std::move(reply));
+    });
+}
+
+void
+RdmaNic::onAcceptReject(const WireMsg &msg)
+{
+    const WireMsg m = msg;
+    core_.post([this, m] {
+        Qp &q = qps_[m.dst_qp];
+        if (q.state != QpState::kConnecting)
+            return; // raced with a force-quiesce
+        ConnectCb cb = std::move(q.on_connected);
+        q.on_connected = nullptr;
+        if (m.kind == MsgKind::kReject) {
+            unregisterQp(m.dst_qp);
+            freeQp(m.dst_qp);
+            if (cb)
+                cb(m.dst_qp, false);
+            return;
+        }
+        q.state = QpState::kEstablished;
+        q.peer_qp = m.src_qp;
+        q.remote_rkey = m.rkey;
+        ++established_;
+        ++stats_.connects;
+        if (cb)
+            cb(m.dst_qp, true);
+    });
+}
+
+bool
+RdmaNic::postWrite(u32 qp, u32 bytes, u64 roffset)
+{
+    Qp &q = qps_[qp];
+    if (q.state != QpState::kEstablished ||
+        q.inflight >= profile_.sq_depth || bytes == 0 ||
+        bytes > profile_.max_req_bytes) {
+        ++stats_.posts_blocked;
+        return false;
+    }
+    charge(profile_.post_cycles);
+    auto m = handle_.map(dataRid(qp), q.src_pa, bytes,
+                         iommu::DmaDir::kToDevice);
+    if (!m.isOk()) {
+        ++stats_.posts_blocked;
+        return false;
+    }
+    const u32 w = q.sq_tail;
+    q.sq_tail = (q.sq_tail + 1) % profile_.sq_depth;
+    q.ops[w] = Op{true, false, bytes, roffset, m.value()};
+    // The WQE the device will fetch: opcode/len in word 0, the DMA
+    // address of the source in word 1.
+    const PhysAddr wqe = q.sq_pa + static_cast<u64>(w) * kWqeBytes;
+    pm_.write64(wqe, (u64{1} << 32) | bytes);
+    pm_.write64(wqe + 8, m.value().device_addr);
+    ++q.inflight;
+    ++inflight_total_;
+    ++stats_.posts;
+    ++stats_.writes_sent;
+    stats_.bytes_sent += bytes;
+    sim_.scheduleAt(core_.virtualNow() + profile_.doorbell_ns,
+                    [this, qp, w] { deviceFetchWqe(qp, w); });
+    return true;
+}
+
+bool
+RdmaNic::postRead(u32 qp, u32 bytes, u64 roffset)
+{
+    Qp &q = qps_[qp];
+    if (q.state != QpState::kEstablished ||
+        q.inflight >= profile_.sq_depth || bytes == 0 ||
+        bytes > profile_.max_req_bytes) {
+        ++stats_.posts_blocked;
+        return false;
+    }
+    charge(profile_.post_cycles);
+    auto m = handle_.map(dataRid(qp), q.rd_pa, bytes,
+                         iommu::DmaDir::kFromDevice);
+    if (!m.isOk()) {
+        ++stats_.posts_blocked;
+        return false;
+    }
+    const u32 w = q.sq_tail;
+    q.sq_tail = (q.sq_tail + 1) % profile_.sq_depth;
+    q.ops[w] = Op{true, true, bytes, roffset, m.value()};
+    const PhysAddr wqe = q.sq_pa + static_cast<u64>(w) * kWqeBytes;
+    pm_.write64(wqe, (u64{2} << 32) | bytes);
+    pm_.write64(wqe + 8, m.value().device_addr);
+    ++q.inflight;
+    ++inflight_total_;
+    ++stats_.posts;
+    ++stats_.reads_sent;
+    sim_.scheduleAt(core_.virtualNow() + profile_.doorbell_ns,
+                    [this, qp, w] { deviceFetchWqe(qp, w); });
+    return true;
+}
+
+void
+RdmaNic::deviceFetchWqe(u32 qp, u32 w)
+{
+    Qp &q = qps_[qp];
+    Op &op = q.ops[w];
+    if (!op.active)
+        return; // force-quiesced under the doorbell
+    // Device side: fetch the WQE through our own translation (the
+    // control-ring mapping), then the payload for writes (data ring).
+    u8 wqe_buf[kWqeBytes];
+    Status s = handle_.deviceRead(
+        q.wqe_map.device_addr + static_cast<u64>(w) * kWqeBytes, wqe_buf,
+        kWqeBytes);
+    if (!s) {
+        ++stats_.local_fault_drops;
+        completeOp(qp, w, false);
+        return;
+    }
+    WireMsg msg;
+    msg.src_qp = qp;
+    msg.dst_qp = q.peer_qp;
+    msg.wqe = w;
+    msg.rkey = q.remote_rkey;
+    msg.offset = op.roffset;
+    msg.len = op.bytes;
+    if (op.is_read) {
+        msg.kind = MsgKind::kRead;
+        sendAt(q.peer_nic, wireArrival(sim_.now(), 0), std::move(msg));
+        return;
+    }
+    msg.payload.resize(op.bytes);
+    s = handle_.deviceRead(op.map.device_addr, msg.payload.data(),
+                           op.bytes);
+    if (!s) {
+        ++stats_.local_fault_drops;
+        completeOp(qp, w, false);
+        return;
+    }
+    msg.kind = MsgKind::kWrite;
+    sendAt(q.peer_nic, wireArrival(sim_.now(), op.bytes),
+           std::move(msg));
+}
+
+void
+RdmaNic::onDataAccess(const WireMsg &msg)
+{
+    // Target side of an RDMA write/read: pure device work — the
+    // access translates through OUR handle, costing zero local driver
+    // cycles. This is the VA-RDMA property under test.
+    WireMsg reply;
+    reply.dst_qp = msg.src_qp;
+    reply.wqe = msg.wqe;
+    if (msg.kind == MsgKind::kWrite) {
+        ++stats_.remote_writes;
+        Status s = handle_.deviceWrite(msg.rkey + msg.offset,
+                                       msg.payload.data(), msg.len);
+        reply.ok = s.isOk();
+        if (!reply.ok)
+            ++stats_.remote_faults;
+        reply.kind = reply.ok ? MsgKind::kAck : MsgKind::kNak;
+        sendAt(msg.src_nic, wireArrival(sim_.now(), 0),
+               std::move(reply));
+        return;
+    }
+    ++stats_.remote_reads;
+    reply.payload.resize(msg.len);
+    Status s = handle_.deviceRead(msg.rkey + msg.offset,
+                                  reply.payload.data(), msg.len);
+    reply.ok = s.isOk();
+    if (!reply.ok) {
+        ++stats_.remote_faults;
+        reply.payload.clear();
+    }
+    reply.kind = MsgKind::kReadResp;
+    reply.len = msg.len;
+    sendAt(msg.src_nic, wireArrival(sim_.now(), reply.ok ? msg.len : 0),
+           std::move(reply));
+}
+
+void
+RdmaNic::onCompletionMsg(const WireMsg &msg)
+{
+    Qp &q = qps_[msg.dst_qp];
+    Op &op = q.ops[msg.wqe];
+    if (!op.active)
+        return; // force-quiesced while the reply was in flight
+    bool ok = msg.ok;
+    if (msg.kind == MsgKind::kReadResp && ok) {
+        // Land the read payload in the local buffer — again through
+        // our own translation (the op's data-ring mapping).
+        Status s = handle_.deviceWrite(op.map.device_addr,
+                                       msg.payload.data(), msg.len);
+        if (!s) {
+            ++stats_.local_fault_drops;
+            ok = false;
+        }
+    }
+    completeOp(msg.dst_qp, msg.wqe, ok);
+}
+
+void
+RdmaNic::completeOp(u32 qp, u32 w, bool ok)
+{
+    // Device writes the CQE through the static-ring mapping, then
+    // arms the moderated completion interrupt.
+    const PhysAddr slot_off = static_cast<u64>(cq_tail_) * kCqeBytes;
+    u8 cqe[kCqeBytes] = {};
+    const u64 word0 = (static_cast<u64>(qp) << 32) | w;
+    std::memcpy(cqe, &word0, 8);
+    cqe[8] = ok ? 1 : 0;
+    handle_.deviceWrite(cq_map_.device_addr + slot_off, cqe, kCqeBytes);
+    cq_tail_ = (cq_tail_ + 1) % profile_.cq_entries;
+    pending_cqes_.push_back(PendingCqe{qp, w, ok});
+    if (!irq_scheduled_) {
+        irq_scheduled_ = true;
+        sim_.scheduleAt(sim_.now() + profile_.completion_irq_ns, [this] {
+            irq_scheduled_ = false;
+            core_.post([this] { pollCq(); });
+        });
+    }
+}
+
+void
+RdmaNic::pollCq()
+{
+    std::vector<PendingCqe> batch = std::move(pending_cqes_);
+    pending_cqes_.clear();
+    if (batch.empty())
+        return;
+    ++stats_.cq_irqs;
+    // end_of_burst goes to the LAST completion of each QP in the
+    // batch: under rIOMMU that is the one explicit per-ring
+    // invalidation the whole burst pays. At low connection counts a
+    // batch concentrates on few rings (strong amortization); at 16K
+    // connections nearly every completion is its ring's last — the
+    // erosion the cluster bench quantifies.
+    std::vector<bool> last(batch.size(), false);
+    {
+        std::unordered_set<u32> seen;
+        for (size_t i = batch.size(); i > 0; --i) {
+            if (seen.insert(batch[i - 1].qp).second) {
+                last[i - 1] = true;
+                ++stats_.cq_batch_rings;
+            }
+        }
+    }
+    std::vector<u32> drained;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const PendingCqe &c = batch[i];
+        Qp &q = qps_[c.qp];
+        Op &op = q.ops[c.wqe];
+        if (!op.active)
+            continue;
+        charge(profile_.poll_cycles);
+        handle_.unmap(op.map, /*end_of_burst=*/last[i]);
+        if (last[i])
+            ++stats_.eob_unmaps;
+        op = Op{};
+        --q.inflight;
+        --inflight_total_;
+        ++stats_.completions;
+        ++stats_.cq_polled;
+        if (!c.ok)
+            ++stats_.comp_errors;
+        if (on_completion_)
+            on_completion_(c.qp, c.wqe, c.ok);
+        if (q.state == QpState::kClosing && q.inflight == 0)
+            drained.push_back(c.qp);
+    }
+    for (u32 qp : drained)
+        if (qps_[qp].state == QpState::kClosing &&
+            qps_[qp].inflight == 0)
+            finishClose(qp);
+}
+
+Status
+RdmaNic::teardown(u32 qp, ClosedCb cb)
+{
+    Qp &q = qps_[qp];
+    if (q.state != QpState::kEstablished)
+        return Status(ErrorCode::kInvalidArgument,
+                      "teardown of non-established QP");
+    charge(profile_.teardown_cycles);
+    q.state = QpState::kClosing;
+    q.on_closed = std::move(cb);
+    if (q.inflight == 0)
+        finishClose(qp);
+    return Status::ok();
+}
+
+void
+RdmaNic::finishClose(u32 qp)
+{
+    Qp &q = qps_[qp];
+    unregisterQp(qp);
+    q.state = QpState::kCloseWait;
+    WireMsg msg;
+    msg.kind = MsgKind::kClose;
+    msg.src_qp = qp;
+    msg.dst_qp = q.peer_qp;
+    sendAt(q.peer_nic, wireArrival(core_.virtualNow(), 0),
+           std::move(msg));
+}
+
+void
+RdmaNic::onClose(const WireMsg &msg)
+{
+    const WireMsg m = msg;
+    core_.post([this, m] {
+        Qp &q = qps_[m.dst_qp];
+        if (q.state != QpState::kEstablished)
+            return; // already quiesced locally
+        charge(profile_.teardown_cycles);
+        unregisterQp(m.dst_qp);
+        freeQp(m.dst_qp);
+        ++stats_.teardowns;
+        WireMsg reply;
+        reply.kind = MsgKind::kCloseAck;
+        reply.dst_qp = m.src_qp;
+        sendAt(m.src_nic, wireArrival(core_.virtualNow(), 0),
+               std::move(reply));
+    });
+}
+
+void
+RdmaNic::onCloseAck(const WireMsg &msg)
+{
+    const u32 qp = msg.dst_qp;
+    core_.post([this, qp] {
+        Qp &q = qps_[qp];
+        if (q.state != QpState::kCloseWait)
+            return;
+        ClosedCb cb = std::move(q.on_closed);
+        freeQp(qp);
+        ++stats_.teardowns;
+        if (cb)
+            cb(qp);
+    });
+}
+
+void
+RdmaNic::quiesceAll()
+{
+    for (u32 idx = 0; idx < max_qps_; ++idx) {
+        Qp &q = qps_[idx];
+        if (q.state == QpState::kFree)
+            continue;
+        for (Op &op : q.ops) {
+            if (!op.active)
+                continue;
+            handle_.unmap(op.map, /*end_of_burst=*/false);
+            op = Op{};
+            --q.inflight;
+            --inflight_total_;
+        }
+        if (q.state != QpState::kCloseWait)
+            unregisterQp(idx); // kCloseWait already unregistered
+        freeQp(idx);
+    }
+    pending_cqes_.clear();
+    shutDown();
+}
+
+void
+RdmaNic::fromWire(const WireMsg &msg)
+{
+    switch (msg.kind) {
+    case MsgKind::kConnect:
+        onConnect(msg);
+        return;
+    case MsgKind::kAccept:
+    case MsgKind::kReject:
+        onAcceptReject(msg);
+        return;
+    case MsgKind::kWrite:
+    case MsgKind::kRead:
+        onDataAccess(msg);
+        return;
+    case MsgKind::kAck:
+    case MsgKind::kNak:
+    case MsgKind::kReadResp:
+        onCompletionMsg(msg);
+        return;
+    case MsgKind::kClose:
+        onClose(msg);
+        return;
+    case MsgKind::kCloseAck:
+        onCloseAck(msg);
+        return;
+    }
+}
+
+} // namespace rio::rdma

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * RDMA-style NIC device model for the cluster-scale study: per
+ * connection a queue pair (send-queue ring + memory region) whose
+ * buffers are registered through the machine's DMA handle, so that a
+ * remote machine's reads and writes of our memory translate through
+ * *our* IOMMU with zero local driver cycles — the VA-RDMA shape that
+ * multiplies ring count by connection count and stresses the rDEVICE
+ * table far beyond the paper's single-NIC setup.
+ *
+ * rRING layout under the rIOMMU modes (ignored by baseline modes):
+ *   rid 0            — static ring: the completion queue mapping
+ *   rid 1 + 2q       — QP q control ring: WQE-ring + MR mappings,
+ *                      mapped at connect, unmapped at teardown
+ *   rid 2 + 2q       — QP q data ring: one short-lived mapping per
+ *                      posted operation (the hot path)
+ * A fabric of Q QPs therefore owns 1 + 2Q rDEVICE entries; this is
+ * the structure whose erosion bench_cluster_rdma measures.
+ *
+ * Determinism: the model draws no random numbers and all latencies
+ * are profile constants; cross-machine delivery order is fixed by the
+ * ParallelEngine's (when, src lane, seq) mail sort.
+ */
+#ifndef RIO_RDMA_RDMA_H
+#define RIO_RDMA_RDMA_H
+
+#include <functional>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "des/core.h"
+#include "des/simulator.h"
+#include "dma/dma_handle.h"
+#include "mem/phys_mem.h"
+#include "net/packet.h"
+
+namespace rio::rdma {
+
+/** Model parameters of one RDMA NIC + driver ("verbs") stack. */
+struct RdmaProfile
+{
+    const char *name = "rnic40";
+    double gbps = 40.0;
+
+    /** One-way wire latency between any two machines. Doubles as the
+     * cluster's conservative lookahead, so it must lower-bound every
+     * message (serialization time only adds). */
+    Nanos wire_ns = 600;
+    /** Doorbell MMIO + PCIe + WQE fetch start. */
+    Nanos doorbell_ns = 300;
+    /** Completion interrupt moderation: CQEs arriving within this
+     * window of the first unsignalled one share a poll batch — the
+     * lever that amortizes end-of-burst invalidations per ring. */
+    Nanos completion_irq_ns = 4000;
+
+    u32 sq_depth = 16;       //!< max in-flight ops per QP
+    u32 cq_entries = 4096;   //!< shared completion queue entries
+    u32 max_req_bytes = 2048; //!< MR size; request-size upper bound
+
+    Cycles post_cycles = 600;    //!< verbs post_send/post_read path
+    Cycles poll_cycles = 250;    //!< per-CQE poll + bookkeeping
+    Cycles connect_cycles = 3500; //!< QP create + address handshake
+    Cycles teardown_cycles = 1800; //!< QP destroy path
+};
+
+/** 40 Gbps RoCE-flavored profile used by the fleet workload. */
+const RdmaProfile &rnicProfile();
+
+inline constexpr u32 kWqeBytes = 32;
+inline constexpr u32 kCqeBytes = 16;
+
+/** rRING id helpers (see file header). */
+inline u16 ctrlRid(u32 qp) { return static_cast<u16>(1 + 2 * qp); }
+inline u16 dataRid(u32 qp) { return static_cast<u16>(2 + 2 * qp); }
+
+/** rRING geometry for Machine::attachDeviceHandle. */
+std::vector<u32> ringSizes(const RdmaProfile &profile, u32 max_qps);
+
+/** Everything that crosses the wire between two RdmaNics. */
+enum class MsgKind : u8 {
+    kConnect = 0, //!< active open: src_qp + our rkey
+    kAccept,      //!< passive side's qp + rkey
+    kReject,      //!< no QP slot free
+    kWrite,       //!< RDMA write: payload into target MR
+    kRead,        //!< RDMA read request
+    kReadResp,    //!< read payload (or NAK via ok=false)
+    kAck,         //!< write acknowledged
+    kNak,         //!< write faulted at the target
+    kClose,       //!< orderly teardown
+    kCloseAck
+};
+
+struct WireMsg
+{
+    MsgKind kind = MsgKind::kAck;
+    u32 src_nic = 0;
+    u32 src_qp = 0; //!< sender-side QP index
+    u32 dst_qp = 0; //!< receiver-side QP index (except kConnect)
+    u32 wqe = 0;    //!< initiator op slot, echoed in replies
+    u64 rkey = 0;   //!< MR device address (handshake / data target)
+    u64 offset = 0; //!< byte offset into the target MR
+    u32 len = 0;
+    bool ok = true;
+    std::vector<u8> payload;
+};
+
+/** Counters for the bench and the fuzz oracles. */
+struct RdmaStats
+{
+    u64 connects = 0;  //!< QPs established, either side
+    u64 rejects = 0;
+    u64 teardowns = 0; //!< QPs fully closed, either side
+    u64 posts = 0;
+    u64 posts_blocked = 0; //!< window full / ring overflow / closing
+    u64 writes_sent = 0;
+    u64 reads_sent = 0;
+    u64 completions = 0;
+    u64 comp_errors = 0;
+    u64 remote_writes = 0;
+    u64 remote_reads = 0;
+    u64 remote_faults = 0; //!< target-side translation faults (NAKs)
+    u64 local_fault_drops = 0; //!< initiator-side WQE/payload faults
+    u64 bytes_sent = 0;
+    u64 cq_irqs = 0;
+    u64 cq_polled = 0;      //!< CQEs consumed
+    u64 cq_batch_rings = 0; //!< distinct QPs summed over poll batches
+    u64 eob_unmaps = 0;     //!< unmaps that closed a per-ring burst
+};
+
+/**
+ * One RDMA NIC: device model + driver ("verbs") front end sharing a
+ * core. Connection setup, teardown, and completions run as driver
+ * work on the core; remote accesses land on the device side and cost
+ * no local cycles — only translations.
+ */
+class RdmaNic
+{
+  public:
+    /** void(dst_nic, arrival_time, msg): install by the cluster. */
+    using SendFn = std::function<void(u32, Nanos, WireMsg)>;
+    /** void(qp, ok): connect() outcome. */
+    using ConnectCb = std::function<void(u32, bool)>;
+    /** void(qp): teardown finished (initiator side). */
+    using ClosedCb = std::function<void(u32)>;
+    /** void(qp, wqe, ok): one completed op (after its unmap). */
+    using CompletionCb = std::function<void(u32, u32, bool)>;
+
+    RdmaNic(des::Simulator &sim, des::Core &core,
+            mem::PhysicalMemory &pm, dma::DmaHandle &handle,
+            const RdmaProfile &profile, u32 max_qps, u32 nic_id);
+
+    RdmaNic(const RdmaNic &) = delete;
+    RdmaNic &operator=(const RdmaNic &) = delete;
+
+    void setSendFn(SendFn fn) { send_ = std::move(fn); }
+    void setCompletionCallback(CompletionCb cb) { on_completion_ = std::move(cb); }
+
+    /** Allocate + map the CQ. Call once before any traffic. */
+    void bringUp();
+
+    /** Unmap the CQ (after all QPs are closed) — leak-check hygiene. */
+    void shutDown();
+
+    // ---- driver-side verbs (call from this machine's core/lane) -------
+    /**
+     * Active open toward @p peer_nic: allocates a QP, registers its
+     * WQE ring + MR, and starts the handshake. @p cb fires with the
+     * outcome. Returns the local QP index, or an error if no slot or
+     * registration failed.
+     */
+    Result<u32> connect(u32 peer_nic, ConnectCb cb);
+
+    /**
+     * Post an RDMA write of @p bytes from the QP's source buffer into
+     * the peer MR at @p roffset. False = flow-controlled (window or
+     * data ring full) or QP not writable; the caller retries after a
+     * completion.
+     */
+    bool postWrite(u32 qp, u32 bytes, u64 roffset = 0);
+
+    /** Post an RDMA read of @p bytes from the peer MR at @p roffset
+     * into the QP's read buffer. */
+    bool postRead(u32 qp, u32 bytes, u64 roffset = 0);
+
+    /** Orderly close (drains in-flight ops first). */
+    Status teardown(u32 qp, ClosedCb cb);
+
+    /**
+     * Force-unmap everything still registered (in-flight ops, QP
+     * control mappings, the CQ) without handshakes — end-of-run
+     * cleanup so the leak detector sees a quiesced handle.
+     */
+    void quiesceAll();
+
+    // ---- wire ----------------------------------------------------------
+    /** A message arrives (already timestamped by the sender). */
+    void fromWire(const WireMsg &msg);
+
+    // ---- introspection -------------------------------------------------
+    const RdmaStats &stats() const { return stats_; }
+    u32 nicId() const { return nic_id_; }
+    u32 maxQps() const { return max_qps_; }
+    u64 establishedQps() const { return established_; }
+    u64 inflightOps() const { return inflight_total_; }
+
+    /** Physical addresses of a QP's buffers (tests write/verify). */
+    PhysAddr srcBuffer(u32 qp) const { return qps_[qp].src_pa; }
+    PhysAddr readBuffer(u32 qp) const { return qps_[qp].rd_pa; }
+    PhysAddr mrBuffer(u32 qp) const { return qps_[qp].mr_pa; }
+    u32 peerQp(u32 qp) const { return qps_[qp].peer_qp; }
+    u32 peerNic(u32 qp) const { return qps_[qp].peer_nic; }
+    /** Device address of a QP's MR mapping (what the peer's rkey
+     * names) — lets tests replay a remote access as a local DMA. */
+    u64 mrDeviceAddr(u32 qp) const { return qps_[qp].mr_map.device_addr; }
+
+  private:
+    enum class QpState : u8 {
+        kFree = 0,
+        kConnecting,
+        kEstablished,
+        kClosing,   //!< draining, then kClose goes out
+        kCloseWait  //!< kClose sent, waiting for kCloseAck
+    };
+
+    struct Op
+    {
+        bool active = false;
+        bool is_read = false;
+        u32 bytes = 0;
+        u64 roffset = 0;
+        dma::DmaMapping map;
+    };
+
+    struct Qp
+    {
+        QpState state = QpState::kFree;
+        u32 peer_nic = 0;
+        u32 peer_qp = 0;
+        u64 remote_rkey = 0;
+        dma::DmaMapping wqe_map, mr_map;
+        bool bufs_allocated = false;
+        PhysAddr sq_pa = 0; //!< WQE array
+        PhysAddr mr_pa = 0; //!< remotely accessed region
+        PhysAddr src_pa = 0; //!< local write source
+        PhysAddr rd_pa = 0;  //!< local read destination
+        u32 sq_tail = 0;     //!< next op slot
+        u32 inflight = 0;
+        std::vector<Op> ops;
+        ConnectCb on_connected;
+        ClosedCb on_closed;
+    };
+
+    struct PendingCqe
+    {
+        u32 qp = 0;
+        u32 wqe = 0;
+        bool ok = false;
+    };
+
+    void charge(Cycles c);
+    void allocQpBuffers(Qp &q);
+    /** Register WQE ring + MR in the QP's control ring. */
+    Status registerQp(u32 idx);
+    void unregisterQp(u32 idx);
+    void freeQp(u32 idx);
+    void deviceFetchWqe(u32 qp, u32 wqe);
+    void completeOp(u32 qp, u32 wqe, bool ok);
+    void pollCq();
+    void finishClose(u32 qp);
+    void sendAt(u32 dst_nic, Nanos when, WireMsg msg);
+    Nanos wireArrival(Nanos from, u32 payload_bytes) const;
+
+    // Wire handlers, split by which side of the QP they run on.
+    void onConnect(const WireMsg &msg);
+    void onAcceptReject(const WireMsg &msg);
+    void onDataAccess(const WireMsg &msg);
+    void onCompletionMsg(const WireMsg &msg);
+    void onClose(const WireMsg &msg);
+    void onCloseAck(const WireMsg &msg);
+
+    des::Simulator &sim_;
+    des::Core &core_;
+    mem::PhysicalMemory &pm_;
+    dma::DmaHandle &handle_;
+    const RdmaProfile profile_; //!< stable copy
+    u32 max_qps_;
+    u32 nic_id_;
+    SendFn send_;
+    CompletionCb on_completion_;
+
+    std::vector<Qp> qps_;
+    std::vector<u32> free_slots_; //!< pop_back yields lowest index
+    PhysAddr cq_pa_ = 0;
+    dma::DmaMapping cq_map_;
+    bool cq_mapped_ = false;
+    u32 cq_tail_ = 0;
+    std::vector<PendingCqe> pending_cqes_;
+    bool irq_scheduled_ = false;
+    u64 established_ = 0;
+    u64 inflight_total_ = 0;
+    RdmaStats stats_;
+};
+
+} // namespace rio::rdma
+
+#endif // RIO_RDMA_RDMA_H

@@ -1,5 +1,7 @@
 #include "riommu/riommu.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
 #include "iommu/virt_hooks.h"
 
@@ -27,6 +29,48 @@ Riommu::detachDevice(Bdf bdf)
     for (u16 rid = 0; rid < it->second.nrings; ++rid)
         riotlb_.invalidate(sid, rid);
     devices_.erase(it);
+    // The hot tier caches descriptor identities of the departed
+    // device; a detach is rare enough that a full flush is the
+    // hardware-honest move (context-cache invalidation flushes
+    // dependent structures).
+    std::fill(rdcache_tags_.begin(), rdcache_tags_.end(), 0u);
+}
+
+void
+Riommu::setRdCache(const RdCacheConfig &cfg)
+{
+    RIO_ASSERT(cfg.hot_entries == 0 ||
+                   (cfg.hot_entries & (cfg.hot_entries - 1)) == 0,
+               "hot_entries must be a power of two");
+    rdcache_cfg_ = cfg;
+    rdcache_stats_ = RdCacheStats{};
+    rdcache_tags_.assign(cfg.model_fetch ? cfg.hot_entries : 0, 0u);
+}
+
+void
+Riommu::chargeDescFetch(u16 sid, u16 rid, Cycles *hw, int *mem_refs)
+{
+    if (!rdcache_cfg_.model_fetch)
+        return;
+    ++rdcache_stats_.fetches;
+    const u32 tag = (static_cast<u32>(sid) << 16) | rid;
+    if (!rdcache_tags_.empty()) {
+        // Direct-mapped: Fibonacci-hash the tag into the tier. A hit
+        // is an on-chip SRAM access, folded into the walk's base cost.
+        const u32 slot = (tag * 0x9E3779B9u) >>
+                         (32 - __builtin_ctz(rdcache_cfg_.hot_entries));
+        if (rdcache_tags_[slot] == tag + 1) {
+            ++rdcache_stats_.hot_hits;
+            return;
+        }
+        rdcache_tags_[slot] = tag + 1;
+    }
+    // Tier miss (or no tier): the descriptor load is a dependent
+    // memory reference ahead of the rPTE fetch.
+    ++rdcache_stats_.hot_misses;
+    *hw += cost_.hw_walk_level;
+    if (mem_refs)
+        ++*mem_refs;
 }
 
 void
@@ -106,9 +150,12 @@ Riommu::tableWalk(u16 sid, RIova iova, Cycles *hw, int *mem_refs)
     // rtable_walk (Figure 10): bounds-check rid/rentry against the
     // rDEVICE limits and require a valid rPTE; noncompliance is an
     // I/O page fault (errant DMA or buggy driver). One dependent
-    // memory reference: the rPTE fetch (the rDEVICE/rRING descriptors
-    // are cached by the hardware, and under nested virtualization
-    // pinned + pre-translated at registration).
+    // memory reference: the rPTE fetch. By default the rDEVICE/rRING
+    // descriptors are treated as cached by the hardware (and under
+    // nested virtualization pinned + pre-translated at registration);
+    // the opt-in fetch model below instead charges the descriptor
+    // load through the two-level rDEVICE tier — the honest accounting
+    // once ring counts reach QP-fabric scale.
     *hw += cost_.hw_rwalk;
     if (mem_refs)
         ++*mem_refs;
@@ -121,6 +168,7 @@ Riommu::tableWalk(u16 sid, RIova iova, Cycles *hw, int *mem_refs)
         fault(sid, iova, Access::kRead, iommu::FaultReason::kOutOfRange);
         return Status(ErrorCode::kIoPageFault, "rid out of range");
     }
+    chargeDescFetch(sid, iova.rid(), hw, mem_refs);
     const RRingDesc ring = readRingDesc(*dev, iova.rid());
     if (iova.rentry() >= ring.size) {
         fault(sid, iova, Access::kRead, iommu::FaultReason::kOutOfRange);
@@ -158,6 +206,11 @@ Riommu::entrySync(u16 sid, RIova iova, RiotlbEntry &entry, Cycles *hw,
         fault(sid, iova, Access::kRead, iommu::FaultReason::kNoContext);
         return Status(ErrorCode::kIoPageFault, "device has no rDEVICE");
     }
+    // The sync path needs the ring's size (wrap arithmetic) before it
+    // can tell prefetch hit from miss — a descriptor load even on the
+    // happy path. A tableWalk fallback re-reads it, which the hot
+    // tier (just primed here) absorbs.
+    chargeDescFetch(sid, entry.rid, hw, mem_refs);
     const RRingDesc ring = readRingDesc(*dev, entry.rid);
     const u32 next = (entry.rentry + 1) % ring.size;
 

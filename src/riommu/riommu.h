@@ -28,6 +28,34 @@ class VirtStage2;
 
 namespace rio::riommu {
 
+/**
+ * Configuration of the rDEVICE/rRING descriptor-fetch model — the
+ * cluster-scale ablation. The base model (model_fetch = false, the
+ * default and the paper's single-NIC setting) treats the descriptors
+ * as free: with a handful of rings their working set trivially fits
+ * any on-chip cache. At fleet scale a device with tens of thousands
+ * of per-connection QP rings has hundreds of kilobytes of rRING
+ * descriptors, and each rtable_walk's descriptor load becomes a real
+ * dependent memory reference. Turning model_fetch on charges that
+ * reference; hot_entries > 0 additionally models a small
+ * direct-mapped on-chip tier over the flat rDEVICE table (two-level
+ * rDEVICE: SRAM tier + in-memory table) that absorbs fetches for
+ * recently-walked rings.
+ */
+struct RdCacheConfig
+{
+    bool model_fetch = false; //!< charge descriptor fetches at all?
+    u32 hot_entries = 0;      //!< direct-mapped tier slots (pow2); 0 = none
+};
+
+/** Counters of the descriptor-fetch model (all zero while off). */
+struct RdCacheStats
+{
+    u64 fetches = 0;    //!< descriptor loads on the translation path
+    u64 hot_hits = 0;   //!< absorbed by the on-chip tier
+    u64 hot_misses = 0; //!< paid a memory reference
+};
+
 /** Result of one rtranslate call. */
 struct RTranslation
 {
@@ -115,6 +143,16 @@ class Riommu
     void setPrefetchEnabled(bool on) { prefetch_enabled_ = on; }
 
     /**
+     * Install the descriptor-fetch model. hot_entries must be a power
+     * of two (or 0). Resets the hot tier and its stats; with
+     * model_fetch false this is a no-op model-wise, preserving the
+     * paper's single-NIC cost accounting bit for bit.
+     */
+    void setRdCache(const RdCacheConfig &cfg);
+    const RdCacheConfig &rdCacheConfig() const { return rdcache_cfg_; }
+    const RdCacheStats &rdCacheStats() const { return rdcache_stats_; }
+
+    /**
      * Install (or remove) the nested-virtualization stage-2 hook.
      * The rDEVICE / rRING descriptors and the flat rPTE tables are
      * registered with the host by a paravirtual hypercall at guest
@@ -156,6 +194,14 @@ class Riommu
     /** Read rRING descriptor @p rid of the device. */
     RRingDesc readRingDesc(const RDeviceInfo &dev, u16 rid) const;
 
+    /**
+     * Account one translation-path rRING descriptor load under the
+     * fetch model: probe the hot tier, charge a dependent memory
+     * reference on a miss, and install the tag. No-op while
+     * model_fetch is off.
+     */
+    void chargeDescFetch(u16 sid, u16 rid, Cycles *hw, int *mem_refs);
+
     /** Read rPTE @p rentry from a flat table. */
     RPte readPte(const RRingDesc &ring, u32 rentry) const;
 
@@ -189,6 +235,10 @@ class Riommu
     std::unordered_map<u16, RDeviceInfo> devices_;
     std::vector<iommu::FaultRecord> faults_;
     std::unordered_map<u32, iommu::FaultRecord> ring_faults_;
+    RdCacheConfig rdcache_cfg_;
+    RdCacheStats rdcache_stats_;
+    /** Direct-mapped hot-tier tags, tag+1 per slot (0 = empty). */
+    std::vector<u32> rdcache_tags_;
 };
 
 } // namespace rio::riommu

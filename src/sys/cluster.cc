@@ -1,0 +1,73 @@
+#include "sys/cluster.h"
+
+#include "base/logging.h"
+
+namespace rio::sys {
+
+Cluster::Cluster(const ClusterConfig &cfg)
+    : cfg_(cfg), engine_(cfg.threads)
+{
+    RIO_ASSERT(cfg_.machines >= 1, "empty cluster");
+    // Conservative lookahead: every wire crossing pays at least
+    // wire_ns beyond the sender's now, so this is a valid lower bound
+    // (serialization only adds). Must precede the first sendTo.
+    engine_.setLookahead(cfg_.profile.wire_ns);
+
+    const std::vector<u32> ring_sizes =
+        rdma::ringSizes(cfg_.profile, cfg_.max_qps);
+    machines_.reserve(cfg_.machines);
+    nics_.reserve(cfg_.machines);
+    for (unsigned m = 0; m < cfg_.machines; ++m) {
+        des::Lane &lane = engine_.addLane();
+        machines_.push_back(std::make_unique<Machine>(
+            lane.sim(), cfg_.mode, /*ncores=*/1u));
+        Machine &mach = *machines_.back();
+        dma::DmaHandle &handle = mach.attachDeviceHandle(0, ring_sizes);
+        handles_.push_back(&handle);
+        if (dma::modeUsesRiommu(cfg_.mode))
+            mach.ctx().riommu().setRdCache(cfg_.rdcache);
+        handle.setIovaCoreCache(cfg_.iova_cache_rounds);
+        if (cfg_.fault_rate > 0.0)
+            mach.setFaultInjection(cfg_.fault_rate, cfg_.fault_seed);
+        nics_.push_back(std::make_unique<rdma::RdmaNic>(
+            lane.sim(), mach.core(0), mach.ctx().memory(), handle,
+            cfg_.profile, cfg_.max_qps, m));
+    }
+    // The wire: a send from NIC i lands in lane(dst) at the
+    // pre-computed arrival time. The target NIC is touched only from
+    // its own lane's callbacks — the ParallelEngine handoff contract.
+    for (unsigned m = 0; m < cfg_.machines; ++m) {
+        rdma::RdmaNic *src = nics_[m].get();
+        src->setSendFn([this, m](u32 dst, Nanos when, rdma::WireMsg msg) {
+            RIO_ASSERT(dst < machines_.size(), "send to unknown machine");
+            rdma::RdmaNic *target = nics_[dst].get();
+            engine_.lane(m).sendTo(
+                engine_.lane(dst), when,
+                [target, msg = std::move(msg)] { target->fromWire(msg); });
+        });
+    }
+}
+
+void
+Cluster::bringUp()
+{
+    for (auto &nic : nics_)
+        nic->bringUp();
+}
+
+void
+Cluster::quiesce()
+{
+    for (unsigned m = 0; m < size(); ++m) {
+        nics_[m]->quiesceAll();
+        handles_[m]->quiesceFlush();
+    }
+}
+
+dma::LeakReport
+Cluster::checkLeaks(unsigned m) const
+{
+    return machines_[m]->ctx().checkHandleLeaks(*handles_[m]);
+}
+
+} // namespace rio::sys

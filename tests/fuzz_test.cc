@@ -19,8 +19,10 @@
 #include "dma/baseline_handle.h"
 #include "dma/dma_context.h"
 #include "riommu/rdevice.h"
+#include "sys/cluster.h"
 #include "sys/machine.h"
 #include "virt/guest.h"
+#include "workloads/fleet.h"
 
 namespace rio {
 namespace {
@@ -668,6 +670,158 @@ INSTANTIATE_TEST_SUITE_P(
         return name + "_" +
                virt::platformName(info.param.platform) + "_s" +
                std::to_string(info.param.seed);
+    });
+
+// ---- cluster fabric fuzz -------------------------------------------------------
+
+/**
+ * Randomized cluster campaigns: a 2-3 machine RDMA fabric under a
+ * seed-derived mix of connection churn, incast bursts into machine 0,
+ * Zipf-skewed traffic, and (half the seeds) translation-fault
+ * injection — the combination that exercises QP slot recycling, the
+ * kClosing drain path, NAK completions, and cross-lane mail ordering
+ * at once. Each campaign runs twice, on 1 worker thread and on 3, and
+ * the two reports must agree field for field (the parallel engine's
+ * determinism contract extended to the full RDMA stack). Invariants
+ * on top: every successful post produces exactly one CQE (ok or
+ * error), fault-free configs complete error-free, churn configs
+ * actually tear down and re-establish QPs, and the leak detector is
+ * clean on every machine after quiesce.
+ * RIO_CLUSTER_EXTRA_SEEDS appends seeds (the sanitize CI soak).
+ */
+struct ClusterFuzzParam
+{
+    dma::ProtectionMode mode;
+    u64 seed;
+};
+
+std::vector<ClusterFuzzParam>
+clusterFuzzParams()
+{
+    std::vector<u64> seeds = {5, 23, 411};
+    appendExtraSeeds(seeds, "RIO_CLUSTER_EXTRA_SEEDS");
+    // One radix mode, one magazine mode, one rIOMMU mode — the three
+    // translation structures the remote-access path can stress.
+    const std::array<dma::ProtectionMode, 3> modes = {
+        dma::ProtectionMode::kStrict, dma::ProtectionMode::kDeferPlus,
+        dma::ProtectionMode::kRiommu};
+    std::vector<ClusterFuzzParam> params;
+    for (dma::ProtectionMode mode : modes)
+        for (u64 seed : seeds)
+            params.push_back({mode, seed});
+    return params;
+}
+
+struct ClusterCampaign
+{
+    workloads::FleetReport rep;
+    double fault_rate = 0;
+    u32 churn_period = 0;
+};
+
+/** Derive the whole campaign shape from @p seed (identically for any
+ * @p threads — only the schedule may differ) and run it. */
+ClusterCampaign
+runClusterCampaign(dma::ProtectionMode mode, u64 seed, unsigned threads)
+{
+    Rng shape(seed * 0xD1B54A32D192ED03ULL + 11);
+    workloads::FleetParams p;
+    p.connections = static_cast<u32>(8u << shape.below(4)); // 8..64
+    p.zipf_theta = 0.5 + 0.1 * static_cast<double>(shape.below(8));
+    p.read_fraction = 0.1 * static_cast<double>(shape.below(5));
+    p.credits = static_cast<u32>(shape.range(4, 12));
+    p.warmup_ops = 50;
+    p.measure_ops = 300;
+    p.incast_period_ops = static_cast<u32>(shape.range(20, 50));
+    p.incast_burst = static_cast<u32>(shape.range(2, 5));
+    p.churn_period_ops = static_cast<u32>(shape.range(25, 75));
+    p.seed = seed * 77 + 1;
+
+    sys::ClusterConfig cfg;
+    cfg.machines = static_cast<unsigned>(shape.range(2, 3));
+    cfg.threads = threads;
+    cfg.mode = mode;
+    cfg.max_qps = workloads::fleetMaxQps(p, cfg.machines);
+    if (dma::modeUsesRiommu(mode)) {
+        cfg.rdcache.model_fetch = true; // fetch model riding along
+        cfg.rdcache.hot_entries = 64;
+    }
+    if (dma::modeUsesMagazineAllocator(mode))
+        cfg.iova_cache_rounds = 8; // per-core depot pair in play
+    cfg.fault_rate = shape.chance(0.5) ? 0.02 : 0.0;
+    cfg.fault_seed = seed + 9;
+
+    ClusterCampaign out;
+    out.fault_rate = cfg.fault_rate;
+    out.churn_period = p.churn_period_ops;
+    sys::Cluster cluster(cfg);
+    out.rep = workloads::runFleet(cluster, p);
+    return out;
+}
+
+class ClusterFuzz : public ::testing::TestWithParam<ClusterFuzzParam>
+{
+};
+
+TEST_P(ClusterFuzz, ChurnIncastFaultsAgreeAcrossThreadCounts)
+{
+    const auto [mode, seed] = GetParam();
+    const ClusterCampaign c1 = runClusterCampaign(mode, seed, 1);
+    const ClusterCampaign c3 = runClusterCampaign(mode, seed, 3);
+    const workloads::FleetReport &r1 = c1.rep;
+    const workloads::FleetReport &r3 = c3.rep;
+
+    // Nothing left mapped on any machine after quiesce.
+    EXPECT_TRUE(r1.leaks_clean);
+    EXPECT_TRUE(r3.leaks_clean);
+
+    // Conservation: one CQE per successful post, ok or error — the
+    // drain at end of run and in the kClosing path loses nothing.
+    EXPECT_EQ(r1.completions, r1.posts);
+    EXPECT_EQ(r3.completions, r3.posts);
+    EXPECT_EQ(r1.comp_errors,
+              r1.remote_faults + r1.local_fault_drops);
+
+    // The campaign actually exercised its levers.
+    EXPECT_GT(r1.measured_ops, 0u);
+    EXPECT_GT(r1.teardowns, 0u) << "churn period " << c1.churn_period
+                                << " never tore a QP down";
+    if (c1.fault_rate == 0.0) {
+        EXPECT_EQ(r1.comp_errors, 0u);
+        EXPECT_EQ(r1.remote_faults, 0u);
+        EXPECT_EQ(r1.local_fault_drops, 0u);
+    }
+
+    // Thread-count invariance, field for field.
+    EXPECT_EQ(r1.measured_ops, r3.measured_ops);
+    EXPECT_EQ(r1.total_ops, r3.total_ops);
+    EXPECT_EQ(r1.measured_cycles, r3.measured_cycles);
+    EXPECT_DOUBLE_EQ(r1.cycles_per_op, r3.cycles_per_op);
+    EXPECT_EQ(r1.posts, r3.posts);
+    EXPECT_EQ(r1.posts_blocked, r3.posts_blocked);
+    EXPECT_EQ(r1.completions, r3.completions);
+    EXPECT_EQ(r1.comp_errors, r3.comp_errors);
+    EXPECT_EQ(r1.remote_faults, r3.remote_faults);
+    EXPECT_EQ(r1.local_fault_drops, r3.local_fault_drops);
+    EXPECT_EQ(r1.connects, r3.connects);
+    EXPECT_EQ(r1.teardowns, r3.teardowns);
+    EXPECT_EQ(r1.eob_unmaps, r3.eob_unmaps);
+    EXPECT_DOUBLE_EQ(r1.avg_burst, r3.avg_burst);
+    EXPECT_EQ(r1.riotlb.invalidations, r3.riotlb.invalidations);
+    EXPECT_EQ(r1.riotlb.walks, r3.riotlb.walks);
+    EXPECT_EQ(r1.rdcache.fetches, r3.rdcache.fetches);
+    EXPECT_EQ(r1.rdcache.hot_hits, r3.rdcache.hot_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, ClusterFuzz,
+    ::testing::ValuesIn(clusterFuzzParams()),
+    [](const ::testing::TestParamInfo<ClusterFuzzParam> &info) {
+        std::string name = dma::modeName(info.param.mode);
+        for (char &c : name)
+            if (c == '-' || c == '+')
+                c = '_';
+        return name + "_s" + std::to_string(info.param.seed);
     });
 
 // ---- overflow under pressure ---------------------------------------------------

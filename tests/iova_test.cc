@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -311,6 +312,147 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Kind::kLinux, Kind::kMagazine),
                        ::testing::Values(u64{1}, u64{2}, u64{3}),
                        ::testing::Values(2000)));
+
+// ---- per-core magazine pair over the depot (ROADMAP perf debt) -------
+
+/** With the core cache off (default) behaviour and charges are the
+ * legacy per-handle depot, bit for bit. */
+TEST(MagazineCoreCache, DefaultOffIsLegacyBitIdentical)
+{
+    CycleAccount legacy_acct, off_acct;
+    cycles::CostModel cost;
+    MagazineIovaAllocator legacy{kLimitPfn, &legacy_acct, cost};
+    MagazineIovaAllocator off{kLimitPfn, &off_acct, cost};
+    off.setCoreCache(16);
+    off.setCoreCache(0); // install, then restore the legacy layout
+
+    Rng rng_a(42), rng_b(42);
+    std::vector<u64> live_a, live_b;
+    for (int i = 0; i < 1500; ++i) {
+        const bool do_alloc =
+            live_a.empty() || rng_a.chance(0.55);
+        (void)rng_b.chance(0.55); // keep streams aligned
+        if (do_alloc) {
+            auto a = legacy.alloc(1);
+            auto b = off.alloc(1);
+            ASSERT_TRUE(a.isOk());
+            ASSERT_TRUE(b.isOk());
+            ASSERT_EQ(a.value().pfn_lo, b.value().pfn_lo);
+            live_a.push_back(a.value().pfn_lo);
+            live_b.push_back(b.value().pfn_lo);
+        } else {
+            ASSERT_TRUE(legacy.free(live_a.back()).isOk());
+            ASSERT_TRUE(off.free(live_b.back()).isOk());
+            live_a.pop_back();
+            live_b.pop_back();
+        }
+    }
+    EXPECT_EQ(legacy_acct.total(), off_acct.total())
+        << "core cache disabled must charge exactly the legacy costs";
+    EXPECT_EQ(off.depotExchanges(), 0u);
+}
+
+/** Steady-state churn through the core pair touches the locked depot
+ * only once per `rounds` ops — the Bonwick amortization the ROADMAP
+ * perf-debt item asked for. */
+TEST(MagazineCoreCache, DepotLockAmortizedToOncePerRounds)
+{
+    CycleAccount acct;
+    cycles::CostModel cost;
+    MagazineIovaAllocator alloc{kLimitPfn, &acct, cost};
+    const u32 rounds = 16;
+    alloc.setCoreCache(rounds);
+
+    const int kOps = 4000; // alloc+free pairs, single size class
+    for (int i = 0; i < kOps; ++i) {
+        auto r = alloc.alloc(1);
+        ASSERT_TRUE(r.isOk());
+        ASSERT_TRUE(alloc.free(r.value().pfn_lo).isOk());
+    }
+    EXPECT_TRUE(alloc.validate());
+    EXPECT_EQ(alloc.live(), 0u);
+    // 2*kOps magazine ops; every op except depot exchanges and the
+    // initial fresh carve is served by the loaded/previous pair.
+    EXPECT_GE(alloc.coreHits(), static_cast<u64>(2 * kOps) - 1 -
+                                    alloc.depotExchanges() * rounds);
+    EXPECT_LE(alloc.depotExchanges(),
+              static_cast<u64>(2 * kOps) / rounds + 2)
+        << "more than one depot (lock) trip per " << rounds
+        << " ops defeats the per-core pair";
+}
+
+/** Correctness under mixed-size churn with the core cache on:
+ * disjoint live ranges, clean drain, valid tree. */
+TEST(MagazineCoreCache, MixedChurnStaysConsistent)
+{
+    CycleAccount acct;
+    cycles::CostModel cost;
+    MagazineIovaAllocator alloc{kLimitPfn, &acct, cost};
+    alloc.setCoreCache(8);
+
+    Rng rng(7);
+    std::vector<IovaRange> live;
+    for (int i = 0; i < 3000; ++i) {
+        if (live.empty() || rng.chance(0.6)) {
+            auto r = alloc.alloc(1 + rng.below(3));
+            ASSERT_TRUE(r.isOk());
+            for (const auto &other : live)
+                ASSERT_TRUE(r.value().pfn_hi < other.pfn_lo ||
+                            r.value().pfn_lo > other.pfn_hi);
+            live.push_back(r.value());
+        } else {
+            const size_t idx = rng.below(live.size());
+            ASSERT_TRUE(alloc.free(live[idx].pfn_lo).isOk());
+            live.erase(live.begin() + static_cast<long>(idx));
+        }
+        ASSERT_EQ(alloc.live(), live.size());
+    }
+    while (!live.empty()) {
+        ASSERT_TRUE(alloc.free(live.back().pfn_lo).isOk());
+        live.pop_back();
+    }
+    EXPECT_EQ(alloc.live(), 0u);
+    EXPECT_TRUE(alloc.validate());
+    EXPECT_GT(alloc.coreHits(), 0u);
+}
+
+/** Toggling the cache mid-life reparents parked ranges without
+ * losing or duplicating any. */
+TEST(MagazineCoreCache, ToggleFlushesWithoutLoss)
+{
+    CycleAccount acct;
+    cycles::CostModel cost;
+    MagazineIovaAllocator alloc{kLimitPfn, &acct, cost};
+    alloc.setCoreCache(4);
+
+    std::vector<u64> lows;
+    for (int i = 0; i < 32; ++i) {
+        auto r = alloc.alloc(1);
+        ASSERT_TRUE(r.isOk());
+        lows.push_back(r.value().pfn_lo);
+    }
+    for (u64 lo : lows)
+        ASSERT_TRUE(alloc.free(lo).isOk());
+    const u64 parked = alloc.parked();
+    EXPECT_EQ(parked, 32u);
+
+    alloc.setCoreCache(0); // core pair + depot flushed to flat stacks
+    EXPECT_EQ(alloc.parked(), parked);
+    alloc.setCoreCache(8); // reseeded from the stacks
+    EXPECT_EQ(alloc.parked(), parked);
+
+    // Every parked range is reallocatable exactly once.
+    std::vector<u64> again;
+    for (int i = 0; i < 32; ++i) {
+        auto r = alloc.alloc(1);
+        ASSERT_TRUE(r.isOk());
+        again.push_back(r.value().pfn_lo);
+    }
+    std::sort(lows.begin(), lows.end());
+    std::sort(again.begin(), again.end());
+    EXPECT_EQ(lows, again);
+    EXPECT_TRUE(alloc.validate());
+}
 
 } // namespace
 } // namespace rio::iova
