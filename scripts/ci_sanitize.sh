@@ -86,4 +86,9 @@ scripts/ci_virt.sh
 # (its own build dir).
 scripts/ci_cluster.sh
 
+# Hostile-wire lane: lossy/congested fabric with the reliability
+# layer on — WireFuzz soak, the golden_wire inertness gate and the
+# full storm sweep, all under ASan (its own build dir).
+scripts/ci_wire.sh
+
 echo "sanitized tier-1 suite passed"

@@ -168,6 +168,8 @@ Iommu::translate(Bdf bdf, IovaAddr iova, Access access)
     }
     const Cycles hw =
         cost_.hw_tlb_hit + static_cast<Cycles>(refs) * cost_.hw_walk_level;
+    ++walks_;
+    walk_mem_refs_ += static_cast<u64>(refs);
     if (!pte.isOk()) {
         if (pte.status().code() == ErrorCode::kCorrupted) {
             recordFault(bdf, iova, access, FaultReason::kReservedBit);

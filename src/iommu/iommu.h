@@ -144,6 +144,12 @@ class Iommu
 
     const CtxCacheStats &ctxCacheStats() const { return ctx_stats_; }
 
+    /** IOTLB-miss walks taken and the combined (stage-1 + stage-2)
+     * memory references they cost — the 2-D-walk quantity the
+     * huge-page stage-2 ablation reports (24 -> 19 per radix miss). */
+    u64 walkCount() const { return walks_; }
+    u64 walkMemRefs() const { return walk_mem_refs_; }
+
     /** Cached context entries (== attached devices that translated). */
     u64 contextCacheSize() const { return ctx_cache_.size(); }
 
@@ -178,6 +184,8 @@ class Iommu
     // attach/detach, like hardware requires.
     std::unordered_map<u16, IoPageTable *> ctx_cache_;
     CtxCacheStats ctx_stats_;
+    u64 walks_ = 0;
+    u64 walk_mem_refs_ = 0;
     std::vector<FaultRecord> faults_;
     FaultLog fault_log_;
 };

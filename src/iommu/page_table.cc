@@ -35,7 +35,8 @@ IoPageTable::~IoPageTable()
         if (level < kLevels) {
             for (unsigned i = 0; i < kEntriesPerTable; ++i) {
                 Pte e{pm_.read64(table + i * 8)};
-                if (e.present())
+                // A huge leaf maps data frames, not a child table.
+                if (e.present() && !e.huge())
                     stack.emplace_back(e.addr(), level + 1);
             }
         }
@@ -52,11 +53,12 @@ IoPageTable::levelIndex(u64 iova_pfn, int level)
 }
 
 PhysAddr
-IoPageTable::descend(u64 iova_pfn, bool create, int *levels)
+IoPageTable::descend(u64 iova_pfn, bool create, int *levels,
+                     int leaf_level)
 {
     PhysAddr table = root_;
     int walked = 1;
-    for (int level = 1; level < kLevels; ++level, ++walked) {
+    for (int level = 1; level < leaf_level; ++level, ++walked) {
         const PhysAddr slot = table + levelIndex(iova_pfn, level) * 8;
         Pte entry{pm_.read64(slot)};
         if (!entry.present()) {
@@ -69,6 +71,12 @@ IoPageTable::descend(u64 iova_pfn, bool create, int *levels)
             ++table_pages_;
             pm_.write64(slot, Pte::make(next, DmaDir::kBidir).raw);
             entry = Pte{pm_.read64(slot)};
+        }
+        if (entry.huge()) {
+            // A 2 MB leaf blocks this path; callers report kExists.
+            if (levels)
+                *levels = walked;
+            return 0;
         }
         table = entry.addr();
     }
@@ -101,9 +109,14 @@ IoPageTable::map(u64 iova_pfn, u64 phys_pfn, DmaDir dir)
     RIO_ASSERT(dir != DmaDir::kNone, "mapping with no permitted direction");
     int levels = 0;
     const PhysAddr leaf_table = descend(iova_pfn, true, &levels);
+    chargeUpdate(cycles::Cat::kMapPageTable, levels);
+    if (!leaf_table) {
+        return Status(ErrorCode::kExists,
+                      "iova pfn inside a huge mapping: " +
+                          std::to_string(iova_pfn));
+    }
     const PhysAddr slot = leaf_table + levelIndex(iova_pfn, kLevels) * 8;
     Pte existing{pm_.read64(slot)};
-    chargeUpdate(cycles::Cat::kMapPageTable, levels);
     if (existing.present()) {
         return Status(ErrorCode::kExists,
                       "iova pfn already mapped: " + std::to_string(iova_pfn));
@@ -125,6 +138,42 @@ IoPageTable::mapRange(u64 iova_pfn, u64 phys_pfn, u64 npages, DmaDir dir)
         if (!s)
             return s;
     }
+    return Status::ok();
+}
+
+Status
+IoPageTable::mapHuge(u64 iova_pfn, u64 phys_pfn, DmaDir dir)
+{
+    RIO_ASSERT(dir != DmaDir::kNone, "mapping with no permitted direction");
+    RIO_ASSERT(iova_pfn % kHugePfns == 0 && phys_pfn % kHugePfns == 0,
+               "huge mapping must be 2 MB aligned");
+    int levels = 0;
+    const PhysAddr leaf_table =
+        descend(iova_pfn, true, &levels, kLevels - 1);
+    chargeUpdate(cycles::Cat::kMapPageTable, levels);
+    if (!leaf_table) {
+        return Status(ErrorCode::kExists,
+                      "huge pfn inside a huge mapping: " +
+                          std::to_string(iova_pfn));
+    }
+    const PhysAddr slot =
+        leaf_table + levelIndex(iova_pfn, kLevels - 1) * 8;
+    Pte existing{pm_.read64(slot)};
+    if (existing.present()) {
+        // Either a huge leaf or a populated child table: both mean
+        // the 2 MB region is not free to claim.
+        return Status(ErrorCode::kExists,
+                      "huge slot already populated: " +
+                          std::to_string(iova_pfn));
+    }
+    pm_.write64(slot,
+                Pte::makeHuge(phys_pfn << kPageShift, dir).raw);
+    mapped_pages_ += kHugePfns;
+    ++huge_mappings_;
+    if (traps_)
+        traps_->onTableWrite({TableWrite::Kind::kRadixPte, iova_pfn,
+                              phys_pfn, true},
+                             acct_);
     return Status::ok();
 }
 
@@ -188,7 +237,9 @@ IoPageTable::walk(u64 iova_pfn, int *levels_touched, VirtStage2 *s2,
             return Status(ErrorCode::kCorrupted,
                           "reserved bits set in PTE");
         }
-        if (level == kLevels) {
+        if (level == kLevels || entry.huge()) {
+            // 4K leaf, or a 2 MB leaf terminating the walk one level
+            // early (the caller composes the 2 MB offset).
             if (levels_touched)
                 *levels_touched = touched;
             return entry;
@@ -204,8 +255,8 @@ IoPageTable::leafSlot(u64 iova_pfn) const
     PhysAddr table = root_;
     for (int level = 1; level < kLevels; ++level) {
         const Pte entry{pm_.read64(table + levelIndex(iova_pfn, level) * 8)};
-        if (!entry.present())
-            return 0;
+        if (!entry.present() || entry.huge())
+            return 0; // no 4K leaf under a huge mapping
         table = entry.addr();
     }
     return table + levelIndex(iova_pfn, kLevels) * 8;

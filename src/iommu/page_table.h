@@ -41,12 +41,16 @@ struct Pte
 
     static constexpr u64 kRead = 1u << 0;
     static constexpr u64 kWrite = 1u << 1;
+    /** VT-d PS bit: this level-3 entry is a 2 MB leaf, not a table
+     * pointer. Only stage-2 tables install huge leaves today. */
+    static constexpr u64 kHuge = 1u << 7;
     /** VT-d second-level entries hold a 52-bit address field; bits
      * 52..63 are reserved and must be zero (checked by the walker). */
     static constexpr u64 kAddrMask = u64{0x000ffffffffff000};
     static constexpr u64 kReservedMask = u64{0xfff0000000000000};
 
     bool present() const { return (raw & (kRead | kWrite)) != 0; }
+    bool huge() const { return (raw & kHuge) != 0; }
     bool allowsRead() const { return (raw & kRead) != 0; }
     bool allowsWrite() const { return (raw & kWrite) != 0; }
     bool reservedBitsSet() const { return (raw & kReservedMask) != 0; }
@@ -68,6 +72,12 @@ struct Pte
             raw |= kWrite;
         return Pte{raw};
     }
+
+    static Pte
+    makeHuge(PhysAddr pa, DmaDir dir)
+    {
+        return Pte{make(pa, dir).raw | kHuge};
+    }
 };
 
 /**
@@ -80,6 +90,8 @@ class IoPageTable
   public:
     static constexpr int kLevels = 4;
     static constexpr unsigned kEntriesPerTable = 512;
+    /** 4 KB pages covered by one 2 MB huge leaf. */
+    static constexpr u64 kHugePfns = 512;
 
     /**
      * @param coherent whether IOMMU walks snoop CPU caches; if not,
@@ -103,6 +115,14 @@ class IoPageTable
 
     /** Map @p npages consecutive pfns. */
     Status mapRange(u64 iova_pfn, u64 phys_pfn, u64 npages, DmaDir dir);
+
+    /**
+     * Install a 2 MB huge leaf at level kLevels-1: one table store
+     * covers kHugePfns consecutive pfns, and walks terminate one
+     * level early. Both pfns must be kHugePfns-aligned. Fails with
+     * kExists if any 4K or huge translation already covers the slot.
+     */
+    Status mapHuge(u64 iova_pfn, u64 phys_pfn, DmaDir dir);
 
     /**
      * Remove the translation for @p iova_pfn. Charged as
@@ -145,8 +165,12 @@ class IoPageTable
      */
     void setVirtTraps(VirtTraps *traps) { traps_ = traps; }
 
-    /** Translations currently installed. */
+    /** Translations currently installed (a huge leaf counts as
+     * kHugePfns 4K pages of reach). */
     u64 mappedPages() const { return mapped_pages_; }
+
+    /** Huge (2 MB) leaves currently installed. */
+    u64 hugeMappings() const { return huge_mappings_; }
 
     /** 4 KB table pages backing the hierarchy. */
     u64 tablePages() const { return table_pages_; }
@@ -154,8 +178,11 @@ class IoPageTable
   private:
     static unsigned levelIndex(u64 iova_pfn, int level);
 
-    /** Descend to the leaf table, allocating levels if @p create. */
-    PhysAddr descend(u64 iova_pfn, bool create, int *levels);
+    /** Descend to the table holding level @p leaf_level's slot,
+     * allocating levels if @p create. Returns 0 if not populated
+     * (!create) or if a huge leaf blocks the path. */
+    PhysAddr descend(u64 iova_pfn, bool create, int *levels,
+                     int leaf_level = kLevels);
 
     /** Charge one driver-side table-line update (store + sync_mem). */
     void chargeUpdate(cycles::Cat cat, int levels_walked);
@@ -167,6 +194,7 @@ class IoPageTable
     VirtTraps *traps_ = nullptr;
     PhysAddr root_;
     u64 mapped_pages_ = 0;
+    u64 huge_mappings_ = 0;
     u64 table_pages_ = 0;
     /** Per-level hardware-walk read counters (obs::Registry),
      * batched: a walk-heavy burst settles the shared atomics once

@@ -23,6 +23,7 @@ evName(Ev ev)
       case Ev::kLockRelease: return "lock_release";
       case Ev::kFlightDump: return "flight_dump";
       case Ev::kVmExit: return "vmexit";
+      case Ev::kQpError: return "qp_error";
       case Ev::kNumEvents: break;
     }
     RIO_PANIC("bad Ev");

@@ -51,6 +51,7 @@ enum class Ev : u8 {
     kLockRelease,  //!< lock released (instant)
     kFlightDump,   //!< flight recorder fired (instant; arg=dump #)
     kVmExit,       //!< guest trapped to the hypervisor (span; arg=reason)
+    kQpError,      //!< RDMA QP entered error state (instant; arg=qp)
     kNumEvents
 };
 

@@ -1,9 +1,15 @@
 #include "rdma/rdma.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_set>
+#include <utility>
 
 #include "base/logging.h"
+#include "base/strings.h"
+#include "obs/flight.h"
+#include "obs/registry.h"
+#include "obs/timeline.h"
 #include "riommu/structures.h"
 
 namespace rio::rdma {
@@ -147,7 +153,9 @@ RdmaNic::freeQp(u32 idx)
     Qp &q = qps_[idx];
     const bool was_established = q.state == QpState::kEstablished ||
                                  q.state == QpState::kClosing ||
-                                 q.state == QpState::kCloseWait;
+                                 q.state == QpState::kCloseWait ||
+                                 q.state == QpState::kError;
+    disarmRto(idx);
     q.state = QpState::kFree;
     q.peer_nic = q.peer_qp = 0;
     q.remote_rkey = 0;
@@ -155,6 +163,9 @@ RdmaNic::freeQp(u32 idx)
     q.inflight = 0;
     q.on_connected = nullptr;
     q.on_closed = nullptr;
+    q.next_psn = q.epsn = 0;
+    q.nak_armed = false;
+    q.retries = q.backoff = 0;
     for (Op &op : q.ops)
         op = Op{};
     if (was_established && established_ > 0)
@@ -268,6 +279,14 @@ RdmaNic::postWrite(u32 qp, u32 bytes, u64 roffset)
         ++stats_.posts_blocked;
         return false;
     }
+    if (q.ops[q.sq_tail].active) {
+        // The SQ is a ring: under loss, acks (and error flushes) can
+        // settle a young WQE before an older retransmitting one, so a
+        // freed credit does not imply the tail slot drained. Posting
+        // over a live WQE would orphan its op — block instead.
+        ++stats_.posts_blocked;
+        return false;
+    }
     charge(profile_.post_cycles);
     auto m = handle_.map(dataRid(qp), q.src_pa, bytes,
                          iommu::DmaDir::kToDevice);
@@ -277,7 +296,14 @@ RdmaNic::postWrite(u32 qp, u32 bytes, u64 roffset)
     }
     const u32 w = q.sq_tail;
     q.sq_tail = (q.sq_tail + 1) % profile_.sq_depth;
-    q.ops[w] = Op{true, false, bytes, roffset, m.value()};
+    Op op;
+    op.active = true;
+    op.bytes = bytes;
+    op.psn = q.next_psn++;
+    op.roffset = roffset;
+    op.post_ns = core_.virtualNow();
+    op.map = m.value();
+    q.ops[w] = op;
     // The WQE the device will fetch: opcode/len in word 0, the DMA
     // address of the source in word 1.
     const PhysAddr wqe = q.sq_pa + static_cast<u64>(w) * kWqeBytes;
@@ -303,6 +329,11 @@ RdmaNic::postRead(u32 qp, u32 bytes, u64 roffset)
         ++stats_.posts_blocked;
         return false;
     }
+    if (q.ops[q.sq_tail].active) {
+        // Same ring-occupancy guard as postWrite.
+        ++stats_.posts_blocked;
+        return false;
+    }
     charge(profile_.post_cycles);
     auto m = handle_.map(dataRid(qp), q.rd_pa, bytes,
                          iommu::DmaDir::kFromDevice);
@@ -312,7 +343,15 @@ RdmaNic::postRead(u32 qp, u32 bytes, u64 roffset)
     }
     const u32 w = q.sq_tail;
     q.sq_tail = (q.sq_tail + 1) % profile_.sq_depth;
-    q.ops[w] = Op{true, true, bytes, roffset, m.value()};
+    Op op;
+    op.active = true;
+    op.is_read = true;
+    op.bytes = bytes;
+    op.psn = q.next_psn++;
+    op.roffset = roffset;
+    op.post_ns = core_.virtualNow();
+    op.map = m.value();
+    q.ops[w] = op;
     const PhysAddr wqe = q.sq_pa + static_cast<u64>(w) * kWqeBytes;
     pm_.write64(wqe, (u64{2} << 32) | bytes);
     pm_.write64(wqe + 8, m.value().device_addr);
@@ -330,8 +369,10 @@ RdmaNic::deviceFetchWqe(u32 qp, u32 w)
 {
     Qp &q = qps_[qp];
     Op &op = q.ops[w];
-    if (!op.active)
-        return; // force-quiesced under the doorbell
+    if (!op.active || op.acked)
+        return; // force-quiesced or flushed under the doorbell
+    if (q.state == QpState::kError)
+        return; // error drain: no new transmissions
     // Device side: fetch the WQE through our own translation (the
     // control-ring mapping), then the payload for writes (data ring).
     u8 wqe_buf[kWqeBytes];
@@ -347,12 +388,16 @@ RdmaNic::deviceFetchWqe(u32 qp, u32 w)
     msg.src_qp = qp;
     msg.dst_qp = q.peer_qp;
     msg.wqe = w;
+    msg.psn = op.psn;
     msg.rkey = q.remote_rkey;
     msg.offset = op.roffset;
     msg.len = op.bytes;
     if (op.is_read) {
         msg.kind = MsgKind::kRead;
+        op.sent = true;
+        op.last_tx = sim_.now();
         sendAt(q.peer_nic, wireArrival(sim_.now(), 0), std::move(msg));
+        armRto(qp);
         return;
     }
     msg.payload.resize(op.bytes);
@@ -364,8 +409,11 @@ RdmaNic::deviceFetchWqe(u32 qp, u32 w)
         return;
     }
     msg.kind = MsgKind::kWrite;
+    op.sent = true;
+    op.last_tx = sim_.now();
     sendAt(q.peer_nic, wireArrival(sim_.now(), op.bytes),
            std::move(msg));
+    armRto(qp);
 }
 
 void
@@ -377,10 +425,60 @@ RdmaNic::onDataAccess(const WireMsg &msg)
     WireMsg reply;
     reply.dst_qp = msg.src_qp;
     reply.wqe = msg.wqe;
+    reply.psn = msg.psn;
+    bool late = false;
+    if (rel_.enabled) {
+        Qp *rq = msg.dst_qp < max_qps_ ? &qps_[msg.dst_qp] : nullptr;
+        if (rq && rq->state == QpState::kError)
+            return; // dead responder; the kQpError notify explains it
+        const bool live =
+            rq &&
+            (rq->state == QpState::kEstablished ||
+             rq->state == QpState::kClosing) &&
+            rq->mr_map.device_addr == msg.rkey;
+        if (!live) {
+            // Late arrival: the QP is gone (or its slot was recycled
+            // under a new MR). No PSN state survives to consult — the
+            // access goes to the IOMMU anyway, which is precisely the
+            // VA-RDMA last-line-of-defense moment: a revoked mapping
+            // must fault, a stale deferred window lets it land.
+            late = true;
+            ++stats_.late_arrivals;
+        } else if (msg.psn == rq->epsn) {
+            ++rq->epsn;
+            rq->nak_armed = false;
+        } else if (msg.psn > rq->epsn) {
+            // Gap: a predecessor was lost. Go-back-N keeps no
+            // out-of-order buffer — drop the packet and NAK once per
+            // episode with the expected PSN.
+            if (!rq->nak_armed) {
+                rq->nak_armed = true;
+                ++stats_.nak_seq_sent;
+                WireMsg nak;
+                nak.kind = MsgKind::kNakSeq;
+                nak.dst_qp = msg.src_qp;
+                nak.psn = rq->epsn;
+                sendAt(msg.src_nic, wireArrival(sim_.now(), 0),
+                       std::move(nak));
+            }
+            return;
+        } else {
+            // Duplicate (retransmit overlap or wire dup). Writes and
+            // reads are idempotent, so hardware replays the DMA and
+            // re-acknowledges under the duplicate's own PSN.
+            ++stats_.dup_requests;
+        }
+    }
     if (msg.kind == MsgKind::kWrite) {
         ++stats_.remote_writes;
         Status s = handle_.deviceWrite(msg.rkey + msg.offset,
                                        msg.payload.data(), msg.len);
+        if (late) {
+            if (s.isOk())
+                ++stats_.late_landed;
+            else
+                ++stats_.late_faulted;
+        }
         reply.ok = s.isOk();
         if (!reply.ok)
             ++stats_.remote_faults;
@@ -393,6 +491,12 @@ RdmaNic::onDataAccess(const WireMsg &msg)
     reply.payload.resize(msg.len);
     Status s = handle_.deviceRead(msg.rkey + msg.offset,
                                   reply.payload.data(), msg.len);
+    if (late) {
+        if (s.isOk())
+            ++stats_.late_landed;
+        else
+            ++stats_.late_faulted;
+    }
     reply.ok = s.isOk();
     if (!reply.ok) {
         ++stats_.remote_faults;
@@ -411,6 +515,20 @@ RdmaNic::onCompletionMsg(const WireMsg &msg)
     Op &op = q.ops[msg.wqe];
     if (!op.active)
         return; // force-quiesced while the reply was in flight
+    if (rel_.enabled) {
+        if (q.state == QpState::kError)
+            return; // flushed: an error CQE already covers this op
+        if (!op.sent || op.acked || op.psn != msg.psn) {
+            // Duplicate ack, or an ack for a previous occupant of
+            // this WQE slot — the PSN check makes slot reuse safe
+            // under arbitrary wire delays.
+            ++stats_.stale_acks;
+            return;
+        }
+        // Forward progress: reset the go-back-N budget and backoff.
+        q.retries = 0;
+        q.backoff = 0;
+    }
     bool ok = msg.ok;
     if (msg.kind == MsgKind::kReadResp && ok) {
         // Land the read payload in the local buffer — again through
@@ -428,6 +546,9 @@ RdmaNic::onCompletionMsg(const WireMsg &msg)
 void
 RdmaNic::completeOp(u32 qp, u32 w, bool ok)
 {
+    // The op is now settled: whatever else the wire delivers for this
+    // PSN is stale, and the retransmit machinery must leave it alone.
+    qps_[qp].ops[w].acked = true;
     // Device writes the CQE through the static-ring mapping, then
     // arms the moderated completion interrupt.
     const PhysAddr slot_off = static_cast<u64>(cq_tail_) * kCqeBytes;
@@ -482,6 +603,7 @@ RdmaNic::pollCq()
         handle_.unmap(op.map, /*end_of_burst=*/last[i]);
         if (last[i])
             ++stats_.eob_unmaps;
+        op_latencies_.push_back(sim_.now() - op.post_ns);
         op = Op{};
         --q.inflight;
         --inflight_total_;
@@ -491,13 +613,215 @@ RdmaNic::pollCq()
             ++stats_.comp_errors;
         if (on_completion_)
             on_completion_(c.qp, c.wqe, c.ok);
-        if (q.state == QpState::kClosing && q.inflight == 0)
+        if ((q.state == QpState::kClosing ||
+             q.state == QpState::kError) &&
+            q.inflight == 0)
             drained.push_back(c.qp);
     }
-    for (u32 qp : drained)
-        if (qps_[qp].state == QpState::kClosing &&
-            qps_[qp].inflight == 0)
+    for (u32 qp : drained) {
+        if (qps_[qp].inflight != 0)
+            continue;
+        if (qps_[qp].state == QpState::kClosing)
             finishClose(qp);
+        else if (qps_[qp].state == QpState::kError)
+            finishErrorRecovery(qp);
+    }
+}
+
+void
+RdmaNic::armRto(u32 qp)
+{
+    // Lazy single timer per QP: armed on the first unacked
+    // transmission, re-aimed (not cancelled) when acks make progress,
+    // and dead whenever the window is fully acked — zero events at
+    // loss 0 would be wrong (the timer must exist to notice a loss),
+    // but a fully-acked window keeps no timer alive, so the
+    // simulation still drains. Device-side hardware state: uncharged.
+    if (!rel_.enabled)
+        return;
+    Qp &q = qps_[qp];
+    if (q.rto_armed)
+        return;
+    const Nanos rto = rel_.rto_ns
+                      << std::min(q.backoff, rel_.rto_max_backoff);
+    q.rto_armed = true;
+    q.rto_event =
+        sim_.scheduleAt(sim_.now() + rto, [this, qp] { onRto(qp); });
+}
+
+void
+RdmaNic::disarmRto(u32 qp)
+{
+    Qp &q = qps_[qp];
+    if (!q.rto_armed)
+        return;
+    sim_.cancel(q.rto_event);
+    q.rto_armed = false;
+}
+
+bool
+RdmaNic::hasUnacked(const Qp &q, Nanos *oldest_tx) const
+{
+    bool any = false;
+    Nanos oldest = 0;
+    for (const Op &op : q.ops) {
+        if (!op.active || !op.sent || op.acked)
+            continue;
+        if (!any || op.last_tx < oldest)
+            oldest = op.last_tx;
+        any = true;
+    }
+    if (oldest_tx)
+        *oldest_tx = oldest;
+    return any;
+}
+
+void
+RdmaNic::onRto(u32 qp)
+{
+    Qp &q = qps_[qp];
+    q.rto_armed = false;
+    if (q.state != QpState::kEstablished && q.state != QpState::kClosing)
+        return;
+    Nanos oldest = 0;
+    if (!hasUnacked(q, &oldest))
+        return; // window fully acked; re-armed by the next send
+    const Nanos rto = rel_.rto_ns
+                      << std::min(q.backoff, rel_.rto_max_backoff);
+    if (sim_.now() < oldest + rto) {
+        // Acks made progress since arming: re-aim at the oldest
+        // in-flight transmission instead of firing.
+        q.rto_armed = true;
+        q.rto_event = sim_.scheduleAt(oldest + rto,
+                                      [this, qp] { onRto(qp); });
+        return;
+    }
+    ++stats_.rto_fires;
+    ++q.retries;
+    ++q.backoff;
+    if (q.retries > rel_.retry_limit) {
+        enterError(qp, "retry budget exhausted", /*notify_peer=*/true);
+        return;
+    }
+    retransmit(qp);
+    armRto(qp);
+}
+
+void
+RdmaNic::retransmit(u32 qp)
+{
+    // Go-back-N: replay every transmitted-unacked op in PSN order
+    // (the responder executes in sequence; duplicates replay
+    // idempotently). Ops still waiting on their first doorbell keep
+    // higher PSNs and go out behind these, preserving order.
+    Qp &q = qps_[qp];
+    std::vector<std::pair<u32, u32>> order; // (psn, slot)
+    for (u32 w = 0; w < q.ops.size(); ++w) {
+        const Op &op = q.ops[w];
+        if (op.active && op.sent && !op.acked)
+            order.emplace_back(op.psn, w);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto &[psn, w] : order) {
+        (void)psn;
+        ++stats_.retransmits;
+        deviceFetchWqe(qp, w);
+    }
+}
+
+void
+RdmaNic::onNakSeq(const WireMsg &msg)
+{
+    if (!rel_.enabled || msg.dst_qp >= max_qps_)
+        return;
+    Qp &q = qps_[msg.dst_qp];
+    if (q.state != QpState::kEstablished && q.state != QpState::kClosing)
+        return;
+    ++stats_.nak_seq_recv;
+    ++q.retries;
+    if (q.retries > rel_.retry_limit) {
+        enterError(msg.dst_qp, "sequence-NAK retry budget exhausted",
+                   /*notify_peer=*/true);
+        return;
+    }
+    retransmit(msg.dst_qp);
+}
+
+void
+RdmaNic::enterError(u32 qp, const char *reason, bool notify_peer)
+{
+    Qp &q = qps_[qp];
+    if (q.state == QpState::kError || q.state == QpState::kFree)
+        return;
+    const QpState prev = q.state;
+    disarmRto(qp);
+    q.state = QpState::kError;
+    ++stats_.qp_errors;
+    obs::registry().counter("rdma.qp_errors", {}).inc();
+    obs::Event ev;
+    ev.kind = obs::Ev::kQpError;
+    ev.arg = qp;
+    obs::timeline().emit(ev);
+    // Journal the last 256 events around the transition — the
+    // wire-storm debugging trigger (free when rate-limited away).
+    obs::flightDump(strprintf("rdma_qp_error nic=%u qp=%u peer=%u: %s",
+                              nic_id_, qp, q.peer_nic, reason));
+    if (notify_peer &&
+        (prev == QpState::kEstablished || prev == QpState::kClosing)) {
+        // Async error notify rides the out-of-band CM channel so the
+        // peer's half doesn't linger until its own budget blows.
+        WireMsg note;
+        note.kind = MsgKind::kQpError;
+        note.src_qp = qp;
+        note.dst_qp = q.peer_qp;
+        sendAt(q.peer_nic, wireArrival(sim_.now(), 0), std::move(note));
+    }
+    // RoCE flush semantics: every outstanding WQE completes in error;
+    // their data-ring unmaps happen at the poll, keeping the one-CQE-
+    // per-post conservation intact.
+    for (u32 w = 0; w < q.ops.size(); ++w) {
+        Op &op = q.ops[w];
+        if (!op.active || op.acked)
+            continue;
+        ++stats_.qp_error_flushed;
+        completeOp(qp, w, false);
+    }
+    if (q.inflight == 0)
+        finishErrorRecovery(qp);
+}
+
+void
+RdmaNic::finishErrorRecovery(u32 qp)
+{
+    Qp &q = qps_[qp];
+    RIO_ASSERT(q.state == QpState::kError && q.inflight == 0,
+               "error recovery before the drain finished");
+    // Driver side: read the async error, destroy the verbs objects,
+    // decide the policy — the recovery work of the fault-handling
+    // budget, not ordinary processing.
+    core_.acct().charge(cycles::Cat::kFaultHandling,
+                        rel_.recovery_cycles);
+    const u32 peer = q.peer_nic;
+    unregisterQp(qp);
+    ++stats_.qp_error_recovered;
+    freeQp(qp);
+    if (on_qp_error_)
+        on_qp_error_(qp, peer);
+}
+
+void
+RdmaNic::onQpErrorMsg(const WireMsg &msg)
+{
+    const u32 qp = msg.dst_qp;
+    if (qp >= max_qps_)
+        return;
+    core_.post([this, qp] {
+        Qp &q = qps_[qp];
+        if (q.state != QpState::kEstablished &&
+            q.state != QpState::kClosing)
+            return; // already closed or freed locally
+        enterError(qp, "peer QP error", /*notify_peer=*/false);
+    });
 }
 
 Status
@@ -512,6 +836,22 @@ RdmaNic::teardown(u32 qp, ClosedCb cb)
     q.on_closed = std::move(cb);
     if (q.inflight == 0)
         finishClose(qp);
+    return Status::ok();
+}
+
+Status
+RdmaNic::abortQp(u32 qp)
+{
+    if (!rel_.enabled)
+        return Status(ErrorCode::kInvalidArgument,
+                      "abortQp needs the reliability layer");
+    if (qp >= max_qps_)
+        return Status(ErrorCode::kInvalidArgument, "bad QP index");
+    Qp &q = qps_[qp];
+    if (q.state != QpState::kEstablished && q.state != QpState::kClosing)
+        return Status(ErrorCode::kInvalidArgument,
+                      "abort of non-established QP");
+    enterError(qp, "local abort", /*notify_peer=*/true);
     return Status::ok();
 }
 
@@ -613,6 +953,12 @@ RdmaNic::fromWire(const WireMsg &msg)
         return;
     case MsgKind::kCloseAck:
         onCloseAck(msg);
+        return;
+    case MsgKind::kNakSeq:
+        onNakSeq(msg);
+        return;
+    case MsgKind::kQpError:
+        onQpErrorMsg(msg);
         return;
     }
 }

@@ -87,8 +87,10 @@ enum class MsgKind : u8 {
     kReadResp,    //!< read payload (or NAK via ok=false)
     kAck,         //!< write acknowledged
     kNak,         //!< write faulted at the target
+    kNakSeq,      //!< out-of-sequence NAK: psn = expected PSN
     kClose,       //!< orderly teardown
-    kCloseAck
+    kCloseAck,
+    kQpError      //!< async peer notification of a QP error
 };
 
 struct WireMsg
@@ -98,11 +100,36 @@ struct WireMsg
     u32 src_qp = 0; //!< sender-side QP index
     u32 dst_qp = 0; //!< receiver-side QP index (except kConnect)
     u32 wqe = 0;    //!< initiator op slot, echoed in replies
+    u32 psn = 0;    //!< packet sequence number (reliability layer)
     u64 rkey = 0;   //!< MR device address (handshake / data target)
     u64 offset = 0; //!< byte offset into the target MR
     u32 len = 0;
     bool ok = true;
     std::vector<u8> payload;
+};
+
+/**
+ * RoCE-style reliability knobs. Off by default: with `enabled`
+ * false the NIC byte-for-byte matches the lossless-wire model (no
+ * PSN checks, no timers, no extra events) — required by the
+ * golden_cluster / golden_wire pins. Enable it whenever the wire
+ * can lose or reorder (sys::WireFaultConfig armed).
+ */
+struct ReliabilityConfig
+{
+    bool enabled = false;
+    /** Base retransmission timeout; doubles per fruitless fire up to
+     * `rto_max_backoff` exponents. Must comfortably exceed the RTT
+     * (wire_ns*2 + serialization + completion moderation). */
+    Nanos rto_ns = 20000;
+    u32 rto_max_backoff = 6;
+    /** Go-back-N rounds (RTO fires + sequence NAKs) without forward
+     * progress before the QP transitions to the error state. */
+    u32 retry_limit = 7;
+    /** Driver-side cost of the error path: reading the affected QP
+     * state, flushing verbs resources, policy decision. Charged under
+     * Cat::kFaultHandling when the error drain completes. */
+    Cycles recovery_cycles = 4000;
 };
 
 /** Counters for the bench and the fuzz oracles. */
@@ -126,6 +153,25 @@ struct RdmaStats
     u64 cq_polled = 0;      //!< CQEs consumed
     u64 cq_batch_rings = 0; //!< distinct QPs summed over poll batches
     u64 eob_unmaps = 0;     //!< unmaps that closed a per-ring burst
+
+    // Reliability layer (all zero while ReliabilityConfig is off).
+    u64 retransmits = 0;  //!< data packets re-sent (go-back-N)
+    u64 rto_fires = 0;    //!< RTO expirations that retransmitted
+    u64 nak_seq_sent = 0; //!< out-of-sequence NAKs (responder side)
+    u64 nak_seq_recv = 0; //!< sequence NAKs acted on (requester side)
+    u64 dup_requests = 0; //!< duplicate data packets replayed
+    u64 stale_acks = 0;   //!< acks ignored (PSN mismatch / dead op)
+    u64 qp_errors = 0;    //!< QPs that entered the error state
+    u64 qp_error_flushed = 0;   //!< WQEs flushed as error CQEs
+    u64 qp_error_recovered = 0; //!< error QPs drained + freed
+    /** Data packets that addressed a dead QP (freed, or its MR
+     * already unmapped) — the late-arrival window the headline
+     * experiment measures. `late_faulted` were stopped by the
+     * target's IOMMU; `late_landed` hit memory (the stale window a
+     * deferred-invalidation policy leaves open). */
+    u64 late_arrivals = 0;
+    u64 late_faulted = 0;
+    u64 late_landed = 0;
 };
 
 /**
@@ -145,6 +191,9 @@ class RdmaNic
     using ClosedCb = std::function<void(u32)>;
     /** void(qp, wqe, ok): one completed op (after its unmap). */
     using CompletionCb = std::function<void(u32, u32, bool)>;
+    /** void(qp, peer_nic): a QP finished its error drain and was
+     * freed; the driver decides reconnect vs abandon. */
+    using QpErrorCb = std::function<void(u32, u32)>;
 
     RdmaNic(des::Simulator &sim, des::Core &core,
             mem::PhysicalMemory &pm, dma::DmaHandle &handle,
@@ -155,6 +204,11 @@ class RdmaNic
 
     void setSendFn(SendFn fn) { send_ = std::move(fn); }
     void setCompletionCallback(CompletionCb cb) { on_completion_ = std::move(cb); }
+    void setQpErrorCallback(QpErrorCb cb) { on_qp_error_ = std::move(cb); }
+
+    /** Arm the RoCE reliability layer. Call before any traffic. */
+    void setReliability(const ReliabilityConfig &rel) { rel_ = rel; }
+    const ReliabilityConfig &reliability() const { return rel_; }
 
     /** Allocate + map the CQ. Call once before any traffic. */
     void bringUp();
@@ -187,6 +241,17 @@ class RdmaNic
     Status teardown(u32 qp, ClosedCb cb);
 
     /**
+     * Hard local abort — the app died mid-traffic. The QP transitions
+     * straight to the error state: outstanding WQEs flush as error
+     * CQEs, the peer gets an async kQpError, and whatever data was on
+     * the wire arrives at a dead QP (the late-arrival window the
+     * hostile-wire experiments measure). Requires the reliability
+     * layer (without it the error machinery is disabled). No-op on
+     * QPs that are not established or closing.
+     */
+    Status abortQp(u32 qp);
+
+    /**
      * Force-unmap everything still registered (in-flight ops, QP
      * control mappings, the CQ) without handshakes — end-of-run
      * cleanup so the leak detector sees a quiesced handle.
@@ -204,6 +269,10 @@ class RdmaNic
     u64 establishedQps() const { return established_; }
     u64 inflightOps() const { return inflight_total_; }
 
+    /** Virtual-time post→poll latency of every completed op, in
+     * completion order (host-side record; free of simulated cost). */
+    const std::vector<Nanos> &opLatencies() const { return op_latencies_; }
+
     /** Physical addresses of a QP's buffers (tests write/verify). */
     PhysAddr srcBuffer(u32 qp) const { return qps_[qp].src_pa; }
     PhysAddr readBuffer(u32 qp) const { return qps_[qp].rd_pa; }
@@ -220,15 +289,21 @@ class RdmaNic
         kConnecting,
         kEstablished,
         kClosing,   //!< draining, then kClose goes out
-        kCloseWait  //!< kClose sent, waiting for kCloseAck
+        kCloseWait, //!< kClose sent, waiting for kCloseAck
+        kError      //!< retry budget blown; flushing error CQEs
     };
 
     struct Op
     {
         bool active = false;
         bool is_read = false;
+        bool sent = false;  //!< device fetched + transmitted at least once
+        bool acked = false; //!< CQE generated; awaiting poll, not retx
         u32 bytes = 0;
+        u32 psn = 0;       //!< sequence number (reliability layer)
         u64 roffset = 0;
+        Nanos post_ns = 0; //!< verbs post time (latency record)
+        Nanos last_tx = 0; //!< most recent transmission (RTO base)
         dma::DmaMapping map;
     };
 
@@ -249,6 +324,15 @@ class RdmaNic
         std::vector<Op> ops;
         ConnectCb on_connected;
         ClosedCb on_closed;
+
+        // Reliability state (untouched while the layer is off).
+        u32 next_psn = 0;  //!< requester: next PSN to assign
+        u32 epsn = 0;      //!< responder: next PSN expected
+        bool nak_armed = false; //!< one kNakSeq per ooo episode
+        u32 retries = 0;   //!< go-back-N rounds since last progress
+        u32 backoff = 0;   //!< RTO exponent since last progress
+        bool rto_armed = false;
+        des::EventId rto_event = 0;
     };
 
     struct PendingCqe
@@ -271,11 +355,22 @@ class RdmaNic
     void sendAt(u32 dst_nic, Nanos when, WireMsg msg);
     Nanos wireArrival(Nanos from, u32 payload_bytes) const;
 
+    // Reliability layer (device-side; no-ops while rel_ is off).
+    void armRto(u32 qp);
+    void disarmRto(u32 qp);
+    void onRto(u32 qp);
+    void retransmit(u32 qp);
+    bool hasUnacked(const Qp &q, Nanos *oldest_tx) const;
+    void enterError(u32 qp, const char *reason, bool notify_peer);
+    void finishErrorRecovery(u32 qp);
+
     // Wire handlers, split by which side of the QP they run on.
     void onConnect(const WireMsg &msg);
     void onAcceptReject(const WireMsg &msg);
     void onDataAccess(const WireMsg &msg);
     void onCompletionMsg(const WireMsg &msg);
+    void onNakSeq(const WireMsg &msg);
+    void onQpErrorMsg(const WireMsg &msg);
     void onClose(const WireMsg &msg);
     void onCloseAck(const WireMsg &msg);
 
@@ -288,6 +383,8 @@ class RdmaNic
     u32 nic_id_;
     SendFn send_;
     CompletionCb on_completion_;
+    QpErrorCb on_qp_error_;
+    ReliabilityConfig rel_;
 
     std::vector<Qp> qps_;
     std::vector<u32> free_slots_; //!< pop_back yields lowest index
@@ -300,6 +397,7 @@ class RdmaNic
     u64 established_ = 0;
     u64 inflight_total_ = 0;
     RdmaStats stats_;
+    std::vector<Nanos> op_latencies_;
 };
 
 } // namespace rio::rdma

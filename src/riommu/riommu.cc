@@ -289,6 +289,7 @@ Riommu::translate(Bdf bdf, RIova iova, Access access, u64 len)
             static_cast<Cycles>(s2_refs) * cost_.hw_walk_level;
     }
     out.pa = page_pa + iova.offset();
+    walk_mem_refs_ += static_cast<u64>(out.mem_refs);
     return out;
 }
 

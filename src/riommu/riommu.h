@@ -139,6 +139,11 @@ class Riommu
     Riotlb &riotlb() { return riotlb_; }
     const Riotlb &riotlb() const { return riotlb_; }
 
+    /** Combined memory references paid by rIOTLB-miss walks (stage-1
+     * rPTE fetches + stage-2, summed over the run) — the huge-page
+     * stage-2 ablation's counterpart to Iommu::walkMemRefs(). */
+    u64 walkMemRefs() const { return walk_mem_refs_; }
+
     bool prefetchEnabled() const { return prefetch_enabled_; }
     void setPrefetchEnabled(bool on) { prefetch_enabled_ = on; }
 
@@ -237,6 +242,7 @@ class Riommu
     std::unordered_map<u32, iommu::FaultRecord> ring_faults_;
     RdCacheConfig rdcache_cfg_;
     RdCacheStats rdcache_stats_;
+    u64 walk_mem_refs_ = 0;
     /** Direct-mapped hot-tier tags, tag+1 per slot (0 = empty). */
     std::vector<u32> rdcache_tags_;
 };

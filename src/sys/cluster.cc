@@ -8,6 +8,9 @@ Cluster::Cluster(const ClusterConfig &cfg)
     : cfg_(cfg), engine_(cfg.threads)
 {
     RIO_ASSERT(cfg_.machines >= 1, "empty cluster");
+    RIO_ASSERT(!cfg_.wire.armed() || cfg_.reliability.enabled,
+               "hostile wire without the reliability layer would stall "
+               "the closed loop forever");
     // Conservative lookahead: every wire crossing pays at least
     // wire_ns beyond the sender's now, so this is a valid lower bound
     // (serialization only adds). Must precede the first sendTo.
@@ -32,12 +35,37 @@ Cluster::Cluster(const ClusterConfig &cfg)
         nics_.push_back(std::make_unique<rdma::RdmaNic>(
             lane.sim(), mach.core(0), mach.ctx().memory(), handle,
             cfg_.profile, cfg_.max_qps, m));
+        nics_.back()->setReliability(cfg_.reliability);
+    }
+    // Hostile wire, when armed: each machine owns an ingress port
+    // living on its *own* lane — faults and congestion are decided in
+    // the destination lane's deterministic mail-drain order.
+    if (cfg_.wire.armed()) {
+        ports_.reserve(cfg_.machines);
+        for (unsigned m = 0; m < cfg_.machines; ++m)
+            ports_.push_back(std::make_unique<WirePort>(
+                engine_.lane(m).sim(), cfg_.wire, *nics_[m], m));
     }
     // The wire: a send from NIC i lands in lane(dst) at the
     // pre-computed arrival time. The target NIC is touched only from
     // its own lane's callbacks — the ParallelEngine handoff contract.
+    // Unarmed, the hook is byte-identical to the lossless wire.
     for (unsigned m = 0; m < cfg_.machines; ++m) {
         rdma::RdmaNic *src = nics_[m].get();
+        if (cfg_.wire.armed()) {
+            src->setSendFn(
+                [this, m](u32 dst, Nanos when, rdma::WireMsg msg) {
+                    RIO_ASSERT(dst < machines_.size(),
+                               "send to unknown machine");
+                    WirePort *port = ports_[dst].get();
+                    engine_.lane(m).sendTo(
+                        engine_.lane(dst), when,
+                        [port, msg = std::move(msg)]() mutable {
+                            port->deliver(std::move(msg));
+                        });
+                });
+            continue;
+        }
         src->setSendFn([this, m](u32 dst, Nanos when, rdma::WireMsg msg) {
             RIO_ASSERT(dst < machines_.size(), "send to unknown machine");
             rdma::RdmaNic *target = nics_[dst].get();

@@ -26,6 +26,7 @@
 #include "dma/dma_context.h"
 #include "rdma/rdma.h"
 #include "sys/machine.h"
+#include "sys/wire.h"
 
 namespace rio::sys {
 
@@ -49,6 +50,14 @@ struct ClusterConfig
     /** Deterministic DMA fault injection on every handle (0 = off). */
     double fault_rate = 0.0;
     u64 fault_seed = 1;
+
+    /** Hostile-wire faults/congestion (defaults inert; see wire.h).
+     * Arming any knob requires reliability.enabled — a drop with no
+     * retransmit layer stalls the closed-loop workload forever. */
+    WireFaultConfig wire;
+
+    /** RoCE-style retransmit/RTO/QP-error layer (default off). */
+    rdma::ReliabilityConfig reliability;
 };
 
 /** N machines on a wire; see file header. */
@@ -96,12 +105,23 @@ class Cluster
         return sum;
     }
 
+    /** Sum of a wire-port stat over all machines (0 when unarmed). */
+    u64
+    wireTotal(u64 WireStats::*field) const
+    {
+        u64 sum = 0;
+        for (const auto &port : ports_)
+            sum += port->stats().*field;
+        return sum;
+    }
+
   private:
     ClusterConfig cfg_;
     des::ParallelEngine engine_;
     std::vector<std::unique_ptr<Machine>> machines_;
     std::vector<dma::DmaHandle *> handles_; //!< owned by the machines
     std::vector<std::unique_ptr<rdma::RdmaNic>> nics_;
+    std::vector<std::unique_ptr<WirePort>> ports_; //!< armed wire only
 };
 
 } // namespace rio::sys

@@ -211,7 +211,14 @@ Guest::deviceTranslate(PhysAddr gpa, int *mem_refs)
         // Lazy EPT-style fill: first touch of a guest frame installs
         // the identity GPA->HPA mapping. Hypervisor work, uncharged;
         // after the fill the walk always runs the full hierarchy.
-        Status st = stage2_.map(gfn, gfn, iommu::DmaDir::kBidir);
+        // With huge stage-2, one 2 MB leaf covers the whole aligned
+        // region and walks stop a level early.
+        Status st =
+            huge_stage2_
+                ? stage2_.mapHuge(gfn & ~(iommu::IoPageTable::kHugePfns - 1),
+                                  gfn & ~(iommu::IoPageTable::kHugePfns - 1),
+                                  iommu::DmaDir::kBidir)
+                : stage2_.map(gfn, gfn, iommu::DmaDir::kBidir);
         RIO_ASSERT(st, "stage-2 fill failed");
         ++stage2_fills_;
         levels = 0;
@@ -220,7 +227,11 @@ Guest::deviceTranslate(PhysAddr gpa, int *mem_refs)
     }
     if (mem_refs)
         *mem_refs += levels;
-    return pte.value().addr() | (gpa & kPageMask);
+    const u64 offset_mask =
+        pte.value().huge()
+            ? (iommu::IoPageTable::kHugePfns << kPageShift) - 1
+            : kPageMask;
+    return pte.value().addr() | (gpa & offset_mask);
 }
 
 const iommu::IoPageTable *

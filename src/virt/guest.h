@@ -78,6 +78,15 @@ class Guest final : public iommu::VirtStage2
     iommu::IoPageTable &stage2() { return stage2_; }
 
     /**
+     * Back guest memory with 2 MB stage-2 leaves: lazy fills install
+     * one huge identity mapping per 2 MB region, so each stage-2
+     * resolution in the nested 2-D walk reads 3 tables instead of 4
+     * (radix nested miss 24 -> 19 combined refs, rIOMMU 5 -> 4).
+     * Flip before traffic; mixing granularities is not modeled.
+     */
+    void setHugeStage2(bool huge) { huge_stage2_ = huge; }
+
+    /**
      * The hypervisor's merged shadow radix table for NIC @p i, or
      * null (non-shadow strategy, or an rIOMMU/passthrough handle
      * whose shadow is not a radix table).
@@ -96,6 +105,7 @@ class Guest final : public iommu::VirtStage2
     std::vector<std::unique_ptr<TrapBinding>> bindings_;
     u64 stage2_fills_ = 0;
     u64 hypercalls_ = 0;
+    bool huge_stage2_ = false;
 };
 
 } // namespace rio::virt

@@ -153,6 +153,18 @@ struct MachineDriver
             return;
         const u32 pick =
             static_cast<u32>(rng.below(my_qps.size()));
+        if (p->churn_abort_fraction > 0.0 &&
+            rng.chance(p->churn_abort_fraction)) {
+            // App death: no drain, no handshake. Zipf-picked so the
+            // abort lands where the traffic is — a busy QP strands
+            // its in-flight data, which then arrives late at a dead
+            // slot. onQpError() takes the slot out of my_qps and
+            // applies the reconnect policy.
+            const u32 hot = conn_zipf->sample(rng) %
+                            static_cast<u32>(my_qps.size());
+            nic().abortQp(my_qps[hot]);
+            return;
+        }
         const u32 qp = my_qps[pick];
         const u32 peer = nic().peerNic(qp);
         my_qps.erase(my_qps.begin() + pick);
@@ -167,6 +179,27 @@ struct MachineDriver
         });
         if (!s)
             churning = false; // raced with a fault-injected close
+    }
+
+    /** Driver half of QP error recovery: the NIC has already flushed
+     * the slot's ops as error CQEs and freed the QP; decide whether
+     * to dial the peer again. Responder-side slots (not in my_qps)
+     * are left to the initiating machine's policy. */
+    void
+    onQpError(u32 qp, u32 peer)
+    {
+        const auto it = std::find(my_qps.begin(), my_qps.end(), qp);
+        // A churn teardown that died mid-close never fires its
+        // ClosedCb; release the lever so churn can't wedge.
+        churning = false;
+        if (it == my_qps.end())
+            return;
+        my_qps.erase(it);
+        p0_qps.erase(std::remove(p0_qps.begin(), p0_qps.end(), qp),
+                     p0_qps.end());
+        if (p->qp_error_policy == FleetParams::QpErrorPolicy::kReconnect &&
+            !done)
+            initiateConnect(peer);
     }
 
     void
@@ -244,6 +277,9 @@ runFleet(sys::Cluster &cluster, const FleetParams &params)
             [drv](u32 qp, u32 wqe, bool ok) {
                 drv->onCompletion(qp, wqe, ok);
             });
+        drv->nic().setQpErrorCallback([drv](u32 qp, u32 peer) {
+            drv->onQpError(qp, peer);
+        });
         drv->core().post([drv] { drv->startConnects(); });
     }
     cluster.run();
@@ -271,6 +307,34 @@ runFleet(sys::Cluster &cluster, const FleetParams &params)
     if (rep.eob_unmaps > 0)
         rep.avg_burst = static_cast<double>(rep.completions) /
                         static_cast<double>(rep.eob_unmaps);
+
+    rep.retransmits = cluster.total(&RS::retransmits);
+    rep.rto_fires = cluster.total(&RS::rto_fires);
+    rep.nak_seq = cluster.total(&RS::nak_seq_recv);
+    rep.qp_errors = cluster.total(&RS::qp_errors);
+    rep.qp_error_recovered = cluster.total(&RS::qp_error_recovered);
+    rep.late_arrivals = cluster.total(&RS::late_arrivals);
+    rep.late_faulted = cluster.total(&RS::late_faulted);
+    rep.late_landed = cluster.total(&RS::late_landed);
+
+    using WS = sys::WireStats;
+    rep.wire_drops = cluster.wireTotal(&WS::drops);
+    rep.wire_dups = cluster.wireTotal(&WS::dups);
+    rep.wire_delays = cluster.wireTotal(&WS::delays);
+    rep.wire_congestion_drops = cluster.wireTotal(&WS::congestion_drops);
+    rep.wire_peak_queue = cluster.wireTotal(&WS::peak_queue);
+
+    std::vector<Nanos> lat;
+    for (unsigned m = 0; m < cluster.size(); ++m) {
+        const auto &l = cluster.nic(m).opLatencies();
+        lat.insert(lat.end(), l.begin(), l.end());
+        rep.end_ns = std::max(rep.end_ns, cluster.lane(m).sim().now());
+    }
+    if (!lat.empty()) {
+        std::sort(lat.begin(), lat.end());
+        rep.p50_latency_ns = lat[lat.size() / 2];
+        rep.p99_latency_ns = lat[lat.size() * 99 / 100];
+    }
 
     if (dma::modeUsesRiommu(cluster.config().mode)) {
         for (unsigned m = 0; m < cluster.size(); ++m) {

@@ -59,6 +59,17 @@ struct FleetParams
      * reconnect it (0 = off) — the fuzz campaign's lifecycle lever. */
     u32 churn_period_ops = 0;
 
+    /** Fraction of churn events that hard-abort the QP (app death:
+     * RdmaNic::abortQp) instead of draining gracefully. Aborted QPs
+     * strand their in-flight data on the wire — the bulk source of
+     * late arrivals at a dead QP. Needs the reliability layer. */
+    double churn_abort_fraction = 0.0;
+
+    /** Driver policy when a QP blows its retry budget (hostile wire
+     * only; errors cannot happen on the lossless wire). */
+    enum class QpErrorPolicy { kAbort, kReconnect };
+    QpErrorPolicy qp_error_policy = QpErrorPolicy::kReconnect;
+
     u64 seed = 1;
 };
 
@@ -88,6 +99,29 @@ struct FleetReport
 
     riommu::RiotlbStats riotlb;   //!< summed (riommu modes only)
     riommu::RdCacheStats rdcache; //!< summed (riommu modes only)
+
+    /** Reliability-layer counters (all zero on a lossless wire). */
+    u64 retransmits = 0;
+    u64 rto_fires = 0;
+    u64 nak_seq = 0; //!< sequence NAKs received by requesters
+    u64 qp_errors = 0;
+    u64 qp_error_recovered = 0;
+    u64 late_arrivals = 0; //!< data for a dead/rebound QP
+    u64 late_faulted = 0;  //!< ... stopped by the target IOMMU
+    u64 late_landed = 0;   //!< ... that wrote memory (stale window)
+
+    /** Hostile-wire port counters (all zero when the wire is unarmed). */
+    u64 wire_drops = 0;
+    u64 wire_dups = 0;
+    u64 wire_delays = 0;
+    u64 wire_congestion_drops = 0;
+    u64 wire_peak_queue = 0;
+
+    /** Op latency distribution (post → CQE, every completed op). */
+    Nanos p50_latency_ns = 0;
+    Nanos p99_latency_ns = 0;
+
+    Nanos end_ns = 0; //!< virtual time when the cluster went idle
 
     bool leaks_clean = true; //!< post-quiesce audit of every machine
 };

@@ -54,6 +54,13 @@ struct RunResult
     /** vmexits the measured core took inside the window (zero on
      * bare metal; boot-time hypercalls precede the window). */
     u64 vm_exits = 0;
+
+    /** (r)IOTLB-miss walks over the whole run and the combined
+     * stage-1 + stage-2 memory references they cost — device-side
+     * latency (uncharged to the core), the huge-page stage-2
+     * ablation's metric. */
+    u64 walks = 0;
+    u64 walk_mem_refs = 0;
 };
 
 /** a - b, field-wise, for NIC counter windows. */

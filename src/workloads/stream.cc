@@ -175,8 +175,11 @@ struct StreamRun::Impl
     void
     setup()
     {
-        if (params.platform != virt::Platform::kBare)
+        if (params.platform != virt::Platform::kBare) {
             guest.emplace(m, params.platform);
+            if (params.huge_stage2)
+                guest->setHugeStage2(true);
+        }
         m.bringUp();
         if (params.fault_rate > 0) {
             m.setFaultPolicy(params.fault_policy);
@@ -243,6 +246,12 @@ struct StreamRun::Impl
         r.replugs = m.lifecycleStats().replugs;
         r.detach_faults = m.detachFaultCount();
         r.vm_exits = r.acct.ops(cycles::Cat::kVirt);
+        // One of the two is always zero: modes use either the radix
+        // IOMMU or the rIOMMU, never both.
+        r.walks = m.ctx().iommu().walkCount() +
+                  m.ctx().riommu().riotlb().stats().walks;
+        r.walk_mem_refs = m.ctx().iommu().walkMemRefs() +
+                          m.ctx().riommu().walkMemRefs();
         return r;
     }
 };

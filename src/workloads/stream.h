@@ -67,6 +67,10 @@ struct StreamParams
      * and init-time traps land outside the measurement window.
      */
     virt::Platform platform = virt::Platform::kBare;
+
+    /** Back guest memory with 2 MB stage-2 leaves (nested ablation;
+     * ignored on bare metal). */
+    bool huge_stage2 = false;
 };
 
 /** Calibrated parameters for a NIC profile (see workloads/calibrate.cc). */

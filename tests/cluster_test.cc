@@ -216,6 +216,122 @@ TEST(Cluster, SlotExhaustionRejects)
     EXPECT_TRUE(cluster.checkLeaks(1).clean());
 }
 
+/** The hostile-wire headline, pinned deterministically per mode: a
+ * delayed duplicate of an already-acked write arrives after its QP
+ * was torn down (rings unmapped). The protecting modes must stop it
+ * at the target-side IOMMU — a FaultRecord, no memory write. The
+ * defer modes instead expose their stale window: the revoked
+ * translation is still cached until the batched flush, so the stray
+ * lands; once the flush runs, a second copy faults like the rest.
+ * Mode none has no fault machinery — the stray always lands. */
+TEST(Cluster, LateArrivalAfterTeardown)
+{
+    for (ProtectionMode mode : dma::kEvaluatedModes) {
+        SCOPED_TRACE(dma::modeName(mode));
+        sys::ClusterConfig cfg = smallConfig(mode);
+        cfg.reliability.enabled = true; // late detection needs PSN state
+        sys::Cluster cluster(cfg);
+        cluster.bringUp();
+        auto res = cluster.nic(0).connect(1, nullptr);
+        ASSERT_TRUE(res.isOk());
+        const u32 qp = res.value();
+        cluster.run();
+
+        // A legit write first: it warms the target translation (the
+        // defer window needs a cached IOTLB entry) and supplies the
+        // PSN/rkey the wire duplicate will replay.
+        const u32 len = 256;
+        std::vector<u8> pattern(len);
+        for (u32 i = 0; i < len; ++i)
+            pattern[i] = static_cast<u8>(i ^ 0x5A);
+        cluster.machine(0).ctx().memory().write(
+            cluster.nic(0).srcBuffer(qp), pattern.data(), len);
+        bool ok = false;
+        cluster.nic(0).setCompletionCallback(
+            [&](u32, u32, bool good) { ok = good; });
+        ASSERT_TRUE(cluster.nic(0).postWrite(qp, len, 0));
+        cluster.run();
+        ASSERT_TRUE(ok);
+
+        // Capture the packet's wire-visible identity before teardown
+        // wipes the slot.
+        const u32 peer = cluster.nic(0).peerQp(qp);
+        const u64 stale_rkey = cluster.nic(1).mrDeviceAddr(peer);
+        const PhysAddr mr_pa = cluster.nic(1).mrBuffer(peer);
+
+        ASSERT_TRUE(cluster.nic(0).teardown(qp, nullptr).isOk());
+        cluster.run();
+        ASSERT_EQ(cluster.nic(1).establishedQps(), 0u);
+
+        // Zero the old MR so a landing is unambiguous.
+        std::vector<u8> zeros(len, 0);
+        cluster.machine(1).ctx().memory().write(mr_pa, zeros.data(),
+                                                len);
+
+        auto strayWrite = [&](u8 fill) {
+            rdma::WireMsg m;
+            m.kind = rdma::MsgKind::kWrite;
+            m.src_nic = 0;
+            m.src_qp = qp;
+            m.dst_qp = peer;
+            m.wqe = 0;
+            m.psn = 0; // the acked write's original sequence number
+            m.rkey = stale_rkey;
+            m.offset = 0;
+            m.len = len;
+            m.payload.assign(len, fill);
+            return m;
+        };
+        auto faultRecords = [&] {
+            return cluster.machine(1).ctx().iommu().faults().size() +
+                   cluster.machine(1).ctx().riommu().faults().size();
+        };
+
+        const size_t faults_before = faultRecords();
+        cluster.nic(1).fromWire(strayWrite(0xEE));
+        cluster.run(); // drain the ack/nak back to the dead requester
+
+        EXPECT_EQ(cluster.nic(1).stats().late_arrivals, 1u);
+        std::vector<u8> got(len);
+        cluster.machine(1).ctx().memory().read(mr_pa, got.data(), len);
+        const std::vector<u8> landed(len, 0xEE);
+
+        if (mode == ProtectionMode::kNone) {
+            EXPECT_EQ(cluster.nic(1).stats().late_landed, 1u);
+            EXPECT_EQ(cluster.nic(1).stats().late_faulted, 0u);
+            EXPECT_EQ(got, landed); // nothing there to stop it
+            EXPECT_EQ(faultRecords(), faults_before);
+        } else if (mode == ProtectionMode::kDefer ||
+                   mode == ProtectionMode::kDeferPlus) {
+            // The stale window, caught red-handed: the PTE is gone
+            // but the IOTLB entry survives until the batched flush.
+            EXPECT_EQ(cluster.nic(1).stats().late_landed, 1u);
+            EXPECT_EQ(got, landed);
+            // Once the deferred flush finally runs, a second copy of
+            // the same stray faults like the strict modes.
+            cluster.machine(1).ctx().iommu().flushIotlb();
+            cluster.nic(1).fromWire(strayWrite(0xDD));
+            cluster.run();
+            EXPECT_EQ(cluster.nic(1).stats().late_faulted, 1u);
+            EXPECT_EQ(cluster.nic(1).stats().late_landed, 1u);
+            cluster.machine(1).ctx().memory().read(mr_pa, got.data(),
+                                                   len);
+            EXPECT_EQ(got, landed); // 0xDD never hit memory
+            EXPECT_GT(faultRecords(), faults_before);
+        } else {
+            // strict / strict+ / riommu- / riommu: no stale window.
+            EXPECT_EQ(cluster.nic(1).stats().late_faulted, 1u);
+            EXPECT_EQ(cluster.nic(1).stats().late_landed, 0u);
+            EXPECT_EQ(got, zeros); // memory untouched
+            EXPECT_GT(faultRecords(), faults_before);
+        }
+
+        cluster.quiesce();
+        EXPECT_TRUE(cluster.checkLeaks(0).clean());
+        EXPECT_TRUE(cluster.checkLeaks(1).clean());
+    }
+}
+
 /** Fleet smoke across all 7 evaluated modes: traffic flows, no
  * errors, and the post-quiesce audit is clean everywhere. */
 TEST(Fleet, SmokeAllModes)

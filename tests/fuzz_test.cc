@@ -824,6 +824,149 @@ INSTANTIATE_TEST_SUITE_P(
         return name + "_s" + std::to_string(info.param.seed);
     });
 
+/**
+ * WireFuzz: the ClusterFuzz campaign on a hostile wire — seeded
+ * drop/dup/delay injection, bounded ingress ports under incast,
+ * hard-abort churn (app death stranding in-flight data), and the
+ * RoCE-style reliability layer recovering behind it all. Same
+ * determinism contract: each campaign runs on 1 and 3 worker threads
+ * and the reports must agree field for field, now including the
+ * retransmit/RTO/QP-error and late-arrival counters. Invariants on
+ * top: CQE conservation survives loss (every post completes, ok or
+ * error), the non-deferring modes leave no stale window
+ * (late_landed == 0), and quiesce is leak-free on every machine.
+ * RIO_WIRE_EXTRA_SEEDS appends seeds (the wire CI soak).
+ */
+std::vector<ClusterFuzzParam>
+wireFuzzParams()
+{
+    std::vector<u64> seeds = {7, 31, 502};
+    appendExtraSeeds(seeds, "RIO_WIRE_EXTRA_SEEDS");
+    // One radix mode, one deferring mode (the stale-window side of
+    // the late-arrival ledger), one rIOMMU mode.
+    const std::array<dma::ProtectionMode, 3> modes = {
+        dma::ProtectionMode::kStrict, dma::ProtectionMode::kDeferPlus,
+        dma::ProtectionMode::kRiommu};
+    std::vector<ClusterFuzzParam> params;
+    for (dma::ProtectionMode mode : modes)
+        for (u64 seed : seeds)
+            params.push_back({mode, seed});
+    return params;
+}
+
+/** Derive the storm shape from @p seed (identically for any
+ * @p threads) and run it. */
+workloads::FleetReport
+runWireCampaign(dma::ProtectionMode mode, u64 seed, unsigned threads)
+{
+    Rng shape(seed * 0x9E3779B97F4A7C15ULL + 3);
+    workloads::FleetParams p;
+    p.connections = static_cast<u32>(8u << shape.below(3)); // 8..32
+    p.credits = static_cast<u32>(shape.range(4, 12));
+    p.warmup_ops = 50;
+    p.measure_ops = 300;
+    p.incast_period_ops = static_cast<u32>(shape.range(20, 50));
+    p.incast_burst = static_cast<u32>(shape.range(2, 5));
+    p.churn_period_ops = static_cast<u32>(shape.range(25, 75));
+    p.churn_abort_fraction = shape.chance(0.5) ? 0.5 : 0.0;
+    p.seed = seed * 131 + 5;
+
+    sys::ClusterConfig cfg;
+    cfg.machines = static_cast<unsigned>(shape.range(2, 3));
+    cfg.threads = threads;
+    cfg.mode = mode;
+    cfg.max_qps = workloads::fleetMaxQps(p, cfg.machines);
+    const double loss =
+        0.01 * static_cast<double>(shape.range(1, 5)); // 1%..5%
+    cfg.wire.drop_rate = loss;
+    cfg.wire.dup_rate = std::min(0.25, 3 * loss);
+    cfg.wire.delay_rate = std::min(0.5, 10 * loss);
+    cfg.wire.delay_max_ns = 20000 + 10000 * shape.below(5);
+    if (shape.chance(0.5))
+        cfg.wire.ingress_cap = static_cast<u32>(shape.range(8, 24));
+    cfg.reliability.enabled = true;
+
+    sys::Cluster cluster(cfg);
+    return workloads::runFleet(cluster, p);
+}
+
+class WireFuzz : public ::testing::TestWithParam<ClusterFuzzParam>
+{
+};
+
+TEST_P(WireFuzz, LossyFabricAgreesAcrossThreadCounts)
+{
+    const auto [mode, seed] = GetParam();
+    const workloads::FleetReport r1 = runWireCampaign(mode, seed, 1);
+    const workloads::FleetReport r3 = runWireCampaign(mode, seed, 3);
+
+    EXPECT_TRUE(r1.leaks_clean);
+    EXPECT_TRUE(r3.leaks_clean);
+
+    // Conservation under loss: a dropped packet either recovers by
+    // retransmit or flushes as an error CQE — no post may vanish.
+    EXPECT_EQ(r1.completions, r1.posts);
+    EXPECT_EQ(r3.completions, r3.posts);
+
+    // The storm actually stormed, and the recovery machinery ran.
+    EXPECT_GT(r1.measured_ops, 0u);
+    EXPECT_GT(r1.wire_drops, 0u);
+    EXPECT_GT(r1.retransmits, 0u);
+
+    // The protection claim, tiered. The deferring mode leaves its
+    // stale-translation window open (batched flush). strict closes
+    // that window but stays exposed to IOVA *reuse*: under churn the
+    // freed range can be re-allocated to a live mapping, and a stale
+    // rkey then translates — and lands — through it. Only the
+    // ring-coded rIOVAs close both windows structurally: a recycled
+    // QP slot regenerates the identical address (a matching rkey IS
+    // the current translation), and a non-matching one can belong to
+    // no other ring — it faults.
+    if (dma::modeUsesRiommu(mode)) {
+        EXPECT_EQ(r1.late_landed, 0u);
+        EXPECT_EQ(r3.late_landed, 0u);
+    }
+
+    // Thread-count invariance, field for field — now including the
+    // reliability and wire-port counters.
+    EXPECT_EQ(r1.measured_ops, r3.measured_ops);
+    EXPECT_EQ(r1.total_ops, r3.total_ops);
+    EXPECT_EQ(r1.measured_cycles, r3.measured_cycles);
+    EXPECT_DOUBLE_EQ(r1.cycles_per_op, r3.cycles_per_op);
+    EXPECT_EQ(r1.posts, r3.posts);
+    EXPECT_EQ(r1.posts_blocked, r3.posts_blocked);
+    EXPECT_EQ(r1.completions, r3.completions);
+    EXPECT_EQ(r1.comp_errors, r3.comp_errors);
+    EXPECT_EQ(r1.connects, r3.connects);
+    EXPECT_EQ(r1.teardowns, r3.teardowns);
+    EXPECT_EQ(r1.retransmits, r3.retransmits);
+    EXPECT_EQ(r1.rto_fires, r3.rto_fires);
+    EXPECT_EQ(r1.nak_seq, r3.nak_seq);
+    EXPECT_EQ(r1.qp_errors, r3.qp_errors);
+    EXPECT_EQ(r1.qp_error_recovered, r3.qp_error_recovered);
+    EXPECT_EQ(r1.late_arrivals, r3.late_arrivals);
+    EXPECT_EQ(r1.late_faulted, r3.late_faulted);
+    EXPECT_EQ(r1.late_landed, r3.late_landed);
+    EXPECT_EQ(r1.wire_drops, r3.wire_drops);
+    EXPECT_EQ(r1.wire_dups, r3.wire_dups);
+    EXPECT_EQ(r1.wire_delays, r3.wire_delays);
+    EXPECT_EQ(r1.wire_congestion_drops, r3.wire_congestion_drops);
+    EXPECT_EQ(r1.wire_peak_queue, r3.wire_peak_queue);
+    EXPECT_EQ(r1.p50_latency_ns, r3.p50_latency_ns);
+    EXPECT_EQ(r1.p99_latency_ns, r3.p99_latency_ns);
+    EXPECT_EQ(r1.end_ns, r3.end_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, WireFuzz, ::testing::ValuesIn(wireFuzzParams()),
+    [](const ::testing::TestParamInfo<ClusterFuzzParam> &info) {
+        std::string name = dma::modeName(info.param.mode);
+        for (char &c : name)
+            if (c == '-' || c == '+')
+                c = '_';
+        return name + "_s" + std::to_string(info.param.seed);
+    });
+
 // ---- overflow under pressure ---------------------------------------------------
 
 TEST(RiommuFuzzEdge, FullRingAlwaysOverflowsNeverCorrupts)

@@ -181,6 +181,60 @@ TEST(VirtNestedWalk, RiommuFlatMissCostsAtMostFiveReferences)
     ASSERT_TRUE(m.handle().unmap(mapping.value(), true).isOk());
 }
 
+TEST(VirtNestedWalk, HugeStage2CutsRadixMissTo19CombinedReferences)
+{
+    des::Simulator sim;
+    sys::Machine m(sim, ProtectionMode::kStrict, testProfile());
+    virt::Guest guest(m, Platform::kNested);
+    guest.setHugeStage2(true);
+
+    const PhysAddr buf = m.ctx().memory().allocFrame();
+    auto mapping = m.handle().map(0, buf, 1000, DmaDir::kBidir);
+    ASSERT_TRUE(mapping.isOk());
+
+    auto tr = m.ctx().iommu().translate(
+        m.handle().bdf(), mapping.value().device_addr, Access::kRead);
+    ASSERT_TRUE(tr.isOk());
+    EXPECT_FALSE(tr.value().iotlb_hit);
+    EXPECT_EQ(tr.value().walk_levels, 4);
+    // 2 MB stage-2 leaves stop every stage-2 resolution one level
+    // early: 4 guest levels x (3 stage-2 refs + the table read) + 3
+    // stage-2 refs for the data page = 19 (vs 24 with 4K stage-2).
+    EXPECT_EQ(tr.value().mem_refs, 19);
+    // Identity stage-2 even through a huge leaf: 2 MB offset
+    // composition must reproduce the bare physical address.
+    EXPECT_EQ(tr.value().pa,
+              buf + (mapping.value().device_addr & kPageMask));
+    EXPECT_GT(guest.stage2().hugeMappings(), 0u);
+
+    ASSERT_TRUE(m.handle().unmap(mapping.value(), true).isOk());
+}
+
+TEST(VirtNestedWalk, HugeStage2CutsRiommuFlatMissToFourReferences)
+{
+    des::Simulator sim;
+    sys::Machine m(sim, ProtectionMode::kRiommu, testProfile());
+    virt::Guest guest(m, Platform::kNested);
+    guest.setHugeStage2(true);
+
+    const PhysAddr buf = m.ctx().memory().allocFrame();
+    auto mapping = m.handle().map(0, buf, 1000, DmaDir::kBidir);
+    ASSERT_TRUE(mapping.isOk());
+
+    auto tr = m.ctx().riommu().translate(
+        m.handle().bdf(), riommu::RIova{mapping.value().device_addr},
+        Access::kRead, 1);
+    ASSERT_TRUE(tr.isOk());
+    EXPECT_FALSE(tr.value().riotlb_hit);
+    // 1 rPTE fetch + 3 stage-2 refs for the data page = 4: a nested
+    // rIOMMU miss now costs the same as a *bare* radix miss.
+    EXPECT_EQ(tr.value().mem_refs, 4);
+    EXPECT_EQ(tr.value().pa, buf);
+
+    (void)guest;
+    ASSERT_TRUE(m.handle().unmap(mapping.value(), true).isOk());
+}
+
 TEST(VirtNestedWalk, BareWalkIsOneReferencePerLevelAndChargesNoVirt)
 {
     des::Simulator sim;
