@@ -19,6 +19,7 @@
 #include "base/table.h"
 #include "dma/protection_mode.h"
 #include "nic/profile.h"
+#include "obs/slo.h"
 #include "obs/timeline.h"
 #include "workloads/netperf_rr.h"
 #include "workloads/request_load.h"
@@ -80,6 +81,10 @@ struct BenchArgs
      * record the flag in their JSON and ignore it.
      */
     unsigned threads = 1;
+    /** --slo: turn on exact per-op tail recording (obs::SloReport). */
+    bool slo = false;
+    /** --timeline-cap N: per-track event-ring capacity override. */
+    size_t timeline_cap = 0;
 };
 
 /**
@@ -87,21 +92,29 @@ struct BenchArgs
  * --cores are parsed by the bench itself and ignored here). Passing
  * --timeline turns the event timeline's recording gate on for the
  * whole run; pair with finishBench() to write the trace at exit.
+ * --slo flips the obs::sloRecording() gate for the whole run.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv)
 {
     benchStartTime(); // anchor host_ms at startup
     BenchArgs args;
-    for (int i = 1; i + 1 < argc; ++i) {
+    for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
-        if (arg == "--json")
-            args.json_path = argv[i + 1];
-        else if (arg == "--timeline")
-            args.timeline_path = argv[i + 1];
-        else if (arg == "--threads")
-            args.threads = std::max(1, std::atoi(argv[i + 1]));
+        if (arg == "--json" && i + 1 < argc)
+            args.json_path = argv[++i];
+        else if (arg == "--timeline" && i + 1 < argc)
+            args.timeline_path = argv[++i];
+        else if (arg == "--threads" && i + 1 < argc)
+            args.threads = std::max(1, std::atoi(argv[++i]));
+        else if (arg == "--timeline-cap" && i + 1 < argc)
+            args.timeline_cap = static_cast<size_t>(
+                std::max(1LL, std::atoll(argv[++i])));
+        else if (arg == "--slo")
+            args.slo = true;
     }
+    if (args.timeline_cap)
+        obs::timeline().setCapacity(args.timeline_cap);
     if (args.timeline_path) {
         if (!obs::kObsCompiled)
             std::fprintf(stderr,
@@ -110,6 +123,8 @@ parseBenchArgs(int argc, char **argv)
                          "the trace will be empty\n");
         obs::timeline().setRecording(true);
     }
+    if (args.slo)
+        obs::setSloRecording(true);
     return args;
 }
 

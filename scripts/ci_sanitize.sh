@@ -55,7 +55,7 @@ cmake -B "$TSAN_DIR" -S . -DRIO_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)" -- \
     parallel_test obs_test des_test spinlock_test magazine_churn_test \
-    bench_selfperf fuzz_test bench_cluster_rdma
+    bench_selfperf fuzz_test bench_cluster_rdma bench_tail_latency
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$TSAN_DIR/tests/parallel_test"
@@ -71,6 +71,11 @@ RIO_BENCH_QUICK=1 "$TSAN_DIR/bench/bench_selfperf" --threads 4 --quick
 "$TSAN_DIR/tests/fuzz_test" --gtest_filter='*ClusterFuzz*'
 RIO_BENCH_QUICK=1 "$TSAN_DIR/bench/bench_cluster_rdma" \
     --connections 64 --quick --threads 4 > /dev/null
+# Exact SLO recording + trace-context propagation across worker
+# threads: per-lane recorders and the TLS trace slot are the new
+# cross-thread surfaces this PR adds.
+RIO_BENCH_QUICK=1 "$TSAN_DIR/bench/bench_tail_latency" \
+    --quick --slo --threads 4 > /dev/null 2>&1
 unset TSAN_OPTIONS
 
 # Observability lane: zero-cost goldens + timeline export validation

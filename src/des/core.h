@@ -105,6 +105,21 @@ class Core
                static_cast<u32>(++span_seq_ & 0xffff);
     }
 
+    /**
+     * Deterministic distributed-trace identity for an op injected on
+     * this core: `(machine << 48) | (core << 40) | seq`, with the
+     * sequence core-confined for the same thread-count-invariance
+     * reason as nextSpanId(). 40 sequence bits never wrap in
+     * practice; trace 0 is reserved for "no trace".
+     */
+    u64
+    nextTraceId()
+    {
+        return (static_cast<u64>(obs_pid_) << 48) |
+               (static_cast<u64>(obs_tid_ & 0xff) << 40) |
+               (++trace_seq_ & 0xffffffffffULL);
+    }
+
     /** Utilization over [t0, t1], given busy cycles at t0. */
     double
     utilization(Nanos t0, Nanos t1, Cycles busy_at_t0) const
@@ -134,6 +149,7 @@ class Core
     u16 obs_pid_ = 0;
     u16 obs_tid_ = 0;
     u32 span_seq_ = 0;
+    u64 trace_seq_ = 0;
 };
 
 } // namespace rio::des

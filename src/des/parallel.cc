@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "obs/trace_ctx.h"
 
 namespace rio::des {
 
@@ -12,8 +13,12 @@ Lane::sendTo(Lane &dst, Nanos when, Simulator::Callback fn)
 {
     RIO_ASSERT(fn, "sending null mail");
     const u64 seq = send_seq_++;
+    // Capture the sender's trace context so the receiving lane's
+    // callback — and every event it emits — attributes to the same
+    // distributed op. Host-side metadata only.
+    const u64 trace = obs::currentTrace();
     std::lock_guard<std::mutex> g(dst.inbox_mu_);
-    dst.inbox_.push_back(Mail{when, id_, seq, std::move(fn)});
+    dst.inbox_.push_back(Mail{when, id_, seq, trace, std::move(fn)});
 }
 
 Nanos
@@ -59,7 +64,17 @@ Lane::drainInbox()
                    "cross-lane message in the past: when=", m.when,
                    " lane now=", sim_.now(),
                    " (wire latency below engine lookahead?)");
-        sim_.scheduleAt(m.when, std::move(m.fn));
+        if (m.trace == 0) {
+            sim_.scheduleAt(m.when, std::move(m.fn));
+        } else {
+            // Re-establish the sender's trace context around the
+            // delivery so cross-lane hops keep the op attribution.
+            sim_.scheduleAt(m.when,
+                            [t = m.trace, fn = std::move(m.fn)]() mutable {
+                                obs::TraceScope scope(t);
+                                fn();
+                            });
+        }
         ++mail_delivered_;
     }
 }

@@ -91,7 +91,8 @@ class Lane
     {
         Nanos when;
         u32 src;
-        u64 seq; //!< sender-assigned, monotone per sender
+        u64 seq;   //!< sender-assigned, monotone per sender
+        u64 trace; //!< sender's trace context, restored at delivery
         Simulator::Callback fn;
     };
 

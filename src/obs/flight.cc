@@ -54,6 +54,8 @@ eventLine(const Event &e)
         s += strprintf(" dur_ns=%llu", (unsigned long long)e.dur_ns);
     if (e.id)
         s += strprintf(" span=%u", e.id);
+    if (e.trace)
+        s += strprintf(" trace=0x%llx", (unsigned long long)e.trace);
     return s;
 }
 
@@ -80,6 +82,13 @@ FlightRecorder::dump(const std::string &reason)
         d.seq = seq;
         d.reason = reason;
         d.text = renderText();
+        // Label the dump with the (machine, lane) of the newest event
+        // so cluster dumps from different machines are attributable.
+        const auto events = ring_.inOrder();
+        if (!events.empty()) {
+            d.pid = events.back().pid;
+            d.tid = events.back().tid;
+        }
         std::fprintf(stderr,
                      "=== flight recorder dump #%llu (%s), last %zu "
                      "events ===\n%s=== end of dump ===\n",

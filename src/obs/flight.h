@@ -24,6 +24,8 @@ namespace rio::obs {
 struct FlightDump
 {
     u64 seq = 0;
+    u16 pid = 0; //!< machine label of the newest ring event (origin)
+    u16 tid = 0; //!< core/lane label of the newest ring event
     std::string reason;
     std::string text; //!< one line per event, oldest first
 };

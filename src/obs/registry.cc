@@ -86,13 +86,29 @@ Histogram::quantileBound(double q) const
     SpinGuard g(lock_);
     if (count_ == 0)
         return 0;
-    const u64 target = static_cast<u64>(
-        q * static_cast<double>(count_) + 0.5);
+    double target = q * static_cast<double>(count_);
+    if (target < 1.0)
+        target = 1.0;
+    if (target > static_cast<double>(count_))
+        target = static_cast<double>(count_);
     u64 seen = 0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (static_cast<double>(seen + buckets_[i]) >= target) {
+            // Linear interpolation within the bucket: assume the
+            // bucket's observations are uniform over (lo, hi].
+            const u64 lo = i == 0 ? 0 : bounds_[i - 1];
+            const u64 hi =
+                i < bounds_.size() ? bounds_[i] : bounds_.back();
+            if (hi <= lo)
+                return hi;
+            const double frac = (target - static_cast<double>(seen)) /
+                                static_cast<double>(buckets_[i]);
+            return lo + static_cast<u64>(
+                            static_cast<double>(hi - lo) * frac + 0.5);
+        }
         seen += buckets_[i];
-        if (seen >= target)
-            return i < bounds_.size() ? bounds_[i] : bounds_.back();
     }
     return bounds_.back();
 }

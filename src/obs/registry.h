@@ -120,9 +120,12 @@ class Histogram
     std::vector<u64> buckets() const;
 
     /**
-     * Upper bound of the bucket holding quantile @p q (0..1], using
-     * the overflow bucket's own bound as "max". Coarse by design —
-     * good enough for "p99 landed in the timeout bucket" assertions.
+     * Estimate of quantile @p q (0..1]: finds the bucket holding the
+     * nearest-rank target and linearly interpolates within it
+     * (observations assumed uniform over the bucket's range; the
+     * overflow bucket collapses to its lower bound, the last finite
+     * bound). Exact when a bucket's range is a single value; for
+     * exact tail order statistics use obs::OpLatencyRecorder.
      */
     u64 quantileBound(double q) const;
 

@@ -1,0 +1,94 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace rio::obs {
+
+namespace {
+
+std::atomic<bool> g_slo_recording{false};
+
+/** Nearest-rank quantile over latencies sorted ascending:
+ * rank = ceil(q * n), clamped to [1, n]; returns sorted[rank-1]. */
+Nanos
+nearestRank(const std::vector<Nanos> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const double n = static_cast<double>(sorted.size());
+    auto rank = static_cast<size_t>(q * n);
+    if (static_cast<double>(rank) < q * n)
+        ++rank; // ceil
+    if (rank < 1)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+bool
+sloRecording()
+{
+    return g_slo_recording.load(std::memory_order_relaxed);
+}
+
+void
+setSloRecording(bool on)
+{
+    g_slo_recording.store(on, std::memory_order_relaxed);
+}
+
+SloReport
+computeSloReport(const std::vector<OpRecord> &records)
+{
+    SloReport rep;
+    rep.count = records.size();
+    if (records.empty())
+        return rep;
+
+    std::vector<Nanos> lat;
+    lat.reserve(records.size());
+    u64 sum = 0;
+    for (const OpRecord &r : records) {
+        lat.push_back(r.latency_ns);
+        sum += r.latency_ns;
+        if (r.error)
+            ++rep.errors;
+        for (size_t c = 0; c < kSloMaxCats; ++c)
+            rep.all_cat_cycles[c] += r.cat_cycles[c];
+    }
+    std::sort(lat.begin(), lat.end());
+
+    rep.p50 = nearestRank(lat, 0.50);
+    rep.p99 = nearestRank(lat, 0.99);
+    rep.p999 = nearestRank(lat, 0.999);
+    rep.max = lat.back();
+    rep.mean_ns = static_cast<double>(sum) / static_cast<double>(records.size());
+
+    // Tail membership is by latency value (>= p99), not by sort
+    // position, so the tail set — and thus the attribution — is
+    // deterministic for any input permutation.
+    for (const OpRecord &r : records) {
+        if (r.latency_ns < rep.p99)
+            continue;
+        ++rep.tail_ops;
+        rep.tail_retransmits += r.retransmits;
+        for (size_t c = 0; c < kSloMaxCats; ++c)
+            rep.tail_cat_cycles[c] += r.cat_cycles[c];
+    }
+
+    u64 tail_total = 0;
+    for (size_t c = 0; c < kSloMaxCats; ++c) {
+        tail_total += rep.tail_cat_cycles[c];
+        if (rep.tail_cat_cycles[c] > rep.tail_cat_cycles[rep.top_cat])
+            rep.top_cat = c;
+    }
+    if (tail_total)
+        rep.top_cat_share = static_cast<double>(rep.tail_cat_cycles[rep.top_cat]) /
+                            static_cast<double>(tail_total);
+    return rep;
+}
+
+} // namespace rio::obs

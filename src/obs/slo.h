@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Exact per-op tail-latency recording and SLO reporting.
+ *
+ * The registry's Histogram answers "which bucket" (now with linear
+ * interpolation), but tail attribution needs *exact* order statistics
+ * plus a per-category cycle breakdown for the ops that actually live
+ * in the tail. This module provides:
+ *
+ *  - OpRecord: one completed op — end-to-end latency, retransmit
+ *    count, error flag, and the op's per-cycles::Cat charge vector.
+ *  - OpLatencyRecorder: a bounded overwrite-free ring of OpRecords
+ *    (drops new records when full, counts the drops — dropping the
+ *    *newest* keeps the retained set deterministic and prefix-stable
+ *    across capacities).
+ *  - computeSloReport(): exact nearest-rank p50/p99/p999/max over a
+ *    set of records, plus "top contributor Cat at p99": among the ops
+ *    at or above the p99 latency, which category burned the most
+ *    cycles.
+ *
+ * Recording is gated by a process-wide flag (`--slo` in benches) so
+ * that the default path stays allocation-free; everything here is
+ * host-side bookkeeping — zero simulated cycles, zero RNG draws.
+ *
+ * Layering note: rio_cycles links rio_obs, so this header must not
+ * include cycles/ headers. kSloMaxCats is a neutral upper bound on
+ * cycles::kNumCats; callers that bridge the two static_assert the
+ * relation (see rdma.cc).
+ */
+#ifndef RIO_OBS_SLO_H
+#define RIO_OBS_SLO_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rio::obs {
+
+/** Upper bound on the number of cycle categories an OpRecord can
+ * carry. Must stay >= cycles::kNumCats (static_asserted where both
+ * headers are visible). */
+inline constexpr size_t kSloMaxCats = 16;
+
+/** One completed op, as seen at its terminal CQE. */
+struct OpRecord
+{
+    Nanos latency_ns = 0;  //!< post → terminal CQE, simulated time
+    u32 retransmits = 0;   //!< go-back-N episodes this op survived
+    bool error = false;    //!< completed with error status (QP flush)
+    std::array<u64, kSloMaxCats> cat_cycles{}; //!< per-cycles::Cat charge
+};
+
+/** Process-wide gate for per-op recording (set by `--slo`). */
+bool sloRecording();
+void setSloRecording(bool on);
+
+/**
+ * Bounded ring of per-op records. Unlike obs::EventRing this does NOT
+ * overwrite: once full, new records are counted as dropped. That
+ * choice makes the retained set a deterministic prefix of the op
+ * stream, so reports are byte-identical across runs regardless of
+ * capacity (an overwriting ring would retain a suffix whose start
+ * depends on total volume).
+ *
+ * Not thread-safe: each recorder belongs to one NIC, which belongs to
+ * one engine lane.
+ */
+class OpLatencyRecorder
+{
+  public:
+    explicit OpLatencyRecorder(size_t capacity = 1u << 16) : capacity_(capacity)
+    {
+    }
+
+    void record(const OpRecord &r)
+    {
+        if (records_.size() >= capacity_) {
+            ++dropped_;
+            return;
+        }
+        records_.push_back(r);
+    }
+
+    const std::vector<OpRecord> &inOrder() const { return records_; }
+    size_t pushed() const { return records_.size() + dropped_; }
+    u64 dropped() const { return dropped_; }
+
+    void clear()
+    {
+        records_.clear();
+        dropped_ = 0;
+    }
+
+  private:
+    size_t capacity_;
+    u64 dropped_ = 0;
+    std::vector<OpRecord> records_;
+};
+
+/**
+ * Exact tail report over a set of OpRecords. Quantiles are
+ * nearest-rank (rank = ceil(q*n), 1-based) over latencies sorted
+ * ascending — exact order statistics, no bucketing.
+ */
+struct SloReport
+{
+    u64 count = 0;   //!< ops in the report
+    u64 dropped = 0; //!< ops lost to recorder capacity (caller-summed)
+    u64 errors = 0;  //!< ops that completed with error status
+
+    Nanos p50 = 0;
+    Nanos p99 = 0;
+    Nanos p999 = 0;
+    Nanos max = 0;
+    double mean_ns = 0.0;
+
+    u64 tail_ops = 0;          //!< ops with latency >= p99
+    u64 tail_retransmits = 0;  //!< retransmit episodes among tail ops
+    std::array<u64, kSloMaxCats> tail_cat_cycles{}; //!< cycles by Cat, tail ops
+    std::array<u64, kSloMaxCats> all_cat_cycles{};  //!< cycles by Cat, all ops
+
+    size_t top_cat = 0;        //!< argmax Cat over tail_cat_cycles
+    double top_cat_share = 0.0; //!< top cat's share of tail cycles [0,1]
+};
+
+/** Build a report from @p records (order irrelevant — membership in
+ * the tail is by latency value, so the result is deterministic for
+ * any permutation of the same multiset). */
+SloReport computeSloReport(const std::vector<OpRecord> &records);
+
+} // namespace rio::obs
+
+#endif // RIO_OBS_SLO_H

@@ -5,6 +5,7 @@
 #include "base/logging.h"
 #include "base/strings.h"
 #include "obs/flight.h"
+#include "obs/trace_ctx.h"
 
 namespace rio::obs {
 
@@ -24,6 +25,12 @@ evName(Ev ev)
       case Ev::kFlightDump: return "flight_dump";
       case Ev::kVmExit: return "vmexit";
       case Ev::kQpError: return "qp_error";
+      case Ev::kOpPost: return "op_post";
+      case Ev::kOpCqe: return "op_cqe";
+      case Ev::kWireTx: return "wire";
+      case Ev::kIngressQ: return "ingress";
+      case Ev::kRetransmit: return "retransmit";
+      case Ev::kTargetWalk: return "target_walk";
       case Ev::kNumEvents: break;
     }
     RIO_PANIC("bad Ev");
@@ -51,15 +58,22 @@ Timeline::emit(const Event &e)
 {
     if (!kObsCompiled)
         return;
-    flightRecorder().record(e);
+    // Auto-attach the thread's current trace context: any event
+    // emitted while a TraceScope is live (a mail delivery, a wire
+    // handler, a replay) becomes a child span of that op without the
+    // emitter knowing about tracing at all.
+    Event rec = e;
+    if (rec.trace == 0)
+        rec.trace = currentTrace();
+    flightRecorder().record(rec);
     if (!recording_.load(std::memory_order_relaxed))
         return;
-    const u32 key = (static_cast<u32>(e.pid) << 16) | e.tid;
+    const u32 key = (static_cast<u32>(rec.pid) << 16) | rec.tid;
     std::lock_guard<std::mutex> g(mu_);
     auto it = rings_.find(key);
     if (it == rings_.end())
         it = rings_.emplace(key, EventRing(capacity_)).first;
-    it->second.push(e);
+    it->second.push(rec);
 }
 
 std::map<u32, std::vector<Event>>
@@ -114,8 +128,26 @@ emitJson(std::FILE *f, bool *first, const std::string &obj)
 std::string
 argsJson(const Event &e)
 {
-    return strprintf("{\"bdf\": %u, \"rid\": %u, \"arg\": %llu}", e.bdf,
-                     e.rid, (unsigned long long)e.arg);
+    std::string out =
+        strprintf("{\"bdf\": %u, \"rid\": %u, \"arg\": %llu", e.bdf,
+                  e.rid, (unsigned long long)e.arg);
+    if (e.arg2)
+        out += strprintf(", \"arg2\": %llu", (unsigned long long)e.arg2);
+    if (e.trace)
+        out += strprintf(", \"trace\": \"0x%llx\"",
+                         (unsigned long long)e.trace);
+    out += "}";
+    return out;
+}
+
+/** Async-nestable id shared by every span of one distributed trace:
+ * same (cat "op", global id) groups post → wire → walk → CQE across
+ * machine tracks into a single stitched tree in Perfetto. */
+std::string
+traceId2(const Event &e)
+{
+    return strprintf("{\"global\": \"0x%llx\"}",
+                     (unsigned long long)e.trace);
 }
 
 } // namespace
@@ -178,6 +210,47 @@ Timeline::writeChromeTrace(const std::string &path) const
                     e.kind == Ev::kQiIssue ? "b" : "e", e.id, end_us,
                     e.pid, e.tid, argsJson(e).c_str());
                 break;
+              case Ev::kOpPost:
+              case Ev::kOpCqe:
+                // Async-nestable op envelope: "b" at injection, "e" at
+                // the terminal CQE, paired by the global trace id so
+                // the envelope stitches across machine tracks.
+                obj = strprintf(
+                    "{\"name\": \"op\", \"cat\": \"op\", \"ph\": "
+                    "\"%s\", \"id2\": %s, \"ts\": %.3f, \"pid\": %u, "
+                    "\"tid\": %u, \"args\": %s}",
+                    e.kind == Ev::kOpPost ? "b" : "e",
+                    traceId2(e).c_str(), end_us, e.pid, e.tid,
+                    argsJson(e).c_str());
+                break;
+              case Ev::kWireTx:
+              case Ev::kIngressQ:
+                // Child spans of the op envelope: emitted as a
+                // begin/end pair under the same global id so they nest
+                // inside the op by timestamp.
+                obj = strprintf(
+                    "{\"name\": \"%s\", \"cat\": \"op\", \"ph\": "
+                    "\"b\", \"id2\": %s, \"ts\": %.3f, \"pid\": %u, "
+                    "\"tid\": %u, \"args\": %s},\n  "
+                    "{\"name\": \"%s\", \"cat\": \"op\", \"ph\": "
+                    "\"e\", \"id2\": %s, \"ts\": %.3f, \"pid\": %u, "
+                    "\"tid\": %u, \"args\": {}}",
+                    evName(e.kind), traceId2(e).c_str(),
+                    end_us - dur_us, e.pid, e.tid, argsJson(e).c_str(),
+                    evName(e.kind), traceId2(e).c_str(), end_us, e.pid,
+                    e.tid);
+                break;
+              case Ev::kRetransmit:
+              case Ev::kTargetWalk:
+                // Instants inside the op envelope (ph "n" attaches
+                // them to the nestable async track of the trace id).
+                obj = strprintf(
+                    "{\"name\": \"%s\", \"cat\": \"op\", \"ph\": "
+                    "\"n\", \"id2\": %s, \"ts\": %.3f, \"pid\": %u, "
+                    "\"tid\": %u, \"args\": %s}",
+                    evName(e.kind), traceId2(e).c_str(), end_us, e.pid,
+                    e.tid, argsJson(e).c_str());
+                break;
               default:
                 obj = strprintf(
                     "{\"name\": \"%s\", \"cat\": \"event\", \"ph\": "
@@ -195,15 +268,28 @@ Timeline::writeChromeTrace(const std::string &path) const
     // Read the process-wide archive, not this thread's recorder:
     // dumps fired on worker-lane threads must appear too.
     for (const FlightDump &d : flightDumpArchive()) {
+        // Dumps carry the (machine, core) labels of their newest
+        // event, so multi-machine cluster dumps are attributable.
         emitJson(
             f, &first,
             strprintf("{\"name\": \"flight_dump\", \"cat\": \"flight\", "
                       "\"ph\": \"i\", \"s\": \"g\", \"ts\": 0, \"pid\": "
-                      "0, \"tid\": 0, \"args\": {\"seq\": %llu, "
-                      "\"reason\": \"%s\"}}",
-                      (unsigned long long)d.seq, d.reason.c_str()));
+                      "%u, \"tid\": %u, \"args\": {\"seq\": %llu, "
+                      "\"reason\": \"%s\", \"machine\": %u, "
+                      "\"lane\": %u}}",
+                      d.pid, d.tid, (unsigned long long)d.seq,
+                      d.reason.c_str(), d.pid, d.tid));
     }
-    std::fprintf(f, "\n]}\n");
+    u64 n_rec = 0, n_drop = 0;
+    for (const auto &[key, ring] : rings_) {
+        (void)key;
+        n_rec += ring.pushed();
+        n_drop += ring.dropped();
+    }
+    std::fprintf(f,
+                 "\n], \"rioMeta\": {\"recorded\": %llu, "
+                 "\"dropped\": %llu}}\n",
+                 (unsigned long long)n_rec, (unsigned long long)n_drop);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return true;

@@ -52,6 +52,12 @@ enum class Ev : u8 {
     kFlightDump,   //!< flight recorder fired (instant; arg=dump #)
     kVmExit,       //!< guest trapped to the hypervisor (span; arg=reason)
     kQpError,      //!< RDMA QP entered error state (instant; arg=qp)
+    kOpPost,       //!< traced op injected (async-nestable begin; arg=bytes)
+    kOpCqe,        //!< terminal CQE closed the op (async end; arg=latency)
+    kWireTx,       //!< wire transit (async span; dur = transit+serialize)
+    kIngressQ,     //!< ingress port queueing (async span; dur = wait)
+    kRetransmit,   //!< go-back-N replay episode (instant; arg=psn)
+    kTargetWalk,   //!< remote access walked the target IOMMU (instant)
     kNumEvents
 };
 
@@ -64,6 +70,9 @@ struct Event
     Nanos t = 0;   //!< virtual end time of the event
     u64 arg = 0;   //!< pfn / phase / wait cycles / reason-specific
     u64 dur_ns = 0; //!< span length; 0 for instants
+    u64 trace = 0; //!< owning distributed trace id; 0 = none (emit()
+                   //!< fills it from the thread's current TraceScope)
+    u64 arg2 = 0;  //!< second event-specific payload (psn, status, ...)
     u32 id = 0;    //!< async span id pairing kQiIssue/kQiComplete
     u16 pid = 0;   //!< track group: machine ordinal
     u16 tid = 0;   //!< track: core ordinal within the machine

@@ -10,9 +10,13 @@
 #include "obs/flight.h"
 #include "obs/registry.h"
 #include "obs/timeline.h"
+#include "obs/trace_ctx.h"
 #include "riommu/structures.h"
 
 namespace rio::rdma {
+
+static_assert(cycles::kNumCats <= obs::kSloMaxCats,
+              "OpRecord cat array cannot hold every cycles::Cat");
 
 const RdmaProfile &
 rnicProfile()
@@ -59,6 +63,15 @@ RdmaNic::charge(Cycles c)
     core_.acct().charge(cycles::Cat::kProcessing, c);
 }
 
+std::array<u64, obs::kSloMaxCats>
+RdmaNic::sloSnapshot() const
+{
+    std::array<u64, obs::kSloMaxCats> out{};
+    for (unsigned c = 0; c < cycles::kNumCats; ++c)
+        out[c] = core_.acct().get(static_cast<cycles::Cat>(c));
+    return out;
+}
+
 Nanos
 RdmaNic::wireArrival(Nanos from, u32 payload_bytes) const
 {
@@ -74,6 +87,26 @@ RdmaNic::sendAt(u32 dst_nic, Nanos when, WireMsg msg)
 {
     RIO_ASSERT(send_, "RdmaNic wire not connected");
     msg.src_nic = nic_id_;
+    if (obs::kObsCompiled && msg.trace) {
+        // Wire-transit child span of the op: [send, arrival] on the
+        // sender's track (propagation + serialization; hostile-wire
+        // extra delay shows up as ingress queueing at the far end).
+        obs::Event ev;
+        ev.kind = obs::Ev::kWireTx;
+        ev.t = when;
+        ev.dur_ns = profile_.wire_ns +
+                    static_cast<Nanos>(static_cast<double>(
+                                           (msg.payload.size() +
+                                            net::kRdmaHeaderBytes) *
+                                           8) /
+                                       profile_.gbps);
+        ev.trace = msg.trace;
+        ev.arg = msg.len;
+        ev.arg2 = msg.psn;
+        ev.pid = core_.obsPid();
+        ev.tid = core_.obsTid();
+        obs::timeline().emit(ev);
+    }
     send_(dst_nic, when, std::move(msg));
 }
 
@@ -287,6 +320,14 @@ RdmaNic::postWrite(u32 qp, u32 bytes, u64 roffset)
         ++stats_.posts_blocked;
         return false;
     }
+    const bool slo = obs::sloRecording();
+    std::array<u64, obs::kSloMaxCats> cat0{};
+    if (slo)
+        cat0 = sloSnapshot();
+    // Op injection: the distributed-trace identity is allocated here,
+    // so the map below — and every downstream hop — attributes to it.
+    const u64 trace = core_.nextTraceId();
+    obs::TraceScope tscope(trace);
     charge(profile_.post_cycles);
     auto m = handle_.map(dataRid(qp), q.src_pa, bytes,
                          iommu::DmaDir::kToDevice);
@@ -302,6 +343,7 @@ RdmaNic::postWrite(u32 qp, u32 bytes, u64 roffset)
     op.psn = q.next_psn++;
     op.roffset = roffset;
     op.post_ns = core_.virtualNow();
+    op.trace = trace;
     op.map = m.value();
     q.ops[w] = op;
     // The WQE the device will fetch: opcode/len in word 0, the DMA
@@ -314,6 +356,23 @@ RdmaNic::postWrite(u32 qp, u32 bytes, u64 roffset)
     ++stats_.posts;
     ++stats_.writes_sent;
     stats_.bytes_sent += bytes;
+    if (slo) {
+        auto delta = sloSnapshot();
+        for (size_t c = 0; c < obs::kSloMaxCats; ++c)
+            delta[c] -= cat0[c];
+        slo_post_cats_[(static_cast<u64>(qp) << 32) | w] = delta;
+    }
+    if (obs::kObsCompiled) {
+        obs::Event ev;
+        ev.kind = obs::Ev::kOpPost;
+        ev.t = core_.virtualNow();
+        ev.trace = trace;
+        ev.arg = bytes;
+        ev.arg2 = (static_cast<u64>(qp) << 32) | w;
+        ev.pid = core_.obsPid();
+        ev.tid = core_.obsTid();
+        obs::timeline().emit(ev);
+    }
     sim_.scheduleAt(core_.virtualNow() + profile_.doorbell_ns,
                     [this, qp, w] { deviceFetchWqe(qp, w); });
     return true;
@@ -334,6 +393,12 @@ RdmaNic::postRead(u32 qp, u32 bytes, u64 roffset)
         ++stats_.posts_blocked;
         return false;
     }
+    const bool slo = obs::sloRecording();
+    std::array<u64, obs::kSloMaxCats> cat0{};
+    if (slo)
+        cat0 = sloSnapshot();
+    const u64 trace = core_.nextTraceId();
+    obs::TraceScope tscope(trace);
     charge(profile_.post_cycles);
     auto m = handle_.map(dataRid(qp), q.rd_pa, bytes,
                          iommu::DmaDir::kFromDevice);
@@ -350,6 +415,7 @@ RdmaNic::postRead(u32 qp, u32 bytes, u64 roffset)
     op.psn = q.next_psn++;
     op.roffset = roffset;
     op.post_ns = core_.virtualNow();
+    op.trace = trace;
     op.map = m.value();
     q.ops[w] = op;
     const PhysAddr wqe = q.sq_pa + static_cast<u64>(w) * kWqeBytes;
@@ -359,6 +425,23 @@ RdmaNic::postRead(u32 qp, u32 bytes, u64 roffset)
     ++inflight_total_;
     ++stats_.posts;
     ++stats_.reads_sent;
+    if (slo) {
+        auto delta = sloSnapshot();
+        for (size_t c = 0; c < obs::kSloMaxCats; ++c)
+            delta[c] -= cat0[c];
+        slo_post_cats_[(static_cast<u64>(qp) << 32) | w] = delta;
+    }
+    if (obs::kObsCompiled) {
+        obs::Event ev;
+        ev.kind = obs::Ev::kOpPost;
+        ev.t = core_.virtualNow();
+        ev.trace = trace;
+        ev.arg = bytes;
+        ev.arg2 = (static_cast<u64>(qp) << 32) | w;
+        ev.pid = core_.obsPid();
+        ev.tid = core_.obsTid();
+        obs::timeline().emit(ev);
+    }
     sim_.scheduleAt(core_.virtualNow() + profile_.doorbell_ns,
                     [this, qp, w] { deviceFetchWqe(qp, w); });
     return true;
@@ -373,6 +456,10 @@ RdmaNic::deviceFetchWqe(u32 qp, u32 w)
         return; // force-quiesced or flushed under the doorbell
     if (q.state == QpState::kError)
         return; // error drain: no new transmissions
+    // Fetch (and any replay of it) runs on behalf of the posted op:
+    // re-entering the scope here means retransmissions re-attach to
+    // the ORIGINAL trace instead of minting a new one.
+    obs::TraceScope tscope(op.trace);
     // Device side: fetch the WQE through our own translation (the
     // control-ring mapping), then the payload for writes (data ring).
     u8 wqe_buf[kWqeBytes];
@@ -392,6 +479,7 @@ RdmaNic::deviceFetchWqe(u32 qp, u32 w)
     msg.rkey = q.remote_rkey;
     msg.offset = op.roffset;
     msg.len = op.bytes;
+    msg.trace = op.trace;
     if (op.is_read) {
         msg.kind = MsgKind::kRead;
         op.sent = true;
@@ -426,6 +514,7 @@ RdmaNic::onDataAccess(const WireMsg &msg)
     reply.dst_qp = msg.src_qp;
     reply.wqe = msg.wqe;
     reply.psn = msg.psn;
+    reply.trace = msg.trace;
     bool late = false;
     if (rel_.enabled) {
         Qp *rq = msg.dst_qp < max_qps_ ? &qps_[msg.dst_qp] : nullptr;
@@ -458,6 +547,7 @@ RdmaNic::onDataAccess(const WireMsg &msg)
                 nak.kind = MsgKind::kNakSeq;
                 nak.dst_qp = msg.src_qp;
                 nak.psn = rq->epsn;
+                nak.trace = msg.trace;
                 sendAt(msg.src_nic, wireArrival(sim_.now(), 0),
                        std::move(nak));
             }
@@ -469,6 +559,22 @@ RdmaNic::onDataAccess(const WireMsg &msg)
             ++stats_.dup_requests;
         }
     }
+    // Target-IOMMU walk instant: the moment the remote access
+    // translated (or faulted) on THIS machine's track, stitched into
+    // the initiator's op by the carried trace id.
+    const auto walkEvent = [&](bool ok) {
+        if (!obs::kObsCompiled || !msg.trace)
+            return;
+        obs::Event ev;
+        ev.kind = obs::Ev::kTargetWalk;
+        ev.t = sim_.now();
+        ev.trace = msg.trace;
+        ev.arg = msg.len;
+        ev.arg2 = (static_cast<u64>(late) << 1) | (ok ? 1 : 0);
+        ev.pid = core_.obsPid();
+        ev.tid = core_.obsTid();
+        obs::timeline().emit(ev);
+    };
     if (msg.kind == MsgKind::kWrite) {
         ++stats_.remote_writes;
         Status s = handle_.deviceWrite(msg.rkey + msg.offset,
@@ -479,6 +585,7 @@ RdmaNic::onDataAccess(const WireMsg &msg)
             else
                 ++stats_.late_faulted;
         }
+        walkEvent(s.isOk());
         reply.ok = s.isOk();
         if (!reply.ok)
             ++stats_.remote_faults;
@@ -497,6 +604,7 @@ RdmaNic::onDataAccess(const WireMsg &msg)
         else
             ++stats_.late_faulted;
     }
+    walkEvent(s.isOk());
     reply.ok = s.isOk();
     if (!reply.ok) {
         ++stats_.remote_faults;
@@ -599,11 +707,21 @@ RdmaNic::pollCq()
         Op &op = q.ops[c.wqe];
         if (!op.active)
             continue;
+        // Terminal CQE: the op's trace closes here. Save identity
+        // before the slot reset below.
+        const u64 trace = op.trace;
+        const u32 rtx = op.rtx;
+        obs::TraceScope tscope(trace);
+        const bool slo = obs::sloRecording();
+        std::array<u64, obs::kSloMaxCats> cat0{};
+        if (slo)
+            cat0 = sloSnapshot();
         charge(profile_.poll_cycles);
         handle_.unmap(op.map, /*end_of_burst=*/last[i]);
         if (last[i])
             ++stats_.eob_unmaps;
-        op_latencies_.push_back(sim_.now() - op.post_ns);
+        const Nanos latency = sim_.now() - op.post_ns;
+        op_latencies_.push_back(latency);
         op = Op{};
         --q.inflight;
         --inflight_total_;
@@ -611,6 +729,36 @@ RdmaNic::pollCq()
         ++stats_.cq_polled;
         if (!c.ok)
             ++stats_.comp_errors;
+        if (slo) {
+            // Per-op breakdown: poll-path delta (this iteration) plus
+            // the post-path delta banked at injection.
+            obs::OpRecord rec;
+            rec.latency_ns = latency;
+            rec.retransmits = rtx;
+            rec.error = !c.ok;
+            rec.cat_cycles = sloSnapshot();
+            for (size_t ci = 0; ci < obs::kSloMaxCats; ++ci)
+                rec.cat_cycles[ci] -= cat0[ci];
+            const u64 key = (static_cast<u64>(c.qp) << 32) | c.wqe;
+            auto it = slo_post_cats_.find(key);
+            if (it != slo_post_cats_.end()) {
+                for (size_t ci = 0; ci < obs::kSloMaxCats; ++ci)
+                    rec.cat_cycles[ci] += it->second[ci];
+                slo_post_cats_.erase(it);
+            }
+            slo_recorder_.record(rec);
+        }
+        if (obs::kObsCompiled && trace) {
+            obs::Event ev;
+            ev.kind = obs::Ev::kOpCqe;
+            ev.t = core_.virtualNow();
+            ev.trace = trace;
+            ev.arg = latency;
+            ev.arg2 = (static_cast<u64>(rtx) << 1) | (c.ok ? 1 : 0);
+            ev.pid = core_.obsPid();
+            ev.tid = core_.obsTid();
+            obs::timeline().emit(ev);
+        }
         if (on_completion_)
             on_completion_(c.qp, c.wqe, c.ok);
         if ((q.state == QpState::kClosing ||
@@ -723,8 +871,22 @@ RdmaNic::retransmit(u32 qp)
     }
     std::sort(order.begin(), order.end());
     for (const auto &[psn, w] : order) {
-        (void)psn;
+        Op &op = q.ops[w];
+        ++op.rtx;
         ++stats_.retransmits;
+        if (obs::kObsCompiled && op.trace) {
+            // Retransmit episode: a child instant of the ORIGINAL
+            // trace — the replay must not mint a new identity.
+            obs::Event ev;
+            ev.kind = obs::Ev::kRetransmit;
+            ev.t = sim_.now();
+            ev.trace = op.trace;
+            ev.arg = psn;
+            ev.arg2 = op.rtx;
+            ev.pid = core_.obsPid();
+            ev.tid = core_.obsTid();
+            obs::timeline().emit(ev);
+        }
         deviceFetchWqe(qp, w);
     }
 }
@@ -761,6 +923,8 @@ RdmaNic::enterError(u32 qp, const char *reason, bool notify_peer)
     obs::Event ev;
     ev.kind = obs::Ev::kQpError;
     ev.arg = qp;
+    ev.pid = core_.obsPid();
+    ev.tid = core_.obsTid();
     obs::timeline().emit(ev);
     // Journal the last 256 events around the transition — the
     // wire-storm debugging trigger (free when rate-limited away).
@@ -784,6 +948,8 @@ RdmaNic::enterError(u32 qp, const char *reason, bool notify_peer)
         if (!op.active || op.acked)
             continue;
         ++stats_.qp_error_flushed;
+        // Flush CQEs attribute to the flushed ops' own traces.
+        obs::TraceScope tscope(op.trace);
         completeOp(qp, w, false);
     }
     if (q.inflight == 0)
@@ -925,12 +1091,17 @@ RdmaNic::quiesceAll()
         freeQp(idx);
     }
     pending_cqes_.clear();
+    slo_post_cats_.clear();
     shutDown();
 }
 
 void
 RdmaNic::fromWire(const WireMsg &msg)
 {
+    // Everything this delivery does — translations, CQE writes,
+    // NAKs — runs on behalf of the op the packet serves (no-op for
+    // control-plane messages, which carry trace 0).
+    obs::TraceScope tscope(msg.trace);
     switch (msg.kind) {
     case MsgKind::kConnect:
         onConnect(msg);

@@ -24,7 +24,9 @@
 #ifndef RIO_RDMA_RDMA_H
 #define RIO_RDMA_RDMA_H
 
+#include <array>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
@@ -34,6 +36,7 @@
 #include "dma/dma_handle.h"
 #include "mem/phys_mem.h"
 #include "net/packet.h"
+#include "obs/slo.h"
 
 namespace rio::rdma {
 
@@ -105,6 +108,10 @@ struct WireMsg
     u64 offset = 0; //!< byte offset into the target MR
     u32 len = 0;
     bool ok = true;
+    /** Distributed-trace identity of the op this packet serves (0 for
+     * control-plane traffic). Host-side observability metadata only:
+     * never read by protocol logic, costs no simulated bytes. */
+    u64 trace = 0;
     std::vector<u8> payload;
 };
 
@@ -273,6 +280,10 @@ class RdmaNic
      * completion order (host-side record; free of simulated cost). */
     const std::vector<Nanos> &opLatencies() const { return op_latencies_; }
 
+    /** Exact per-op SLO records (latency + per-Cat breakdown +
+     * retransmit count), populated only while obs::sloRecording(). */
+    const obs::OpLatencyRecorder &sloRecords() const { return slo_recorder_; }
+
     /** Physical addresses of a QP's buffers (tests write/verify). */
     PhysAddr srcBuffer(u32 qp) const { return qps_[qp].src_pa; }
     PhysAddr readBuffer(u32 qp) const { return qps_[qp].rd_pa; }
@@ -304,6 +315,8 @@ class RdmaNic
         u64 roffset = 0;
         Nanos post_ns = 0; //!< verbs post time (latency record)
         Nanos last_tx = 0; //!< most recent transmission (RTO base)
+        u64 trace = 0;     //!< distributed-trace id (observability)
+        u32 rtx = 0;       //!< retransmit episodes (observability)
         dma::DmaMapping map;
     };
 
@@ -343,6 +356,8 @@ class RdmaNic
     };
 
     void charge(Cycles c);
+    /** Current per-Cat totals of this NIC's core (SLO deltas). */
+    std::array<u64, obs::kSloMaxCats> sloSnapshot() const;
     void allocQpBuffers(Qp &q);
     /** Register WQE ring + MR in the QP's control ring. */
     Status registerQp(u32 idx);
@@ -398,6 +413,11 @@ class RdmaNic
     u64 inflight_total_ = 0;
     RdmaStats stats_;
     std::vector<Nanos> op_latencies_;
+    obs::OpLatencyRecorder slo_recorder_;
+    /** Post-path per-Cat cycle deltas of in-flight ops, merged with
+     * the poll-path delta at the terminal CQE. Keyed (qp << 32) | wqe;
+     * populated only while obs::sloRecording(). */
+    std::unordered_map<u64, std::array<u64, obs::kSloMaxCats>> slo_post_cats_;
 };
 
 } // namespace rio::rdma

@@ -44,7 +44,9 @@ Cluster::Cluster(const ClusterConfig &cfg)
         ports_.reserve(cfg_.machines);
         for (unsigned m = 0; m < cfg_.machines; ++m)
             ports_.push_back(std::make_unique<WirePort>(
-                engine_.lane(m).sim(), cfg_.wire, *nics_[m], m));
+                engine_.lane(m).sim(), cfg_.wire, *nics_[m], m,
+                machines_[m]->core(0).obsPid(),
+                machines_[m]->core(0).obsTid()));
     }
     // The wire: a send from NIC i lands in lane(dst) at the
     // pre-computed arrival time. The target NIC is touched only from

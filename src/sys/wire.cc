@@ -5,15 +5,18 @@
 
 #include "base/logging.h"
 #include "net/packet.h"
+#include "obs/timeline.h"
 
 namespace rio::sys {
 
 WirePort::WirePort(des::Simulator &sim, const WireFaultConfig &cfg,
-                   rdma::RdmaNic &target, unsigned machine)
+                   rdma::RdmaNic &target, unsigned machine, u16 obs_pid,
+                   u16 obs_tid)
     : sim_(sim), cfg_(cfg), target_(target),
       // One stream per destination machine: draws happen in the
       // deterministic mail-drain order of that machine's lane.
-      rng_(cfg.seed * 0xBF58476D1CE4E5B9ULL + machine + 1)
+      rng_(cfg.seed * 0xBF58476D1CE4E5B9ULL + machine + 1),
+      obs_pid_(obs_pid), obs_tid_(obs_tid)
 {
     RIO_ASSERT(cfg_.delay_min_ns <= cfg_.delay_max_ns,
                "empty wire delay range");
@@ -112,6 +115,20 @@ WirePort::enqueue(rdma::WireMsg msg)
     stats_.peak_queue = std::max<u64>(stats_.peak_queue, queued_);
     const Nanos start = std::max(sim_.now(), busy_until_);
     busy_until_ = start + serviceNs(msg);
+    if (obs::kObsCompiled && msg.trace) {
+        // Ingress-queueing child span: arrival → drain through the
+        // serializing port, on the destination machine's track.
+        obs::Event ev;
+        ev.kind = obs::Ev::kIngressQ;
+        ev.t = busy_until_;
+        ev.dur_ns = busy_until_ - sim_.now();
+        ev.trace = msg.trace;
+        ev.arg = queued_;
+        ev.arg2 = msg.psn;
+        ev.pid = obs_pid_;
+        ev.tid = obs_tid_;
+        obs::timeline().emit(ev);
+    }
     sim_.scheduleAt(busy_until_, [this, msg = std::move(msg)]() mutable {
         --queued_;
         ++stats_.delivered;

@@ -91,8 +91,11 @@ struct WireStats
 class WirePort
 {
   public:
+    /** @p obs_pid / @p obs_tid: timeline track of the destination
+     * machine's core, for ingress-queueing spans (0 = unlabeled). */
     WirePort(des::Simulator &sim, const WireFaultConfig &cfg,
-             rdma::RdmaNic &target, unsigned machine);
+             rdma::RdmaNic &target, unsigned machine, u16 obs_pid = 0,
+             u16 obs_tid = 0);
 
     WirePort(const WirePort &) = delete;
     WirePort &operator=(const WirePort &) = delete;
@@ -112,6 +115,8 @@ class WirePort
     const WireFaultConfig cfg_; //!< stable copy
     rdma::RdmaNic &target_;
     Rng rng_;
+    u16 obs_pid_;
+    u16 obs_tid_;
     u32 queued_ = 0;
     Nanos busy_until_ = 0;
     WireStats stats_;

@@ -336,6 +336,22 @@ runFleet(sys::Cluster &cluster, const FleetParams &params)
         rep.p99_latency_ns = lat[lat.size() * 99 / 100];
     }
 
+    if (obs::sloRecording()) {
+        // Exact per-op records, merged in machine order (deterministic;
+        // the report itself is permutation-invariant anyway).
+        std::vector<obs::OpRecord> records;
+        u64 slo_dropped = 0;
+        for (unsigned m = 0; m < cluster.size(); ++m) {
+            const obs::OpLatencyRecorder &r = cluster.nic(m).sloRecords();
+            records.insert(records.end(), r.inOrder().begin(),
+                           r.inOrder().end());
+            slo_dropped += r.dropped();
+        }
+        rep.slo = obs::computeSloReport(records);
+        rep.slo.dropped = slo_dropped;
+        rep.slo_valid = true;
+    }
+
     if (dma::modeUsesRiommu(cluster.config().mode)) {
         for (unsigned m = 0; m < cluster.size(); ++m) {
             riommu::Riommu &r = cluster.machine(m).ctx().riommu();

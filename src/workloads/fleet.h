@@ -22,6 +22,7 @@
 #ifndef RIO_WORKLOADS_FLEET_H
 #define RIO_WORKLOADS_FLEET_H
 
+#include "obs/slo.h"
 #include "riommu/riommu.h"
 #include "riommu/riotlb.h"
 #include "sys/cluster.h"
@@ -120,6 +121,12 @@ struct FleetReport
     /** Op latency distribution (post → CQE, every completed op). */
     Nanos p50_latency_ns = 0;
     Nanos p99_latency_ns = 0;
+
+    /** Exact tail report over the per-op SLO records, merged across
+     * machines in machine order. Valid only when obs::sloRecording()
+     * was on for the run (`--slo`). */
+    bool slo_valid = false;
+    obs::SloReport slo;
 
     Nanos end_ns = 0; //!< virtual time when the cluster went idle
 

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "dma/protection_mode.h"
+#include "obs/slo.h"
+#include "obs/timeline.h"
 #include "rdma/rdma.h"
 #include "sys/cluster.h"
 #include "workloads/fleet.h"
@@ -442,6 +444,167 @@ TEST(Fleet, RdCacheAblationCounts)
     // hardware-walk effect, reported via counters.
     EXPECT_DOUBLE_EQ(rep_flat.cycles_per_op, rep_off.cycles_per_op);
     EXPECT_DOUBLE_EQ(rep_tier.cycles_per_op, rep_off.cycles_per_op);
+}
+
+/** Hostile-wire fleet shape shared by the tracing tests: enough loss
+ * and churn that go-back-N replays, duplicate deliveries and QP
+ * errors all occur, small enough to stay fast. */
+workloads::FleetReport
+runTracedStorm(unsigned threads)
+{
+    workloads::FleetParams p;
+    p.connections = 8;
+    p.warmup_ops = 10;
+    p.measure_ops = 200;
+    p.churn_period_ops = 25;
+    p.churn_abort_fraction = 0.5;
+    p.seed = 3;
+    sys::ClusterConfig cfg;
+    cfg.machines = 2;
+    cfg.threads = threads;
+    cfg.mode = ProtectionMode::kRiommu;
+    cfg.wire.drop_rate = 0.05;
+    cfg.wire.dup_rate = 0.15;
+    cfg.wire.delay_rate = 0.5;
+    cfg.wire.delay_max_ns = 60000;
+    cfg.reliability.enabled = true;
+    cfg.max_qps = workloads::fleetMaxQps(p, cfg.machines);
+    sys::Cluster cluster(cfg);
+    return runFleet(cluster, p);
+}
+
+/**
+ * Span identity under the hostile wire: duplicate deliveries and
+ * go-back-N replays must re-attach to the ORIGINAL op's trace id —
+ * never mint a fresh one — and every trace closes with exactly one
+ * terminal CQE span. This is the invariant that makes a stitched
+ * cross-machine span tree readable: retransmit episodes show up as
+ * child instants on the op that suffered them.
+ */
+TEST(Tracing, SpanIdentityUnderHostileWire)
+{
+    if (!obs::kObsCompiled)
+        GTEST_SKIP() << "observability compiled out (RIO_OBS=OFF)";
+    obs::timeline().clear();
+    obs::timeline().setCapacity(1u << 20); // retain every event
+    obs::timeline().setRecording(true);
+    const auto rep = runTracedStorm(1);
+    obs::timeline().setRecording(false);
+    ASSERT_GT(rep.retransmits, 0u) << "storm must actually replay";
+    ASSERT_GT(rep.wire_dups, 0u) << "storm must actually duplicate";
+
+    std::map<u64, u64> posts, cqes;
+    u64 rtx_on_known_trace = 0, orphan_children = 0, cqe_events = 0;
+    for (const auto &[key, events] : obs::timeline().tracks()) {
+        (void)key;
+        for (const obs::Event &e : events) {
+            if (e.kind == obs::Ev::kOpPost)
+                ++posts[e.trace];
+            else if (e.kind == obs::Ev::kOpCqe) {
+                ++cqes[e.trace];
+                ++cqe_events;
+            }
+        }
+    }
+    for (const auto &[key, events] : obs::timeline().tracks()) {
+        (void)key;
+        for (const obs::Event &e : events) {
+            if (e.kind == obs::Ev::kRetransmit) {
+                // A replay episode rides the original op's trace.
+                ASSERT_NE(e.trace, 0u);
+                if (posts.count(e.trace))
+                    ++rtx_on_known_trace;
+            } else if (e.kind == obs::Ev::kWireTx ||
+                       e.kind == obs::Ev::kIngressQ) {
+                if (!posts.count(e.trace))
+                    ++orphan_children;
+            }
+        }
+    }
+    EXPECT_GT(posts.size(), 0u);
+    for (const auto &[trace, n] : posts) {
+        EXPECT_NE(trace, 0u) << "every post allocates a trace";
+        EXPECT_EQ(n, 1u) << "trace ids are never reused across posts";
+    }
+    for (const auto &[trace, n] : cqes) {
+        EXPECT_EQ(n, 1u)
+            << "replays and duplicates must not double-complete trace 0x"
+            << std::hex << trace;
+        EXPECT_TRUE(posts.count(trace))
+            << "a CQE span without its post span";
+    }
+    EXPECT_EQ(cqe_events, rep.completions)
+        << "exactly one terminal CQE span per completed op";
+    EXPECT_GT(rtx_on_known_trace, 0u)
+        << "at least one retransmit child attached to a live op span";
+    EXPECT_EQ(orphan_children, 0u)
+        << "wire/ingress spans must all belong to a posted op";
+    obs::timeline().clear();
+}
+
+std::string
+timelineFingerprint(unsigned threads)
+{
+    obs::timeline().clear();
+    obs::timeline().setCapacity(1u << 20);
+    obs::timeline().setRecording(true);
+    runTracedStorm(threads);
+    obs::timeline().setRecording(false);
+    std::ostringstream os;
+    for (const auto &[key, events] : obs::timeline().tracks()) {
+        os << "track " << key << "\n";
+        for (const obs::Event &e : events) {
+            // Flight-dump markers carry the process-wide dump ordinal
+            // in arg — a host-side sequence that depends on which lane
+            // reaches its QP error first in wall-clock time. Every
+            // simulated event (including the marker's virtual time and
+            // trace) is thread-invariant; the ordinal alone is not.
+            if (e.kind == obs::Ev::kFlightDump)
+                continue;
+            os << static_cast<int>(e.kind) << ' ' << e.t << ' '
+               << e.pid << ':' << e.tid << ' ' << e.bdf << '/' << e.rid
+               << ' ' << e.arg << ' ' << e.arg2 << ' ' << e.dur_ns
+               << ' ' << e.id << " 0x" << std::hex << e.trace
+               << std::dec << '\n';
+        }
+    }
+    obs::timeline().clear();
+    return os.str();
+}
+
+/** The tentpole determinism gate: with tracing fully on, the entire
+ * event timeline — ids, traces, timestamps, order — is byte-identical
+ * between --threads 1 and --threads 4. Trace ids come from
+ * lane-confined counters, never a shared atomic. */
+TEST(Tracing, TimelineByteIdenticalAcrossThreadCounts)
+{
+    if (!obs::kObsCompiled)
+        GTEST_SKIP() << "observability compiled out (RIO_OBS=OFF)";
+    const std::string one = timelineFingerprint(1);
+    const std::string four = timelineFingerprint(4);
+    ASSERT_FALSE(one.empty());
+    EXPECT_EQ(one, four);
+}
+
+/** Exact SLO records cover every completion, merge deterministically
+ * across machines, and attribute the tail to a real category. */
+TEST(Tracing, SloReportCoversEveryCompletion)
+{
+    obs::setSloRecording(true);
+    const auto rep = runTracedStorm(1);
+    obs::setSloRecording(false);
+    ASSERT_TRUE(rep.slo_valid);
+    EXPECT_EQ(rep.slo.dropped, 0u);
+    EXPECT_EQ(rep.slo.count, rep.completions);
+    EXPECT_GT(rep.slo.p99, rep.slo.p50);
+    EXPECT_GE(rep.slo.p999, rep.slo.p99);
+    EXPECT_GE(rep.slo.max, rep.slo.p999);
+    EXPECT_GT(rep.slo.tail_ops, 0u);
+    EXPECT_GT(rep.slo.top_cat_share, 0.0);
+    u64 total_cycles = 0;
+    for (u64 c : rep.slo.all_cat_cycles)
+        total_cycles += c;
+    EXPECT_GT(total_cycles, 0u) << "per-Cat attribution present";
 }
 
 /** Fault injection surfaces as NAKs/local drops, never wedges the

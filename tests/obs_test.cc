@@ -16,7 +16,9 @@
 #include "obs/deferred.h"
 #include "obs/flight.h"
 #include "obs/registry.h"
+#include "obs/slo.h"
 #include "obs/timeline.h"
+#include "obs/trace_ctx.h"
 
 namespace rio::obs {
 namespace {
@@ -34,6 +36,7 @@ class ObsTest : public ::testing::Test
         flightRecorder().clear();
         clearFlightDumpArchive();
         setDeferredEnabled(false);
+        setSloRecording(false);
     }
 
     void TearDown() override { SetUp(); }
@@ -438,6 +441,178 @@ TEST_F(ObsTest, WorkerThreadDumpsReachProcessWideArchive)
     std::remove(path.c_str());
     EXPECT_NE(json.find("worker_side"), std::string::npos)
         << "chrome trace reads the archive, not one thread's dumps";
+}
+
+// ---- quantile interpolation -------------------------------------------------
+
+TEST_F(ObsTest, QuantileBoundInterpolatesWithinBucket)
+{
+    // 100 uniform values 1..100 into two buckets; the old
+    // implementation returned each bucket's upper bound for every
+    // quantile inside it (p50 == p99 == 100 here would be nonsense).
+    Histogram &h =
+        registry().histogram("lat.uniform", {}, std::vector<u64>{50, 100});
+    for (u64 v = 1; v <= 100; ++v)
+        h.observe(v);
+    EXPECT_EQ(h.quantileBound(0.5), 50u) << "p50 lands at bucket 0's end";
+    EXPECT_EQ(h.quantileBound(0.99), 99u)
+        << "p99 interpolates inside bucket 1, not its bound";
+    EXPECT_EQ(h.quantileBound(0.25), 25u);
+    EXPECT_EQ(h.quantileBound(1.0), 100u);
+}
+
+TEST_F(ObsTest, QuantileBoundOverflowCollapsesToLastFiniteBound)
+{
+    Histogram &h =
+        registry().histogram("lat.over", {}, std::vector<u64>{50, 100});
+    h.observe(25);
+    h.observe(150); // overflow bucket: no finite upper edge
+    EXPECT_EQ(h.quantileBound(1.0), 100u)
+        << "overflow has no width to interpolate across";
+    EXPECT_EQ(h.quantileBound(0.5), 50u)
+        << "within a finite bucket the estimate assumes uniform mass";
+}
+
+// ---- trace context ----------------------------------------------------------
+
+TEST_F(ObsTest, TraceScopeAttachesAmbientTraceToEmittedEvents)
+{
+    RIO_REQUIRE_OBS_COMPILED();
+    EXPECT_EQ(currentTrace(), 0u);
+    {
+        TraceScope outer(0x1234);
+        Event e;
+        e.kind = Ev::kMap;
+        e.t = 10;
+        timeline().emit(e); // trace 0: inherits the ambient scope
+        {
+            TraceScope inner(0); // zero: keeps the outer trace
+            EXPECT_EQ(currentTrace(), 0x1234u);
+        }
+        Event tagged;
+        tagged.kind = Ev::kUnmap;
+        tagged.t = 20;
+        tagged.trace = 0x9999; // explicit tag wins over the scope
+        timeline().emit(tagged);
+    }
+    EXPECT_EQ(currentTrace(), 0u) << "scope restores on exit";
+
+    const auto events = flightRecorder().ring().inOrder();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].trace, 0x1234u);
+    EXPECT_EQ(events[1].trace, 0x9999u);
+}
+
+// ---- exact SLO recording ----------------------------------------------------
+
+TEST_F(ObsTest, OpLatencyRecorderDropsNewestWhenFull)
+{
+    OpLatencyRecorder r(/*capacity=*/4);
+    for (u64 i = 1; i <= 6; ++i) {
+        OpRecord rec;
+        rec.latency_ns = static_cast<Nanos>(i);
+        r.record(rec);
+    }
+    EXPECT_EQ(r.pushed(), 6u);
+    EXPECT_EQ(r.dropped(), 2u);
+    const auto kept = r.inOrder();
+    ASSERT_EQ(kept.size(), 4u);
+    // Drop-newest keeps a deterministic prefix of the op stream — the
+    // retained set cannot depend on lane interleaving.
+    for (size_t i = 0; i < kept.size(); ++i)
+        EXPECT_EQ(kept[i].latency_ns, static_cast<Nanos>(i + 1));
+}
+
+TEST_F(ObsTest, SloReportComputesExactQuantilesAndTailAttribution)
+{
+    std::vector<OpRecord> ops;
+    for (u64 i = 1; i <= 100; ++i) {
+        OpRecord rec;
+        rec.latency_ns = static_cast<Nanos>(i * 10);
+        rec.cat_cycles[0] = 5; // baseline work in every op
+        if (i >= 99) {         // the two tail ops burn cat 3
+            rec.cat_cycles[3] = 1000;
+            rec.retransmits = 2;
+        }
+        ops.push_back(rec);
+    }
+    const SloReport rep = computeSloReport(ops);
+    EXPECT_EQ(rep.count, 100u);
+    EXPECT_EQ(rep.p50, 500);  // nearest rank: ceil(0.5*100) = 50th
+    EXPECT_EQ(rep.p99, 990);  // ceil(0.99*100) = 99th
+    EXPECT_EQ(rep.p999, 1000);
+    EXPECT_EQ(rep.max, 1000);
+    EXPECT_EQ(rep.tail_ops, 2u) << "ops at or above the p99 value";
+    EXPECT_EQ(rep.tail_retransmits, 4u);
+    EXPECT_EQ(rep.top_cat, 3u) << "cat 3 dominates the tail ops";
+    EXPECT_GT(rep.top_cat_share, 0.99);
+    EXPECT_EQ(rep.all_cat_cycles[0], 500u);
+}
+
+TEST_F(ObsTest, SloRecordingGateIsProcessWide)
+{
+    EXPECT_FALSE(sloRecording());
+    setSloRecording(true);
+    EXPECT_TRUE(sloRecording());
+    setSloRecording(false);
+    EXPECT_FALSE(sloRecording());
+}
+
+// ---- chrome export of op spans ----------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceExportStitchesOpSpansById)
+{
+    RIO_REQUIRE_OBS_COMPILED();
+    timeline().setRecording(true);
+    const u16 pid = timeline().allocPid();
+    const u64 trace = 0xabcd01;
+
+    Event post;
+    post.kind = Ev::kOpPost;
+    post.t = 1000;
+    post.pid = pid;
+    post.trace = trace;
+    timeline().emit(post);
+
+    Event wire;
+    wire.kind = Ev::kWireTx;
+    wire.t = 1600;
+    wire.dur_ns = 600;
+    wire.pid = pid;
+    wire.trace = trace;
+    timeline().emit(wire);
+
+    Event rtx;
+    rtx.kind = Ev::kRetransmit;
+    rtx.t = 1800;
+    rtx.pid = pid;
+    rtx.trace = trace;
+    timeline().emit(rtx);
+
+    Event cqe;
+    cqe.kind = Ev::kOpCqe;
+    cqe.t = 2500;
+    cqe.pid = pid;
+    cqe.trace = trace;
+    timeline().emit(cqe);
+
+    const std::string path = "/tmp/rio_obs_op_trace_test.json";
+    ASSERT_TRUE(timeline().writeChromeTrace(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::remove(path.c_str());
+
+    EXPECT_NE(json.find("\"cat\": \"op\""), std::string::npos);
+    EXPECT_NE(json.find("\"id2\": {\"global\": \"0xabcd01\"}"),
+              std::string::npos)
+        << "op spans stitch cross-machine via the global id2";
+    EXPECT_NE(json.find("\"ph\": \"n\""), std::string::npos)
+        << "retransmit renders as an async instant on the op";
+    EXPECT_NE(json.find("\"rioMeta\""), std::string::npos)
+        << "export carries recorded/dropped accounting";
+    EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
 }
 
 } // namespace
