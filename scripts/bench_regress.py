@@ -4,12 +4,17 @@
 Runs the quick deterministic sweeps (RIO_BENCH_QUICK=1, --threads 1,
 RIO_JSON_STABLE=1), flattens the numbers that must not drift into a
 ledger keyed "bench/point", and either writes the ledger or diffs it
-against the checked-in baseline (BENCH_9.json) with per-metric
-tolerance bands:
+against the checked-in baseline with per-metric tolerance bands.
+Two suites exist: "core" (the PR 9 ledger, BENCH_9.json — per-packet
+cycles, cluster ops, tail latencies) and "migrate" (the PR 10 ledger,
+BENCH_10.json — live-migration blackout, pages shipped, state freight
+and live-ring counts from bench_migration):
 
   python3 scripts/bench_regress.py --build build --out BENCH_9.json
   python3 scripts/bench_regress.py --build build \
       --baseline BENCH_9.json --check
+  python3 scripts/bench_regress.py --build build --suite migrate \
+      --baseline BENCH_10.json --check
 
 The simulation is deterministic, so in-tolerance drift normally means
 exactly zero drift; the bands exist so an intentional model change
@@ -28,13 +33,16 @@ import subprocess
 import sys
 import tempfile
 
-# Relative tolerance per gated metric.
+# Relative tolerance per gated metric. Metrics absent here are gated
+# exactly (the simulation is deterministic; page and ring counts must
+# not move at all without a regenerated ledger).
 TOLERANCES = {
     "cycles_per_pkt": 0.02,
     "cycles_per_op": 0.02,
     "avg_burst": 0.02,
     "p99_ns": 0.05,
     "p999_ns": 0.05,
+    "blackout_ns": 0.05,
 }
 
 ENV = dict(os.environ, RIO_BENCH_QUICK="1", RIO_JSON_STABLE="1")
@@ -94,6 +102,27 @@ def collect(build):
             "host": host}
 
 
+def collect_migrate(build):
+    """Live-migration ledger: every sweep point bench_migration emits
+    (base platform x mode grid, rIOMMU scaling, dirty-rate pressure,
+    lossy stream), gating the headline claims — blackout within its
+    band, pages shipped / state freight / live rings exact."""
+    entries = {}
+    for row in run_bench(build, "bench_migration",
+                         ["--quick", "--threads", "1"]):
+        if "blackout_ns" not in row:
+            continue  # compat/base rows carry no migration metrics
+        key = (f"migrate/{row['variant']}/{row['mode']}"
+               f"/{row['platform']}/q{row['app_qps']}/p{row['pages']}")
+        entries[key] = {
+            "blackout_ns": row["blackout_ns"],
+            "pages_shipped": row["pages_shipped"],
+            "state_bytes": row["state_bytes"],
+            "live_rings": row["live_rings"],
+        }
+    return {"schema": 1, "quick": True, "entries": entries, "host": {}}
+
+
 def check(ledger, baseline):
     base = baseline["entries"]
     cur = ledger["entries"]
@@ -124,13 +153,17 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build", required=True,
                     help="CMake build dir holding bench/ binaries")
+    ap.add_argument("--suite", choices=("core", "migrate"),
+                    default="core",
+                    help="which ledger to collect (default: core)")
     ap.add_argument("--out", help="write the ledger here")
     ap.add_argument("--baseline", help="checked-in ledger to diff")
     ap.add_argument("--check", action="store_true",
                     help="fail if any gated metric leaves its band")
     args = ap.parse_args()
 
-    ledger = collect(args.build)
+    collector = collect_migrate if args.suite == "migrate" else collect
+    ledger = collector(args.build)
     n = len(ledger["entries"])
 
     if args.out:

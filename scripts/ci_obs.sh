@@ -111,8 +111,12 @@ print(f"cluster trace OK: {len(posts)} ops, {len(cqes)} CQEs, "
 EOF
 
 # Perf-regression ledger: the quick deterministic sweeps must stay
-# inside the tolerance bands of the checked-in BENCH_9.json.
+# inside the tolerance bands of the checked-in BENCH_9.json, and the
+# live-migration sweep (blackout, pages shipped, state freight, live
+# rings) inside those of BENCH_10.json.
 python3 scripts/bench_regress.py --build "$BUILD_DIR" \
     --baseline BENCH_9.json --check
+python3 scripts/bench_regress.py --build "$BUILD_DIR" \
+    --suite migrate --baseline BENCH_10.json --check
 
 echo "observability lane passed"

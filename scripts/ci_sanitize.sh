@@ -96,4 +96,10 @@ scripts/ci_cluster.sh
 # full storm sweep, all under ASan (its own build dir).
 scripts/ci_wire.sh
 
+# Live-migration lane: pre-copy over the hostile wire, blackout
+# teardown, per-platform state replay — migration suite, MigrateFuzz
+# soak and the golden_migrate gate, all under ASan (its own build
+# dir).
+scripts/ci_migrate.sh
+
 echo "sanitized tier-1 suite passed"

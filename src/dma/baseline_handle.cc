@@ -54,6 +54,118 @@ BaselineDmaHandle::setIovaCoreCache(u32 rounds)
 }
 
 Result<DmaMapping>
+BaselineDmaHandle::mapSuper(u16 rid, PhysAddr pa, u32 size,
+                            iommu::DmaDir dir, bool *handled)
+{
+    constexpr u64 kHugePfns = iommu::IoPageTable::kHugePfns;
+    constexpr u64 kHugeBytes = kHugePfns << kPageShift;
+    const u64 region_base = pa & ~(kHugeBytes - 1);
+    if (pa + size > region_base + kHugeBytes) {
+        // Straddles a 2 MB boundary; the 4K path handles it.
+        *handled = false;
+        return DmaMapping{};
+    }
+    *handled = true;
+    const u64 phys_base_pfn = region_base >> kPageShift;
+    auto it = super_by_phys_.find(phys_base_pfn);
+    if (it == super_by_phys_.end()) {
+        // First mapping in this region pays for it: one size-aligned
+        // IOVA allocation (the allocators size-align, so the result
+        // is 2 MB aligned) and one huge-leaf install. Permissions are
+        // kBidir — the region outlives any single mapping's
+        // direction, the superpage granularity tradeoff.
+        auto range = allocator_->alloc(kHugePfns);
+        if (!range.isOk())
+            return range.status();
+        RIO_ASSERT(range.value().pfn_lo % kHugePfns == 0,
+                   "IOVA allocator returned unaligned superpage range");
+        Status s = table_.mapHuge(range.value().pfn_lo, phys_base_pfn,
+                                  iommu::DmaDir::kBidir);
+        if (!s) {
+            allocator_->free(range.value().pfn_lo);
+            return s;
+        }
+        it = super_by_phys_
+                 .emplace(phys_base_pfn,
+                          SuperRegion{range.value().pfn_lo,
+                                      phys_base_pfn, 0})
+                 .first;
+        super_phys_by_iova_[range.value().pfn_lo] = phys_base_pfn;
+    }
+    charge(cycles::Cat::kMapOther, cost_.map_other);
+    ++it->second.refs;
+    ++live_;
+    DmaMapping m;
+    m.device_addr =
+        (it->second.iova_base_pfn << kPageShift) + (pa - region_base);
+    m.pa = pa;
+    m.size = size;
+    super_live_.emplace(m.device_addr,
+                        LiveMappingInfo{m.device_addr, size, rid});
+    (void)dir;
+    return m;
+}
+
+Status
+BaselineDmaHandle::unmapSuper(const DmaMapping &mapping, bool *handled)
+{
+    constexpr u64 kHugePfns = iommu::IoPageTable::kHugePfns;
+    const u64 iova_base_pfn =
+        (mapping.device_addr >> kPageShift) & ~(kHugePfns - 1);
+    auto pit = super_phys_by_iova_.find(iova_base_pfn);
+    if (pit == super_phys_by_iova_.end()) {
+        *handled = false;
+        return Status::ok();
+    }
+    *handled = true;
+    SuperRegion &region = super_by_phys_.at(pit->second);
+    RIO_ASSERT(region.refs > 0, "superpage unmap with no refs");
+    RIO_ASSERT(live_ > 0, "unmap with no live mappings");
+    --live_;
+    if (auto lit = super_live_.find(mapping.device_addr);
+        lit != super_live_.end())
+        super_live_.erase(lit);
+    if (--region.refs > 0) {
+        // The region stays translated for its other users; this unmap
+        // is bookkeeping only (the superpage amortization).
+        charge(cycles::Cat::kUnmapOther, cost_.unmap_other);
+        return Status::ok();
+    }
+    // Last unref: tear the huge leaf down, then invalidate. VT-d's
+    // page-selective invalidation takes an address mask, so one
+    // descriptor covers the whole 2 MB region; the hardware-side
+    // purge of any cached 4K entries inside it is uncharged.
+    Status s = table_.unmapHuge(region.iova_base_pfn);
+    if (!s)
+        return s;
+    const u64 iova_lo = region.iova_base_pfn;
+    super_phys_by_iova_.erase(pit);
+    super_by_phys_.erase(region.phys_base_pfn);
+    if (modeDefersInvalidation(mode_)) {
+        charge(cycles::Cat::kUnmapIotlbInv, cost_.iotlb_invalidate_queued);
+        charge(cycles::Cat::kUnmapOther,
+               cost_.unmap_other + cost_.defer_list_op);
+        defer_queue_.push_back(iova_lo);
+        if (defer_queue_.size() >= kDeferBatch)
+            flushDeferred();
+        return Status::ok();
+    }
+    Status qs = inval_queue_.invalidateEntrySync(bdf_, iova_lo, acct_);
+    if (!qs.isOk()) {
+        qs = recoverInvalidation();
+        if (!qs.isOk())
+            return qs;
+    }
+    for (u64 i = 0; i < kHugePfns; ++i)
+        iommu_.iotlb().invalidateEntry(bdf_.pack(), iova_lo + i);
+    Status fs = allocator_->free(iova_lo);
+    if (!fs)
+        return fs;
+    charge(cycles::Cat::kUnmapOther, cost_.unmap_other);
+    return Status::ok();
+}
+
+Result<DmaMapping>
 BaselineDmaHandle::mapImpl(u16 rid, PhysAddr pa, u32 size,
                        iommu::DmaDir dir)
 {
@@ -61,6 +173,12 @@ BaselineDmaHandle::mapImpl(u16 rid, PhysAddr pa, u32 size,
         return Status(ErrorCode::kDetached, "map through detached BDF");
     if (size == 0)
         return Status(ErrorCode::kInvalidArgument, "map of empty buffer");
+    if (superpages_) {
+        bool handled = false;
+        auto m = mapSuper(rid, pa, size, dir, &handled);
+        if (handled)
+            return m;
+    }
     const u64 npages = pagesSpanned(pa, size);
 
     auto range = allocator_->alloc(npages); // charged: map/iova alloc
@@ -88,6 +206,12 @@ BaselineDmaHandle::mapImpl(u16 rid, PhysAddr pa, u32 size,
 Status
 BaselineDmaHandle::unmapImpl(const DmaMapping &mapping, bool /*end_of_burst*/)
 {
+    if (superpages_) {
+        bool handled = false;
+        Status s = unmapSuper(mapping, &handled);
+        if (handled)
+            return s;
+    }
     const u64 iova_pfn = mapping.device_addr >> kPageShift;
 
     auto found = allocator_->find(iova_pfn); // charged: unmap/iova find
@@ -145,6 +269,11 @@ BaselineDmaHandle::mapSg(u16 rid, const std::vector<SgEntry> &sg,
         return Status(ErrorCode::kDetached, "map through detached BDF");
     if (sg.empty())
         return Status(ErrorCode::kInvalidArgument, "empty sg list");
+    if (superpages_) {
+        // Per-element mapping lets each buffer share its 2 MB region;
+        // a contiguous fresh range would defeat the whole point.
+        return DmaHandle::mapSg(rid, sg, dir);
+    }
     u64 total_pages = 0;
     for (const SgEntry &e : sg) {
         if (e.len == 0)
@@ -192,6 +321,8 @@ BaselineDmaHandle::unmapSg(const std::vector<DmaMapping> &mappings,
 {
     if (mappings.empty())
         return Status(ErrorCode::kInvalidArgument, "empty sg list");
+    if (superpages_)
+        return DmaHandle::unmapSg(mappings, end_of_burst);
     // The first element's address identifies the shared range; the
     // regular unmap path releases all of its pages at once.
     return unmap(mappings.front(), end_of_burst);
@@ -276,8 +407,10 @@ std::vector<LiveMappingInfo>
 BaselineDmaHandle::liveMappingList() const
 {
     std::vector<LiveMappingInfo> out;
-    out.reserve(live_map_.size());
+    out.reserve(live_map_.size() + super_live_.size());
     for (const auto &[pfn_lo, info] : live_map_)
+        out.push_back(info);
+    for (const auto &[addr, info] : super_live_)
         out.push_back(info);
     return out;
 }

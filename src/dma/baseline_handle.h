@@ -103,6 +103,12 @@ class BaselineDmaHandle : public DmaHandle
     /** Per-core magazine pair for the magazine modes; see DmaHandle. */
     void setIovaCoreCache(u32 rounds) override;
 
+    /** Stage-1 superpages; see DmaHandle. */
+    void setStage1Superpages(bool on) override { superpages_ = on; }
+
+    /** Live 2 MB stage-1 regions (tests). */
+    u64 superRegions() const { return super_by_phys_.size(); }
+
     iommu::IoPageTable &pageTable() { return table_; }
     iova::IovaAllocator &allocator() { return *allocator_; }
     iommu::InvalQueue &invalQueue() { return inval_queue_; }
@@ -139,6 +145,23 @@ class BaselineDmaHandle : public DmaHandle
      */
     Status recoverInvalidation();
 
+    /** One live 2 MB superpage region (stage-1 superpage mode). */
+    struct SuperRegion
+    {
+        u64 iova_base_pfn = 0;
+        u64 phys_base_pfn = 0;
+        u32 refs = 0;
+    };
+
+    /** Superpage-path map body; null result means "fall back to 4K"
+     * (buffer straddles a 2 MB boundary). */
+    Result<DmaMapping> mapSuper(u16 rid, PhysAddr pa, u32 size,
+                                iommu::DmaDir dir, bool *handled);
+
+    /** Superpage-path unmap body; @p handled false means the mapping
+     * is a plain 4K-range one. */
+    Status unmapSuper(const DmaMapping &mapping, bool *handled);
+
     ProtectionMode mode_;
     iommu::Iommu &iommu_;
     mem::PhysicalMemory &pm_;
@@ -154,6 +177,12 @@ class BaselineDmaHandle : public DmaHandle
     // pfn_lo, so the leak detector can name ring + IOVA of anything
     // that survives a quiesce. Pure bookkeeping — never charged.
     std::unordered_map<u64, LiveMappingInfo> live_map_;
+
+    // ---- stage-1 superpage state (off unless setStage1Superpages) ---
+    bool superpages_ = false;
+    std::unordered_map<u64, SuperRegion> super_by_phys_; //!< key: phys base pfn
+    std::unordered_map<u64, u64> super_phys_by_iova_;    //!< iova base -> phys base
+    std::unordered_multimap<u64, LiveMappingInfo> super_live_; //!< by device_addr
 };
 
 } // namespace rio::dma

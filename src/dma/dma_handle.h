@@ -160,6 +160,21 @@ class DmaHandle
      */
     virtual void setIovaCoreCache(u32 /*rounds*/) {}
 
+    /**
+     * Back the handle's own (stage-1) I/O page table with 2 MB
+     * superpage leaves: mappings that fit inside one 2 MB physical
+     * region share a single huge translation, installed on first
+     * touch and torn down (one masked invalidation) on last unref.
+     * Protection granularity coarsens to the region — the documented
+     * superpage tradeoff — and walks terminate a level early, which
+     * is what closes the nested 2-D gap toward the ~15-ref ideal.
+     * Only the baseline radix modes have a stage-1 table; everywhere
+     * else this is a no-op so sweeps can set it unconditionally.
+     * Flip before traffic; mixing with live 4K mappings is not
+     * modeled.
+     */
+    virtual void setStage1Superpages(bool /*on*/) {}
+
     // ---- device lifecycle (quiesce protocol + surprise removal) -------
     // Virtual for the same reason as the fault API: decorators must
     // forward lifecycle calls to the handle that owns the real state.

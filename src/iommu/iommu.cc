@@ -159,6 +159,13 @@ Iommu::translate(Bdf bdf, IovaAddr iova, Access access)
     int refs = 0;
     auto pte = table->walk(iova_pfn, &levels, stage2_, &refs);
     PhysAddr page_pa = pte.isOk() ? pte.value().addr() : 0;
+    if (pte.isOk() && pte.value().huge()) {
+        // A stage-1 2 MB leaf holds the region base; compose the
+        // 4K page's address inside it so the per-pfn IOTLB entry and
+        // the stage-2 data translation both see the right frame.
+        page_pa +=
+            (iova_pfn & (IoPageTable::kHugePfns - 1)) << kPageShift;
+    }
     if (pte.isOk() && stage2_) {
         // The leaf PTE holds a guest-physical frame; the data access
         // itself needs one more stage-2 translation. This completes

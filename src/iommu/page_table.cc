@@ -172,7 +172,35 @@ IoPageTable::mapHuge(u64 iova_pfn, u64 phys_pfn, DmaDir dir)
     ++huge_mappings_;
     if (traps_)
         traps_->onTableWrite({TableWrite::Kind::kRadixPte, iova_pfn,
-                              phys_pfn, true},
+                              phys_pfn, true, /*huge=*/true},
+                             acct_);
+    return Status::ok();
+}
+
+Status
+IoPageTable::unmapHuge(u64 iova_pfn)
+{
+    RIO_ASSERT(iova_pfn % kHugePfns == 0,
+               "huge unmap must be 2 MB aligned");
+    int levels = 0;
+    const PhysAddr leaf_table =
+        descend(iova_pfn, false, &levels, kLevels - 1);
+    chargeUpdate(cycles::Cat::kUnmapPageTable, levels);
+    if (!leaf_table)
+        return Status(ErrorCode::kNotFound,
+                      "huge unmap of unmapped region");
+    const PhysAddr slot =
+        leaf_table + levelIndex(iova_pfn, kLevels - 1) * 8;
+    Pte existing{pm_.read64(slot)};
+    if (!existing.present() || !existing.huge())
+        return Status(ErrorCode::kNotFound,
+                      "huge unmap of non-huge slot");
+    pm_.write64(slot, 0);
+    mapped_pages_ -= kHugePfns;
+    --huge_mappings_;
+    if (traps_)
+        traps_->onTableWrite({TableWrite::Kind::kRadixPte, iova_pfn, 0,
+                              false, /*huge=*/true},
                              acct_);
     return Status::ok();
 }

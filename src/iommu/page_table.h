@@ -131,6 +131,13 @@ class IoPageTable
      */
     Status unmap(u64 iova_pfn);
 
+    /**
+     * Remove a 2 MB huge leaf installed by mapHuge(). One table store
+     * clears kHugePfns pages of reach; fails with kNotFound if the
+     * slot holds no huge leaf (a 4K hierarchy there is not touched).
+     */
+    Status unmapHuge(u64 iova_pfn);
+
     /** Unmap @p npages consecutive pfns. */
     Status unmapRange(u64 iova_pfn, u64 npages);
 

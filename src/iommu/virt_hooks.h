@@ -63,6 +63,8 @@ struct TableWrite
     u64 iova_pfn = 0;   //!< page frame the entry translates
     u64 phys_pfn = 0;   //!< target frame (0 when tearing down)
     bool valid = false; //!< entry made valid (map) or invalid (unmap)
+    bool huge = false;  //!< 2 MB leaf (shadow must mirror at the same
+                        //!< granularity)
 };
 
 /**

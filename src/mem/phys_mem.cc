@@ -57,6 +57,8 @@ PhysicalMemory::write(PhysAddr addr, const void *src, u64 size)
 {
     RIO_ASSERT(addr + size <= capacity_ && addr + size >= addr,
                "phys write out of range: addr=", addr, " size=", size);
+    if (observer_)
+        observer_(addr, size);
     const auto *in = static_cast<const u8 *>(src);
     while (size > 0) {
         const u64 in_page = std::min(size, kPageSize - (addr & kPageMask));
@@ -113,6 +115,8 @@ PhysicalMemory::write8(PhysAddr addr, u8 value)
 void
 PhysicalMemory::fillZero(PhysAddr addr, u64 size)
 {
+    if (observer_ && size > 0)
+        observer_(addr, size);
     while (size > 0) {
         const u64 in_page = std::min(size, kPageSize - (addr & kPageMask));
         Frame &frame = frameFor(addr);
@@ -155,6 +159,19 @@ PhysicalMemory::allocContiguous(u64 size)
     const PhysAddr addr = fn << kPageShift;
     fillZero(addr, npages * kPageSize);
     return addr;
+}
+
+std::vector<u64>
+PhysicalMemory::touchedFramesIn(PhysAddr lo, PhysAddr hi) const
+{
+    std::vector<u64> out;
+    const u64 fn_lo = lo >> kPageShift;
+    const u64 fn_hi = (hi + kPageMask) >> kPageShift;
+    for (const auto &[fn, frame] : frames_)
+        if (fn >= fn_lo && fn < fn_hi && frame)
+            out.push_back(fn);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,24 @@ class PhysicalMemory
     /** Zero [addr, addr+size). */
     void fillZero(PhysAddr addr, u64 size);
 
+    // ---- write observation ----------------------------------------------
+    /**
+     * Invoked on every mutation of physical memory (all write paths
+     * funnel through write()/fillZero()). One observer at a time;
+     * null clears it. Used by the migration engine for dirty-page
+     * tracking — the hook is host-side only and charges no simulated
+     * cycles.
+     */
+    using WriteObserver = std::function<void(PhysAddr addr, u64 size)>;
+    void setWriteObserver(WriteObserver cb) { observer_ = std::move(cb); }
+
+    /**
+     * Frame numbers (addr >> kPageShift) of every materialized frame
+     * intersecting [lo, hi), sorted ascending. Untouched frames are
+     * all-zero by construction and need not be enumerated.
+     */
+    std::vector<u64> touchedFramesIn(PhysAddr lo, PhysAddr hi) const;
+
     // ---- allocation -----------------------------------------------------
     /** Allocate one zeroed 4 KB frame; returns its physical address. */
     PhysAddr allocFrame();
@@ -99,6 +118,7 @@ class PhysicalMemory
     u64 allocated_frames_ = 0;
     std::vector<u64> freelist_;
     mutable std::unordered_map<u64, std::unique_ptr<Frame>> frames_;
+    WriteObserver observer_;
 };
 
 } // namespace rio::mem

@@ -31,6 +31,7 @@ evName(Ev ev)
       case Ev::kIngressQ: return "ingress";
       case Ev::kRetransmit: return "retransmit";
       case Ev::kTargetWalk: return "target_walk";
+      case Ev::kMigPhase: return "mig_phase";
       case Ev::kNumEvents: break;
     }
     RIO_PANIC("bad Ev");

@@ -58,6 +58,7 @@ enum class Ev : u8 {
     kIngressQ,     //!< ingress port queueing (async span; dur = wait)
     kRetransmit,   //!< go-back-N replay episode (instant; arg=psn)
     kTargetWalk,   //!< remote access walked the target IOMMU (instant)
+    kMigPhase,     //!< live-migration phase edge (instant; arg=phase)
     kNumEvents
 };
 

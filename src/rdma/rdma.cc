@@ -87,6 +87,7 @@ RdmaNic::sendAt(u32 dst_nic, Nanos when, WireMsg msg)
 {
     RIO_ASSERT(send_, "RdmaNic wire not connected");
     msg.src_nic = nic_id_;
+    msg.dst_nic = dst_nic;
     if (obs::kObsCompiled && msg.trace) {
         // Wire-transit child span of the op: [send, arrival] on the
         // sender's track (propagation + serialization; hostile-wire
@@ -447,6 +448,100 @@ RdmaNic::postRead(u32 qp, u32 bytes, u64 roffset)
     return true;
 }
 
+bool
+RdmaNic::postMigPage(u32 qp, PhysAddr src_pa, u32 bytes, u64 gfn)
+{
+    return postMig(qp, src_pa, bytes, gfn, /*state=*/false);
+}
+
+bool
+RdmaNic::postMigState(u32 qp, PhysAddr src_pa, u32 bytes, u64 tag)
+{
+    return postMig(qp, src_pa, bytes, tag, /*state=*/true);
+}
+
+bool
+RdmaNic::postMig(u32 qp, PhysAddr src_pa, u32 bytes, u64 tag,
+                 bool state)
+{
+    // postWrite's twin for the hypervisor's migration stream: the
+    // payload source is an arbitrary physical page (guest RAM or a
+    // serialized-state scratch buffer), mapped per-op into the data
+    // ring so the device fetch translates through the source IOMMU
+    // and the unmap rides the end-of-burst amortization. The chunk
+    // ceiling is a whole page, not max_req_bytes.
+    Qp &q = qps_[qp];
+    if (q.state != QpState::kEstablished ||
+        q.inflight >= profile_.sq_depth || bytes == 0 ||
+        bytes > kMigChunkBytes) {
+        ++stats_.posts_blocked;
+        return false;
+    }
+    if (q.ops[q.sq_tail].active) {
+        // Same ring-occupancy guard as postWrite.
+        ++stats_.posts_blocked;
+        return false;
+    }
+    const bool slo = obs::sloRecording();
+    std::array<u64, obs::kSloMaxCats> cat0{};
+    if (slo)
+        cat0 = sloSnapshot();
+    const u64 trace = core_.nextTraceId();
+    obs::TraceScope tscope(trace);
+    charge(profile_.post_cycles);
+    auto m = handle_.map(dataRid(qp), src_pa, bytes,
+                         iommu::DmaDir::kToDevice);
+    if (!m.isOk()) {
+        ++stats_.posts_blocked;
+        return false;
+    }
+    const u32 w = q.sq_tail;
+    q.sq_tail = (q.sq_tail + 1) % profile_.sq_depth;
+    Op op;
+    op.active = true;
+    op.is_mig = true;
+    op.is_state = state;
+    op.bytes = bytes;
+    op.psn = q.next_psn++;
+    op.roffset = tag;
+    op.post_ns = core_.virtualNow();
+    op.trace = trace;
+    op.map = m.value();
+    q.ops[w] = op;
+    const PhysAddr wqe = q.sq_pa + static_cast<u64>(w) * kWqeBytes;
+    pm_.write64(wqe, (static_cast<u64>(state ? 4 : 3) << 32) | bytes);
+    pm_.write64(wqe + 8, m.value().device_addr);
+    ++q.inflight;
+    ++inflight_total_;
+    ++stats_.posts;
+    if (state)
+        ++stats_.mig_state_sent;
+    else
+        ++stats_.mig_pages_sent;
+    stats_.mig_bytes_sent += bytes;
+    stats_.bytes_sent += bytes;
+    if (slo) {
+        auto delta = sloSnapshot();
+        for (size_t c = 0; c < obs::kSloMaxCats; ++c)
+            delta[c] -= cat0[c];
+        slo_post_cats_[(static_cast<u64>(qp) << 32) | w] = delta;
+    }
+    if (obs::kObsCompiled) {
+        obs::Event ev;
+        ev.kind = obs::Ev::kOpPost;
+        ev.t = core_.virtualNow();
+        ev.trace = trace;
+        ev.arg = bytes;
+        ev.arg2 = (static_cast<u64>(qp) << 32) | w;
+        ev.pid = core_.obsPid();
+        ev.tid = core_.obsTid();
+        obs::timeline().emit(ev);
+    }
+    sim_.scheduleAt(core_.virtualNow() + profile_.doorbell_ns,
+                    [this, qp, w] { deviceFetchWqe(qp, w); });
+    return true;
+}
+
 void
 RdmaNic::deviceFetchWqe(u32 qp, u32 w)
 {
@@ -496,7 +591,9 @@ RdmaNic::deviceFetchWqe(u32 qp, u32 w)
         completeOp(qp, w, false);
         return;
     }
-    msg.kind = MsgKind::kWrite;
+    msg.kind = op.is_mig ? (op.is_state ? MsgKind::kMigState
+                                        : MsgKind::kMigPage)
+                         : MsgKind::kWrite;
     op.sent = true;
     op.last_tx = sim_.now();
     sendAt(q.peer_nic, wireArrival(sim_.now(), op.bytes),
@@ -533,6 +630,8 @@ RdmaNic::onDataAccess(const WireMsg &msg)
             // must fault, a stale deferred window lets it land.
             late = true;
             ++stats_.late_arrivals;
+            if (migrated_away_)
+                ++stats_.migrated_away_arrivals;
         } else if (msg.psn == rq->epsn) {
             ++rq->epsn;
             rq->nak_armed = false;
@@ -575,15 +674,35 @@ RdmaNic::onDataAccess(const WireMsg &msg)
         ev.tid = core_.obsTid();
         obs::timeline().emit(ev);
     };
-    if (msg.kind == MsgKind::kWrite) {
-        ++stats_.remote_writes;
-        Status s = handle_.deviceWrite(msg.rkey + msg.offset,
-                                       msg.payload.data(), msg.len);
-        if (late) {
+    if (msg.kind != MsgKind::kRead) {
+        Status s;
+        if (msg.kind == MsgKind::kWrite) {
+            ++stats_.remote_writes;
+            s = handle_.deviceWrite(msg.rkey + msg.offset,
+                                    msg.payload.data(), msg.len);
+        } else {
+            // Migration chunk: the hypervisor sink applies it (a page
+            // into guest RAM through THIS machine's IOMMU, or a state
+            // blob). A chunk that outlived its stream — or arrived
+            // where no migration is in progress — NAKs.
+            s = mig_sink_ ? mig_sink_(msg)
+                          : Status(ErrorCode::kInvalidArgument,
+                                   "no migration sink");
             if (s.isOk())
-                ++stats_.late_landed;
+                ++stats_.mig_applied;
             else
+                ++stats_.mig_apply_faults;
+        }
+        if (late) {
+            if (s.isOk()) {
+                ++stats_.late_landed;
+                if (migrated_away_)
+                    ++stats_.migrated_away_landed;
+            } else {
                 ++stats_.late_faulted;
+                if (migrated_away_)
+                    ++stats_.migrated_away_faulted;
+            }
         }
         walkEvent(s.isOk());
         reply.ok = s.isOk();
@@ -599,10 +718,15 @@ RdmaNic::onDataAccess(const WireMsg &msg)
     Status s = handle_.deviceRead(msg.rkey + msg.offset,
                                   reply.payload.data(), msg.len);
     if (late) {
-        if (s.isOk())
+        if (s.isOk()) {
             ++stats_.late_landed;
-        else
+            if (migrated_away_)
+                ++stats_.migrated_away_landed;
+        } else {
             ++stats_.late_faulted;
+            if (migrated_away_)
+                ++stats_.migrated_away_faulted;
+        }
     }
     walkEvent(s.isOk());
     reply.ok = s.isOk();
@@ -1112,6 +1236,8 @@ RdmaNic::fromWire(const WireMsg &msg)
         return;
     case MsgKind::kWrite:
     case MsgKind::kRead:
+    case MsgKind::kMigPage:
+    case MsgKind::kMigState:
         onDataAccess(msg);
         return;
     case MsgKind::kAck:

@@ -73,6 +73,11 @@ const RdmaProfile &rnicProfile();
 inline constexpr u32 kWqeBytes = 32;
 inline constexpr u32 kCqeBytes = 16;
 
+/** Migration chunk ceiling: one guest page. Mig posts are exempt
+ * from RdmaProfile::max_req_bytes (the NIC segments large requests
+ * internally; modeled as one wire message) but never exceed this. */
+inline constexpr u32 kMigChunkBytes = 4096;
+
 /** rRING id helpers (see file header). */
 inline u16 ctrlRid(u32 qp) { return static_cast<u16>(1 + 2 * qp); }
 inline u16 dataRid(u32 qp) { return static_cast<u16>(2 + 2 * qp); }
@@ -93,13 +98,16 @@ enum class MsgKind : u8 {
     kNakSeq,      //!< out-of-sequence NAK: psn = expected PSN
     kClose,       //!< orderly teardown
     kCloseAck,
-    kQpError      //!< async peer notification of a QP error
+    kQpError,     //!< async peer notification of a QP error
+    kMigPage,     //!< live-migration page: payload into the target sink
+    kMigState     //!< live-migration vIOMMU/device state chunk
 };
 
 struct WireMsg
 {
     MsgKind kind = MsgKind::kAck;
     u32 src_nic = 0;
+    u32 dst_nic = 0; //!< receiver NIC id (routes multi-NIC machines)
     u32 src_qp = 0; //!< sender-side QP index
     u32 dst_qp = 0; //!< receiver-side QP index (except kConnect)
     u32 wqe = 0;    //!< initiator op slot, echoed in replies
@@ -179,6 +187,21 @@ struct RdmaStats
     u64 late_arrivals = 0;
     u64 late_faulted = 0;
     u64 late_landed = 0;
+
+    // Migration stream (zero unless a Migrator drives this NIC).
+    u64 mig_pages_sent = 0;  //!< kMigPage ops posted (requester)
+    u64 mig_state_sent = 0;  //!< kMigState ops posted (requester)
+    u64 mig_bytes_sent = 0;  //!< payload bytes across both kinds
+    u64 mig_applied = 0;     //!< sink applies that succeeded (target)
+    u64 mig_apply_faults = 0; //!< sink applies the target IOMMU refused
+    /** The "migrated-away" tier of the late-arrival ledger: data
+     * packets that reached this NIC after its guest was migrated
+     * off the machine. Like late_*, faulted means the source IOMMU
+     * (or the detached handle) stopped the stray; landed means it
+     * hit memory the guest no longer owns. */
+    u64 migrated_away_arrivals = 0;
+    u64 migrated_away_faulted = 0;
+    u64 migrated_away_landed = 0;
 };
 
 /**
@@ -201,6 +224,11 @@ class RdmaNic
     /** void(qp, peer_nic): a QP finished its error drain and was
      * freed; the driver decides reconnect vs abandon. */
     using QpErrorCb = std::function<void(u32, u32)>;
+    /** Status(msg): target-side apply of one kMigPage / kMigState
+     * chunk (the live-migration sink). Must be idempotent — under
+     * loss the go-back-N layer replays chunks, and wire duplicates
+     * re-deliver them. */
+    using MigSinkFn = std::function<Status(const WireMsg &)>;
 
     RdmaNic(des::Simulator &sim, des::Core &core,
             mem::PhysicalMemory &pm, dma::DmaHandle &handle,
@@ -212,6 +240,15 @@ class RdmaNic
     void setSendFn(SendFn fn) { send_ = std::move(fn); }
     void setCompletionCallback(CompletionCb cb) { on_completion_ = std::move(cb); }
     void setQpErrorCallback(QpErrorCb cb) { on_qp_error_ = std::move(cb); }
+    void setMigSink(MigSinkFn fn) { mig_sink_ = std::move(fn); }
+
+    /**
+     * Mark the guest this NIC served as migrated off the machine:
+     * subsequent late arrivals are attributed to the migrated-away
+     * tier of the ledger (see RdmaStats). The NIC itself keeps
+     * running — strays must still hit the IOMMU to be classified.
+     */
+    void setMigratedAway(bool on) { migrated_away_ = on; }
 
     /** Arm the RoCE reliability layer. Call before any traffic. */
     void setReliability(const ReliabilityConfig &rel) { rel_ = rel; }
@@ -243,6 +280,21 @@ class RdmaNic
     /** Post an RDMA read of @p bytes from the peer MR at @p roffset
      * into the QP's read buffer. */
     bool postRead(u32 qp, u32 bytes, u64 roffset = 0);
+
+    /**
+     * Post one live-migration page: @p bytes from local physical
+     * @p src_pa (mapped into the QP's data ring, so the fetch
+     * translates through OUR IOMMU) toward the peer's migration
+     * sink, tagged with @p gfn. Rides the same PSN window as writes —
+     * exempt from max_req_bytes (pages are 4 KB; the NIC segments
+     * internally, modeled as one request). Same false-means-retry
+     * contract as postWrite.
+     */
+    bool postMigPage(u32 qp, PhysAddr src_pa, u32 bytes, u64 gfn);
+
+    /** Post one vIOMMU/device state chunk (blackout phase): same
+     * mechanics as postMigPage, delivered as kMigState with @p tag. */
+    bool postMigState(u32 qp, PhysAddr src_pa, u32 bytes, u64 tag);
 
     /** Orderly close (drains in-flight ops first). */
     Status teardown(u32 qp, ClosedCb cb);
@@ -289,6 +341,9 @@ class RdmaNic
     PhysAddr readBuffer(u32 qp) const { return qps_[qp].rd_pa; }
     PhysAddr mrBuffer(u32 qp) const { return qps_[qp].mr_pa; }
     u32 peerQp(u32 qp) const { return qps_[qp].peer_qp; }
+    /** Next send-queue slot of @p qp — the WQE index the next
+     * successful post will occupy (migration chunk tracking). */
+    u32 sqTail(u32 qp) const { return qps_[qp].sq_tail; }
     u32 peerNic(u32 qp) const { return qps_[qp].peer_nic; }
     /** Device address of a QP's MR mapping (what the peer's rkey
      * names) — lets tests replay a remote access as a local DMA. */
@@ -308,6 +363,8 @@ class RdmaNic
     {
         bool active = false;
         bool is_read = false;
+        bool is_mig = false;   //!< kMigPage/kMigState op
+        bool is_state = false; //!< kMigState (valid when is_mig)
         bool sent = false;  //!< device fetched + transmitted at least once
         bool acked = false; //!< CQE generated; awaiting poll, not retx
         u32 bytes = 0;
@@ -363,6 +420,9 @@ class RdmaNic
     Status registerQp(u32 idx);
     void unregisterQp(u32 idx);
     void freeQp(u32 idx);
+    /** Shared body of postMigPage/postMigState. */
+    bool postMig(u32 qp, PhysAddr src_pa, u32 bytes, u64 tag,
+                 bool state);
     void deviceFetchWqe(u32 qp, u32 wqe);
     void completeOp(u32 qp, u32 wqe, bool ok);
     void pollCq();
@@ -399,6 +459,8 @@ class RdmaNic
     SendFn send_;
     CompletionCb on_completion_;
     QpErrorCb on_qp_error_;
+    MigSinkFn mig_sink_;
+    bool migrated_away_ = false;
     ReliabilityConfig rel_;
 
     std::vector<Qp> qps_;

@@ -58,6 +58,17 @@ struct ClusterConfig
 
     /** RoCE-style retransmit/RTO/QP-error layer (default off). */
     rdma::ReliabilityConfig reliability;
+
+    /**
+     * Live-migration overlay (default off — byte-for-bit inert): each
+     * machine additionally carries a *hypervisor* NIC (id = machines
+     * + m) with its own DMA handle, on which a migrate::Migrator runs
+     * the pre-copy stream. It shares the machine's core, IOMMU, and —
+     * under a hostile wire — the destination's ingress port, so
+     * migration traffic contends with guest traffic end to end.
+     */
+    bool migration = false;
+    u32 mig_qps = 4; //!< QP slots on each hypervisor NIC
 };
 
 /** N machines on a wire; see file header. */
@@ -75,6 +86,11 @@ class Cluster
     Machine &machine(unsigned m) { return *machines_[m]; }
     rdma::RdmaNic &nic(unsigned m) { return *nics_[m]; }
     dma::DmaHandle &handle(unsigned m) { return *handles_[m]; }
+
+    // ---- migration overlay (valid only with cfg.migration) -------------
+    bool hasMigration() const { return !mig_nics_.empty(); }
+    rdma::RdmaNic &migNic(unsigned m) { return *mig_nics_[m]; }
+    dma::DmaHandle &migHandle(unsigned m) { return *mig_handles_[m]; }
     des::ParallelEngine &engine() { return engine_; }
     des::Lane &lane(unsigned m) { return engine_.lane(m); }
 
@@ -95,12 +111,25 @@ class Cluster
     /** Stale-mapping/IOTLB audit of machine @p m's RDMA handle. */
     dma::LeakReport checkLeaks(unsigned m) const;
 
+    /** Same audit for machine @p m's hypervisor (migration) handle. */
+    dma::LeakReport checkMigLeaks(unsigned m) const;
+
     /** Sum of a stat over all NICs, e.g. totals(&RdmaStats::posts). */
     u64
     total(u64 rdma::RdmaStats::*field) const
     {
         u64 sum = 0;
         for (const auto &nic : nics_)
+            sum += nic->stats().*field;
+        return sum;
+    }
+
+    /** Same sum over the hypervisor NICs (0 when the overlay is off). */
+    u64
+    migTotal(u64 rdma::RdmaStats::*field) const
+    {
+        u64 sum = 0;
+        for (const auto &nic : mig_nics_)
             sum += nic->stats().*field;
         return sum;
     }
@@ -122,6 +151,9 @@ class Cluster
     std::vector<dma::DmaHandle *> handles_; //!< owned by the machines
     std::vector<std::unique_ptr<rdma::RdmaNic>> nics_;
     std::vector<std::unique_ptr<WirePort>> ports_; //!< armed wire only
+    // Migration overlay (empty unless cfg.migration).
+    std::vector<dma::DmaHandle *> mig_handles_;
+    std::vector<std::unique_ptr<rdma::RdmaNic>> mig_nics_;
 };
 
 } // namespace rio::sys

@@ -126,23 +126,31 @@ Machine::attachNic(const nic::NicProfile &profile, unsigned core_idx,
 void
 Machine::journal(unsigned nic_idx, LifecyclePhase phase)
 {
+    journalAt(*nodes_[nic_idx]->handle, nodes_[nic_idx]->core_idx,
+              nic_idx, phase);
+}
+
+void
+Machine::journalAt(dma::DmaHandle &h, unsigned core_idx,
+                   unsigned log_idx, LifecyclePhase phase)
+{
     obs::registry()
         .counter("lifecycle.events",
                  {{"phase", lifecyclePhaseName(phase)}})
         .inc();
-    des::Core &core = *cores_[nodes_[nic_idx]->core_idx];
+    des::Core &core = *cores_[core_idx];
     obs::Event e;
     e.kind = obs::Ev::kQuiescePhase;
     e.t = sim_.now();
     e.arg = static_cast<u64>(phase);
-    e.bdf = nodes_[nic_idx]->handle->bdf().pack();
+    e.bdf = h.bdf().pack();
     e.pid = core.obsPid();
     e.tid = core.obsTid();
     obs::timeline().emit(e);
     // Capped so churn soaks stay bounded; the stats keep counting.
     constexpr size_t kMaxLog = 1u << 20;
     if (lifecycle_log_.size() < kMaxLog)
-        lifecycle_log_.push_back({sim_.now(), nic_idx, phase});
+        lifecycle_log_.push_back({sim_.now(), log_idx, phase});
 }
 
 void
@@ -198,6 +206,33 @@ Machine::quiesceNic(unsigned i)
     if (!ds.isOk())
         return ds;
     journal(i, LifecyclePhase::kDetach);
+    ++lifecycle_stats_.quiesces;
+    return Status::ok();
+}
+
+Status
+Machine::quiesceHandle(dma::DmaHandle &h, unsigned core_idx, bool detach)
+{
+    unsigned log_idx = numNics();
+    for (size_t k = 0; k < extra_handles_.size(); ++k) {
+        if (extra_handles_[k].get() == &h) {
+            log_idx = numNics() + static_cast<unsigned>(k);
+            break;
+        }
+    }
+    journalAt(h, core_idx, log_idx, LifecyclePhase::kStopPosting);
+    journalAt(h, core_idx, log_idx, LifecyclePhase::kDrain);
+    journalAt(h, core_idx, log_idx, LifecyclePhase::kUnmapAll);
+    Status fs = h.quiesceFlush();
+    if (!fs.isOk())
+        return fs;
+    journalAt(h, core_idx, log_idx, LifecyclePhase::kFlush);
+    if (detach) {
+        Status ds = h.detach();
+        if (!ds.isOk())
+            return ds;
+        journalAt(h, core_idx, log_idx, LifecyclePhase::kDetach);
+    }
     ++lifecycle_stats_.quiesces;
     return Status::ok();
 }

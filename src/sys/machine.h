@@ -182,6 +182,24 @@ class Machine
      */
     Status quiesceNic(unsigned i);
 
+    /**
+     * The same journaled five-phase protocol for a handle attached
+     * via attachDeviceHandle() (whose device model lives outside this
+     * Machine, e.g. a Cluster's RDMA NIC). The caller must have
+     * stopped posting and drained the device before calling; the
+     * kStopPosting/kDrain phases are journaled here so the protocol
+     * reads identically in the log. Journal entries carry the index
+     * numNics() + k for extra handle k.
+     *
+     * @p detach false runs the protocol without the final BDF detach:
+     * the device stays attached to the machine (live migration — the
+     * guest leaves, the NIC does not), so a subsequent stray DMA is
+     * judged by the protection mode alone instead of bouncing off the
+     * use-after-detach guard.
+     */
+    Status quiesceHandle(dma::DmaHandle &h, unsigned core_idx = 0,
+                         bool detach = true);
+
     /** Arm surprise-unplug churn (no-op at rate 0; see
      * LifecycleChurnConfig). Call after bringUp(). */
     void armLifecycleChurn(const LifecycleChurnConfig &cfg);
@@ -240,6 +258,8 @@ class Machine
     void applyFaultConfig(dma::DmaHandle &handle);
 
     void journal(unsigned nic_idx, LifecyclePhase phase);
+    void journalAt(dma::DmaHandle &h, unsigned core_idx,
+                   unsigned log_idx, LifecyclePhase phase);
     void scheduleChurnEvent();
     void churnEvent();
 

@@ -33,6 +33,8 @@ WirePort::isDataPlane(rdma::MsgKind kind)
     case rdma::MsgKind::kAck:
     case rdma::MsgKind::kNak:
     case rdma::MsgKind::kNakSeq:
+    case rdma::MsgKind::kMigPage:
+    case rdma::MsgKind::kMigState:
         return true;
     case rdma::MsgKind::kConnect:
     case rdma::MsgKind::kAccept:
@@ -43,6 +45,14 @@ WirePort::isDataPlane(rdma::MsgKind kind)
         return false;
     }
     return false;
+}
+
+rdma::RdmaNic &
+WirePort::sink(const rdma::WireMsg &msg)
+{
+    if (alt_ && msg.dst_nic == alt_->nicId())
+        return *alt_;
+    return target_;
 }
 
 Nanos
@@ -67,7 +77,7 @@ WirePort::deliver(rdma::WireMsg msg)
 {
     if (!isDataPlane(msg.kind)) {
         // Control plane: out-of-band reliable CM, untouched.
-        target_.fromWire(msg);
+        sink(msg).fromWire(msg);
         return;
     }
     ++stats_.data_seen;
@@ -102,7 +112,7 @@ WirePort::enqueue(rdma::WireMsg msg)
 {
     if (cfg_.ingress_cap == 0) {
         ++stats_.delivered;
-        target_.fromWire(msg);
+        sink(msg).fromWire(msg);
         return;
     }
     // Deterministic incast collapse: the port serializes messages at
@@ -132,7 +142,7 @@ WirePort::enqueue(rdma::WireMsg msg)
     sim_.scheduleAt(busy_until_, [this, msg = std::move(msg)]() mutable {
         --queued_;
         ++stats_.delivered;
-        target_.fromWire(msg);
+        sink(msg).fromWire(msg);
     });
 }
 

@@ -103,10 +103,19 @@ class WirePort
     /** Deliver @p msg through the fault model (dst-lane context). */
     void deliver(rdma::WireMsg msg);
 
+    /**
+     * Second NIC behind the same port (the machine's hypervisor
+     * migration NIC): messages whose dst_nic matches it are routed
+     * there, so migration traffic shares — and contends for — the
+     * guest port's ingress queue and fault stream.
+     */
+    void setAltTarget(rdma::RdmaNic *alt) { alt_ = alt; }
+
     const WireStats &stats() const { return stats_; }
 
   private:
     static bool isDataPlane(rdma::MsgKind kind);
+    rdma::RdmaNic &sink(const rdma::WireMsg &msg);
     Nanos delayDraw();
     Nanos serviceNs(const rdma::WireMsg &msg) const;
     void enqueue(rdma::WireMsg msg);
@@ -114,6 +123,7 @@ class WirePort
     des::Simulator &sim_;
     const WireFaultConfig cfg_; //!< stable copy
     rdma::RdmaNic &target_;
+    rdma::RdmaNic *alt_ = nullptr;
     Rng rng_;
     u16 obs_pid_;
     u16 obs_tid_;

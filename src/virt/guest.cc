@@ -112,22 +112,34 @@ class Guest::TrapBinding final : public iommu::VirtTraps
             // invalidation accompanies the new PTE. The teardown
             // invalidation is the QI doorbell, trapped separately —
             // charging it here too would double-count.
-            if (w.kind == iommu::TableWrite::Kind::kRadixPte && w.valid)
+            if (w.kind == iommu::TableWrite::Kind::kRadixPte && w.valid &&
+                !owner_.paused_)
                 owner_.exits_.charge(ExitReason::kVregWrite, acct,
                                      &core_);
             break;
           case Platform::kShadow:
-            owner_.exits_.charge(ExitReason::kPteWriteProtect, acct,
-                                 &core_);
+            // A paused guest's table writes are the hypervisor's own
+            // teardown: the mirror below still runs (the hardware
+            // walks the shadow, so it must stay coherent), but there
+            // is no vCPU to exit.
+            if (!owner_.paused_)
+                owner_.exits_.charge(ExitReason::kPteWriteProtect, acct,
+                                     &core_);
             ++shadow_syncs_;
             if (w.kind == iommu::TableWrite::Kind::kRadixPte &&
                 shadow_) {
-                // Mirror into the merged shadow. Permissions are
-                // hypervisor-side bookkeeping; the guest table stays
-                // authoritative for what the workload checks.
-                if (w.valid)
+                // Mirror into the merged shadow at the guest's
+                // granularity. Permissions are hypervisor-side
+                // bookkeeping; the guest table stays authoritative
+                // for what the workload checks.
+                if (w.valid && w.huge)
+                    (void)shadow_->mapHuge(w.iova_pfn, w.phys_pfn,
+                                           iommu::DmaDir::kBidir);
+                else if (w.valid)
                     (void)shadow_->map(w.iova_pfn, w.phys_pfn,
                                        iommu::DmaDir::kBidir);
+                else if (w.huge)
+                    (void)shadow_->unmapHuge(w.iova_pfn);
                 else
                     (void)shadow_->unmap(w.iova_pfn);
             }
@@ -142,6 +154,8 @@ class Guest::TrapBinding final : public iommu::VirtTraps
     void
     onQiDoorbell(cycles::CycleAccount *acct) override
     {
+        if (owner_.paused_)
+            return; // hypervisor-side flush: no vCPU to exit
         owner_.exits_.charge(owner_.strategy_ == Platform::kNested
                                  ? ExitReason::kQiForward
                                  : ExitReason::kQiDoorbell,
@@ -171,19 +185,8 @@ Guest::Guest(sys::Machine &machine, Platform strategy)
                "bare metal means no Guest; construct none");
 
     bindings_.reserve(m_.numNics());
-    for (unsigned i = 0; i < m_.numNics(); ++i) {
-        auto binding =
-            std::make_unique<TrapBinding>(*this, m_.nicCore(i));
-        dma::DmaHandle &h = m_.handle(i);
-        if (auto *bh = dynamic_cast<dma::BaselineDmaHandle *>(&h))
-            binding->bindBaseline(*bh);
-        else if (auto *rh = dynamic_cast<dma::RiommuDmaHandle *>(&h))
-            binding->bindRiommu(*rh);
-        // Passthrough-style handles (none / hw-pt / sw-pt) manage no
-        // translation tables, so no vIOMMU strategy has anything to
-        // trap; they run at bare-metal speed inside the guest.
-        bindings_.push_back(std::move(binding));
-    }
+    for (unsigned i = 0; i < m_.numNics(); ++i)
+        bindHandle(m_.handle(i), m_.nicCore(i));
 
     if (strategy_ == Platform::kNested) {
         m_.ctx().iommu().setStage2(this);
@@ -232,6 +235,21 @@ Guest::deviceTranslate(PhysAddr gpa, int *mem_refs)
             ? (iommu::IoPageTable::kHugePfns << kPageShift) - 1
             : kPageMask;
     return pte.value().addr() | (gpa & offset_mask);
+}
+
+unsigned
+Guest::bindHandle(dma::DmaHandle &h, des::Core &core)
+{
+    auto binding = std::make_unique<TrapBinding>(*this, core);
+    if (auto *bh = dynamic_cast<dma::BaselineDmaHandle *>(&h))
+        binding->bindBaseline(*bh);
+    else if (auto *rh = dynamic_cast<dma::RiommuDmaHandle *>(&h))
+        binding->bindRiommu(*rh);
+    // Passthrough-style handles (none / hw-pt / sw-pt) manage no
+    // translation tables, so no vIOMMU strategy has anything to
+    // trap; they run at bare-metal speed inside the guest.
+    bindings_.push_back(std::move(binding));
+    return static_cast<unsigned>(bindings_.size() - 1);
 }
 
 const iommu::IoPageTable *

@@ -78,6 +78,17 @@ class Guest final : public iommu::VirtStage2
     iommu::IoPageTable &stage2() { return stage2_; }
 
     /**
+     * Pause the guest's vCPUs (live migration stop-and-copy): table
+     * writes and doorbells issued while paused come from the
+     * hypervisor's own teardown, which edits tables it owns — the
+     * functional side of every trap (shadow mirroring) still runs,
+     * but no vmexit is charged. Resume is the target guest's job;
+     * a paused source is abandoned, not unpaused.
+     */
+    void setPaused(bool paused) { paused_ = paused; }
+    bool paused() const { return paused_; }
+
+    /**
      * Back guest memory with 2 MB stage-2 leaves: lazy fills install
      * one huge identity mapping per 2 MB region, so each stage-2
      * resolution in the nested 2-D walk reads 3 tables instead of 4
@@ -87,11 +98,28 @@ class Guest final : public iommu::VirtStage2
     void setHugeStage2(bool huge) { huge_stage2_ = huge; }
 
     /**
-     * The hypervisor's merged shadow radix table for NIC @p i, or
-     * null (non-shadow strategy, or an rIOMMU/passthrough handle
-     * whose shadow is not a radix table).
+     * The hypervisor's merged shadow radix table for binding @p i
+     * (NIC handles first, in NIC order, then extra handles in
+     * bindHandle() order), or null (non-shadow strategy, or an
+     * rIOMMU/passthrough handle whose shadow is not a radix table).
      */
     const iommu::IoPageTable *shadowTable(unsigned nic_idx) const;
+
+    /**
+     * Bind a handle attached outside the NIC array (e.g. a Cluster
+     * machine's RDMA handle, attached via
+     * Machine::attachDeviceHandle) under this guest's vIOMMU
+     * strategy, with traps charged to @p core. Returns the binding
+     * index for shadowTable(). Call before traffic, like the ctor's
+     * NIC bindings.
+     */
+    unsigned bindHandle(dma::DmaHandle &h, des::Core &core);
+
+    /** Bindings installed (NIC + extra). */
+    unsigned numBindings() const
+    {
+        return static_cast<unsigned>(bindings_.size());
+    }
 
     GuestStats stats() const;
 
@@ -106,6 +134,7 @@ class Guest final : public iommu::VirtStage2
     u64 stage2_fills_ = 0;
     u64 hypercalls_ = 0;
     bool huge_stage2_ = false;
+    bool paused_ = false;
 };
 
 } // namespace rio::virt

@@ -18,6 +18,7 @@
 #include "base/rng.h"
 #include "dma/baseline_handle.h"
 #include "dma/dma_context.h"
+#include "migrate/migrate.h"
 #include "riommu/rdevice.h"
 #include "sys/cluster.h"
 #include "sys/machine.h"
@@ -959,6 +960,219 @@ TEST_P(WireFuzz, LossyFabricAgreesAcrossThreadCounts)
 
 INSTANTIATE_TEST_SUITE_P(
     ModesAndSeeds, WireFuzz, ::testing::ValuesIn(wireFuzzParams()),
+    [](const ::testing::TestParamInfo<ClusterFuzzParam> &info) {
+        std::string name = dma::modeName(info.param.mode);
+        for (char &c : name)
+            if (c == '-' || c == '+')
+                c = '_';
+        return name + "_s" + std::to_string(info.param.seed);
+    });
+
+/**
+ * MigrateFuzz: seeded live migrations over a hostile fabric — the
+ * shape (platform, guest size, dirty rate, loss, fleet width, and
+ * whether the migration stream's QP is hard-aborted mid-round) all
+ * derive from the seed. Invariants: the migration always completes,
+ * the target arena is byte-identical to the source (no page lost,
+ * forked, or double-applied, whatever the wire did), protected modes
+ * land zero post-migration strays, both guest and hypervisor handles
+ * quiesce leak-free, and the whole report agrees field for field
+ * between 1 and 2 worker threads. RIO_MIGRATE_EXTRA_SEEDS appends
+ * seeds (the migration CI soak).
+ */
+std::vector<ClusterFuzzParam>
+migrateFuzzParams()
+{
+    std::vector<u64> seeds = {11, 47, 1009};
+    appendExtraSeeds(seeds, "RIO_MIGRATE_EXTRA_SEEDS");
+    const std::array<dma::ProtectionMode, 3> modes = {
+        dma::ProtectionMode::kStrict, dma::ProtectionMode::kDeferPlus,
+        dma::ProtectionMode::kRiommu};
+    std::vector<ClusterFuzzParam> params;
+    for (dma::ProtectionMode mode : modes)
+        for (u64 seed : seeds)
+            params.push_back({mode, seed});
+    return params;
+}
+
+struct MigrateCampaign
+{
+    migrate::MigrationReport rep;
+    u64 src_hash = 0;
+    u64 dst_hash = 0;
+    u64 stray_arrivals = 0;
+    u64 stray_faulted = 0;
+    u64 stray_landed = 0;
+    bool leaks_clean = false;
+    Nanos src_now = 0;
+    Nanos dst_now = 0;
+};
+
+MigrateCampaign
+runMigrateCampaign(dma::ProtectionMode mode, u64 seed, unsigned threads)
+{
+    Rng shape(seed * 0x9E3779B97F4A7C15ULL + 17);
+    const std::array<virt::Platform, 4> platforms = {
+        virt::Platform::kBare, virt::Platform::kEmulated,
+        virt::Platform::kShadow, virt::Platform::kNested};
+    const virt::Platform platform = platforms[shape.below(4)];
+    const u64 pages = 256u << shape.below(3); // 256..1024
+    const double dirty = 100.0 * static_cast<double>(shape.range(0, 6));
+    const double loss = 0.01 * static_cast<double>(shape.range(0, 4));
+    const unsigned app_qps = static_cast<unsigned>(shape.range(2, 6));
+    const bool abort_stream = shape.chance(0.5);
+    const Nanos abort_at = 20000 * shape.range(1, 8);
+
+    sys::ClusterConfig cfg;
+    cfg.machines = 2;
+    cfg.threads = threads;
+    cfg.mode = mode;
+    cfg.max_qps = app_qps + 4;
+    cfg.migration = true;
+    cfg.reliability.enabled = true;
+    if (loss > 0.0) {
+        cfg.wire.drop_rate = loss;
+        cfg.wire.dup_rate = std::min(0.25, 3 * loss);
+        cfg.wire.delay_rate = std::min(0.5, 10 * loss);
+        cfg.wire.delay_max_ns = 60000;
+    }
+    sys::Cluster cl(cfg);
+
+    std::unique_ptr<virt::Guest> sg, dg;
+    unsigned src_binding = 0;
+    if (platform != virt::Platform::kBare) {
+        sg = std::make_unique<virt::Guest>(cl.machine(0), platform);
+        dg = std::make_unique<virt::Guest>(cl.machine(1), platform);
+        src_binding = sg->bindHandle(cl.handle(0), cl.machine(0).core(0));
+        (void)dg->bindHandle(cl.handle(1), cl.machine(1).core(0));
+    }
+    cl.bringUp();
+
+    bool stray_up = false;
+    u32 stray_qp = 0;
+    cl.machine(0).core(0).post([&] {
+        for (unsigned q = 0; q < app_qps; ++q)
+            (void)cl.nic(0).connect(1, nullptr);
+    });
+    cl.machine(1).core(0).post([&] {
+        (void)cl.nic(1).connect(0, [&](u32 qp, bool ok) {
+            stray_qp = qp;
+            stray_up = ok;
+        });
+    });
+    cl.run();
+
+    migrate::MigrateConfig mc;
+    mc.src = 0;
+    mc.dst = 1;
+    mc.platform = platform;
+    mc.guest_pages = pages;
+    mc.dirty_pages_per_ms = dirty;
+    mc.dirty_seed = seed * 131 + 7;
+    mc.converge_dirty = 16;
+    migrate::Migrator mig(cl, mc);
+    mig.setGuests(sg.get(), dg.get(), src_binding);
+    mig.start();
+    // Open-loop stray fire at the source's old fleet, outliving the
+    // migration; plus the seeded mid-round stream abort.
+    struct StrayState
+    {
+        sys::Cluster *cl;
+        u32 qp;
+        u64 remaining;
+    };
+    struct StrayTick
+    {
+        static void go(const std::shared_ptr<StrayState> &s)
+        {
+            if (s->remaining == 0)
+                return;
+            --s->remaining;
+            (void)s->cl->nic(1).postWrite(s->qp, 256, 0);
+            s->cl->lane(1).sim().scheduleAfter(8000, [s] { go(s); });
+        }
+    };
+    auto stray = std::make_shared<StrayState>(
+        StrayState{&cl, stray_qp, stray_up ? pages * 4 : 0});
+    if (stray->remaining > 0)
+        cl.lane(1).sim().scheduleAfter(8000,
+                                       [stray] { StrayTick::go(stray); });
+    if (abort_stream) {
+        cl.lane(0).sim().scheduleAfter(abort_at, [&cl] {
+            cl.machine(0).core(0).post([&cl] {
+                for (u32 q = 0; q < cl.migNic(0).maxQps(); ++q)
+                    (void)cl.migNic(0).abortQp(q);
+            });
+        });
+    }
+    cl.run();
+
+    MigrateCampaign out;
+    out.rep = mig.report();
+    out.src_hash = mig.arenaHash(false);
+    out.dst_hash = mig.arenaHash(true);
+    const rdma::RdmaStats &s = cl.nic(0).stats();
+    out.stray_arrivals = s.migrated_away_arrivals;
+    out.stray_faulted = s.migrated_away_faulted;
+    out.stray_landed = s.migrated_away_landed;
+    out.src_now = cl.lane(0).sim().now();
+    out.dst_now = cl.lane(1).sim().now();
+    mig.cleanup();
+    cl.quiesce();
+    out.leaks_clean = true;
+    for (unsigned m = 0; m < 2; ++m) {
+        out.leaks_clean &= cl.checkLeaks(m).clean();
+        out.leaks_clean &= cl.checkMigLeaks(m).clean();
+    }
+    return out;
+}
+
+class MigrateFuzz : public ::testing::TestWithParam<ClusterFuzzParam>
+{
+};
+
+TEST_P(MigrateFuzz, HostileMigrationConvergesIdenticallyAcrossThreads)
+{
+    const auto [mode, seed] = GetParam();
+    const MigrateCampaign c1 = runMigrateCampaign(mode, seed, 1);
+    const MigrateCampaign c2 = runMigrateCampaign(mode, seed, 2);
+
+    EXPECT_TRUE(c1.rep.completed);
+    EXPECT_FALSE(c1.rep.failed);
+    EXPECT_EQ(c1.src_hash, c1.dst_hash) << "guest RAM diverged";
+    EXPECT_TRUE(c1.leaks_clean);
+    EXPECT_TRUE(c2.leaks_clean);
+    EXPECT_GE(c1.rep.pages_shipped, 1u);
+    if (dma::modeUsesRiommu(mode)) {
+        EXPECT_EQ(c1.stray_landed, 0u);
+    }
+
+    // Thread-count invariance, field for field.
+    EXPECT_EQ(c1.rep.rounds, c2.rep.rounds);
+    EXPECT_EQ(c1.rep.pages_shipped, c2.rep.pages_shipped);
+    EXPECT_EQ(c1.rep.pages_reshipped, c2.rep.pages_reshipped);
+    EXPECT_EQ(c1.rep.page_naks, c2.rep.page_naks);
+    EXPECT_EQ(c1.rep.state_chunks, c2.rep.state_chunks);
+    EXPECT_EQ(c1.rep.state_bytes, c2.rep.state_bytes);
+    EXPECT_EQ(c1.rep.mappings_replayed, c2.rep.mappings_replayed);
+    EXPECT_EQ(c1.rep.reg_hypercalls, c2.rep.reg_hypercalls);
+    EXPECT_EQ(c1.rep.live_rings, c2.rep.live_rings);
+    EXPECT_EQ(c1.rep.stream_qp_errors, c2.rep.stream_qp_errors);
+    EXPECT_EQ(c1.rep.dirtier_writes, c2.rep.dirtier_writes);
+    EXPECT_EQ(c1.rep.blackout_ns, c2.rep.blackout_ns);
+    EXPECT_EQ(c1.rep.total_ns, c2.rep.total_ns);
+    EXPECT_EQ(c1.src_hash, c2.src_hash);
+    EXPECT_EQ(c1.dst_hash, c2.dst_hash);
+    EXPECT_EQ(c1.stray_arrivals, c2.stray_arrivals);
+    EXPECT_EQ(c1.stray_faulted, c2.stray_faulted);
+    EXPECT_EQ(c1.stray_landed, c2.stray_landed);
+    EXPECT_EQ(c1.src_now, c2.src_now);
+    EXPECT_EQ(c1.dst_now, c2.dst_now);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, MigrateFuzz,
+    ::testing::ValuesIn(migrateFuzzParams()),
     [](const ::testing::TestParamInfo<ClusterFuzzParam> &info) {
         std::string name = dma::modeName(info.param.mode);
         for (char &c : name)

@@ -235,6 +235,63 @@ TEST(VirtNestedWalk, HugeStage2CutsRiommuFlatMissToFourReferences)
     ASSERT_TRUE(m.handle().unmap(mapping.value(), true).isOk());
 }
 
+TEST(VirtNestedWalk, Stage1SuperpagesCutRadixMissTo19References)
+{
+    des::Simulator sim;
+    sys::Machine m(sim, ProtectionMode::kStrict, testProfile());
+    virt::Guest guest(m, Platform::kNested);
+    m.handle().setStage1Superpages(true);
+
+    const PhysAddr buf = m.ctx().memory().allocFrame();
+    auto mapping = m.handle().map(0, buf, 1000, DmaDir::kBidir);
+    ASSERT_TRUE(mapping.isOk());
+
+    auto tr = m.ctx().iommu().translate(
+        m.handle().bdf(), mapping.value().device_addr, Access::kRead);
+    ASSERT_TRUE(tr.isOk());
+    EXPECT_FALSE(tr.value().iotlb_hit);
+    // The guest's own 2 MB leaf ends the stage-1 walk a level early:
+    // 3 guest levels x (4 stage-2 refs + the table read) + 4 stage-2
+    // refs for the data page = 19 — the same total as huge stage-2
+    // over a 4K guest table, but from the other side of the 2-D walk.
+    EXPECT_EQ(tr.value().walk_levels, 3);
+    EXPECT_EQ(tr.value().mem_refs, 19);
+    // 2 MB stage-1 offset composition through identity stage-2.
+    EXPECT_EQ(tr.value().pa,
+              buf + (mapping.value().device_addr & kPageMask));
+
+    ASSERT_TRUE(m.handle().unmap(mapping.value(), true).isOk());
+}
+
+TEST(VirtNestedWalk, SuperpagesBothStagesReachThe15ReferenceIdeal)
+{
+    des::Simulator sim;
+    sys::Machine m(sim, ProtectionMode::kStrict, testProfile());
+    virt::Guest guest(m, Platform::kNested);
+    guest.setHugeStage2(true);
+    m.handle().setStage1Superpages(true);
+
+    const PhysAddr buf = m.ctx().memory().allocFrame();
+    auto mapping = m.handle().map(0, buf, 1000, DmaDir::kBidir);
+    ASSERT_TRUE(mapping.isOk());
+
+    auto tr = m.ctx().iommu().translate(
+        m.handle().bdf(), mapping.value().device_addr, Access::kRead);
+    ASSERT_TRUE(tr.isOk());
+    EXPECT_FALSE(tr.value().iotlb_hit);
+    // Huge leaves on both stages: 3 guest levels x (3 stage-2 refs +
+    // the table read) + 3 stage-2 refs for the data page = 15, the
+    // ROADMAP's nested-walk ideal for the radix baseline. (rIOMMU's
+    // flat table sits at 4 under huge stage-2 regardless.)
+    EXPECT_EQ(tr.value().walk_levels, 3);
+    EXPECT_EQ(tr.value().mem_refs, 15);
+    EXPECT_EQ(tr.value().pa,
+              buf + (mapping.value().device_addr & kPageMask));
+    EXPECT_GT(guest.stage2().hugeMappings(), 0u);
+
+    ASSERT_TRUE(m.handle().unmap(mapping.value(), true).isOk());
+}
+
 TEST(VirtNestedWalk, BareWalkIsOneReferencePerLevelAndChargesNoVirt)
 {
     des::Simulator sim;
